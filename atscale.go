@@ -1,0 +1,155 @@
+// Package atscale reproduces "Understanding Address Translation Scaling
+// Behaviours Using Hardware Performance Counters" (Lindsay &
+// Bhattacharjee, IISWC 2024) on a simulated x86-64 address-translation
+// stack.
+//
+// The package is a facade over the internal packages: it re-exports the
+// measurement session, the per-figure/table experiment drivers, the
+// workload registry, and the simulated machine, so downstream users can
+// run the paper's methodology — or their own — without reaching into
+// internal paths.
+//
+// A minimal campaign:
+//
+//	cfg := atscale.DefaultRunConfig()
+//	cfg.Preset = atscale.PresetSmall
+//	session := atscale.NewSession(cfg)
+//	fig2, err := atscale.Fig2(session)   // cc-urand log-linear scaling
+//	...
+//	fmt.Print(fig2.Render())
+//
+// Or a single instrumented run:
+//
+//	m, _ := atscale.NewMachine(atscale.DefaultSystem(), atscale.Page4K, 1)
+//	spec, _ := atscale.WorkloadByName("bfs-urand")
+//	inst, _ := spec.Build(m, 16)
+//	inst.Run(2_000_000)
+//	metrics := atscale.ComputeMetrics(m.Counters())
+//	fmt.Println("WCPI:", metrics.WCPI)
+package atscale
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/core"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+	_ "atscale/internal/workloads/all" // register every workload
+)
+
+// Page sizes of the simulated x86-64 machine.
+const (
+	Page4K = arch.Page4K
+	Page2M = arch.Page2M
+	Page1G = arch.Page1G
+)
+
+// Size presets for workload ladders.
+const (
+	PresetTiny   = workloads.Tiny
+	PresetSmall  = workloads.Small
+	PresetMedium = workloads.Medium
+	PresetLarge  = workloads.Large
+)
+
+// Re-exported core types.
+type (
+	// SystemConfig describes the simulated machine (Table III).
+	SystemConfig = arch.SystemConfig
+	// PageSize selects the heap backing granularity.
+	PageSize = arch.PageSize
+	// Machine is the simulated system workloads run on.
+	Machine = machine.Machine
+	// Counters is a PMU snapshot.
+	Counters = perf.Counters
+	// Metrics bundles every derived AT-pressure quantity.
+	Metrics = perf.Metrics
+	// WalkOutcomes is the Table VI walk classification.
+	WalkOutcomes = perf.WalkOutcomes
+	// Workload is a program + input generator specification.
+	Workload = workloads.Spec
+	// RunConfig parameterizes a measurement campaign.
+	RunConfig = core.RunConfig
+	// RunResult is one (workload, size, page size) measurement.
+	RunResult = core.RunResult
+	// OverheadPoint is one size measured under all page sizes (§III).
+	OverheadPoint = core.OverheadPoint
+	// Session memoizes sweeps across experiments.
+	Session = core.Session
+	// Experiment names one reproducible paper table/figure.
+	Experiment = core.Experiment
+)
+
+// DefaultSystem returns the simulated Table III machine.
+func DefaultSystem() SystemConfig { return arch.DefaultSystem() }
+
+// DefaultRunConfig returns the standard measurement configuration.
+func DefaultRunConfig() RunConfig { return core.DefaultRunConfig() }
+
+// NewMachine builds a simulated machine with the given backing policy.
+func NewMachine(cfg SystemConfig, policy PageSize, seed int64) (*Machine, error) {
+	return machine.New(cfg, policy, seed)
+}
+
+// NewSession creates a measurement session.
+func NewSession(cfg RunConfig) *Session { return core.NewSession(cfg) }
+
+// ComputeMetrics derives the paper's metrics from a counter delta.
+func ComputeMetrics(c Counters) Metrics { return perf.Compute(c) }
+
+// CounterDelta subtracts two snapshots (end - start).
+func CounterDelta(start, end Counters) Counters { return perf.Delta(start, end) }
+
+// Workloads returns every registered workload.
+func Workloads() []*Workload { return workloads.All() }
+
+// PaperWorkloads returns the Table I workload set.
+func PaperWorkloads() []*Workload { return core.PaperWorkloads() }
+
+// WorkloadByName resolves a program-generator name.
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// Run measures one (workload, size, page size) combination.
+func Run(cfg *RunConfig, spec *Workload, param uint64, ps PageSize) (RunResult, error) {
+	return core.Run(cfg, spec, param, ps)
+}
+
+// MeasureOverhead applies the §III methodology to one (workload, size).
+func MeasureOverhead(cfg *RunConfig, spec *Workload, param uint64) (OverheadPoint, error) {
+	return core.MeasureOverhead(cfg, spec, param)
+}
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment { return core.Experiments() }
+
+// ExperimentByID resolves an experiment name like "fig7".
+func ExperimentByID(id string) (Experiment, error) { return core.ExperimentByID(id) }
+
+// Experiment drivers (see each for the paper artifact it regenerates).
+var (
+	Fig1   = core.Fig1
+	Fig2   = core.Fig2
+	Fig3   = core.Fig3
+	Fig4   = core.Fig4
+	Fig5   = core.Fig5
+	Fig6   = core.Fig6
+	Fig7   = core.Fig7
+	Fig8   = core.Fig8
+	Fig9   = core.Fig9
+	Fig10  = core.Fig10
+	Table4 = core.Table4
+	Table5 = core.Table5
+	Table6 = core.Table6
+	Tables = core.Tables
+)
+
+// PromotionStudy measures the WCPI-guided hugepage promotion extension
+// (the `promo` experiment) on any workload.
+var PromotionStudy = core.PromotionStudy
+
+// HashedPTStudy measures the hashed-vs-radix page-table extension (the
+// `hashedpt` experiment) on any workload.
+var HashedPTStudy = core.HashedPTStudy
+
+// ResultCSV renders an experiment result's tables as CSV.
+func ResultCSV(r core.Renderer) string { return core.CSV(r) }

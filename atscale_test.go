@@ -1,0 +1,75 @@
+package atscale_test
+
+import (
+	"strings"
+	"testing"
+
+	"atscale"
+)
+
+func TestFacadeMachineRoundTrip(t *testing.T) {
+	m, err := atscale.NewMachine(atscale.DefaultSystem(), atscale.Page2M, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := m.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Store64(va, 123)
+	if m.Load64(va) != 123 {
+		t.Error("facade machine lost data")
+	}
+}
+
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	if len(atscale.Workloads()) < 16 {
+		t.Errorf("only %d workloads registered", len(atscale.Workloads()))
+	}
+	if len(atscale.PaperWorkloads()) != 13 {
+		t.Errorf("paper workload count = %d", len(atscale.PaperWorkloads()))
+	}
+	spec, err := atscale.WorkloadByName("cc-kron")
+	if err != nil || spec.Program != "cc" || spec.Generator != "kron" {
+		t.Errorf("WorkloadByName: %+v, %v", spec, err)
+	}
+}
+
+func TestFacadeRunAndMetrics(t *testing.T) {
+	cfg := atscale.DefaultRunConfig()
+	cfg.Budget = 60_000
+	spec, err := atscale.WorkloadByName("stride-synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := atscale.Run(&cfg, spec, 24, atscale.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.Instructions == 0 || r.Metrics.CPI <= 0 {
+		t.Errorf("metrics degenerate: %+v", r.Metrics)
+	}
+	if d := r.Metrics.Eq1.Product() - r.Metrics.WCPI; d > 1e-9 || d < -1e-9 {
+		t.Errorf("Eq1 identity broken through the facade: product %v vs WCPI %v",
+			r.Metrics.Eq1.Product(), r.Metrics.WCPI)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(atscale.Experiments()) != 18 {
+		t.Errorf("experiment registry has %d entries", len(atscale.Experiments()))
+	}
+	exp, err := atscale.ExperimentByID("tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := atscale.DefaultRunConfig()
+	cfg.Budget = 10_000
+	r, err := exp.Run(atscale.NewSession(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Render(), "Table III") {
+		t.Error("tables experiment render incomplete")
+	}
+}

@@ -1,0 +1,275 @@
+// Benchmarks: one per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out.
+//
+// Experiment benchmarks share one measurement session: the first bench to
+// need a workload's sweep measures it; later benches reuse the memoized
+// points. Custom metrics surface each experiment's headline number (the
+// fitted slope, the best correlation, the top wrong-path fraction) so a
+// bench run doubles as a quick reproduction check:
+//
+//	go test -bench=. -benchmem
+package atscale_test
+
+import (
+	"sync"
+	"testing"
+
+	"atscale"
+)
+
+// benchPreset/benchBudget keep the full bench suite to minutes. Raise them
+// (or run cmd/atscale -size large) for the full reproduction.
+const benchBudget = 400_000
+
+var sessionOnce sync.Once
+var sharedSession *atscale.Session
+
+func session() *atscale.Session {
+	sessionOnce.Do(func() {
+		cfg := atscale.DefaultRunConfig()
+		cfg.Preset = atscale.PresetSmall
+		cfg.Budget = benchBudget
+		sharedSession = atscale.NewSession(cfg)
+	})
+	return sharedSession
+}
+
+var sinkString string
+
+func benchExperiment(b *testing.B, id string) {
+	exp, err := atscale.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Run(session())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = r.Render()
+	}
+}
+
+// BenchmarkTables regenerates the Table I-III inventories.
+func BenchmarkTables(b *testing.B) { benchExperiment(b, "tables") }
+
+// BenchmarkFig1 regenerates Figure 1 (overhead vs footprint, all
+// workloads) and reports the mean overhead at the largest rung.
+func BenchmarkFig1(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.Fig1(session())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, pts := range r.ByWorkload {
+			if len(pts) > 0 {
+				sum += pts[len(pts)-1].RelOverhead
+				n++
+			}
+		}
+		mean = sum / float64(n)
+		sinkString = r.Render()
+	}
+	b.ReportMetric(100*mean, "mean-top-overhead-%")
+}
+
+// BenchmarkFig2 regenerates Figure 2 and reports the fitted slope and
+// adjusted R² (paper: slope ~0.135, adjR² 0.973 for cc-urand).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.Fig2(session())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = r.Render()
+		b.ReportMetric(r.Fit.Slope, "slope")
+		b.ReportMetric(r.Fit.AdjR2, "adjR2")
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (the exception workloads).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkTable4 regenerates Table IV and reports the mean log10(M)
+// coefficient over strong fits (paper: 0.13).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.Table4(session())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = r.Render()
+		if mean, n := r.MeanSlopeStrongFits(0.9); n > 0 {
+			b.ReportMetric(mean, "mean-strong-slope")
+			b.ReportMetric(float64(n), "strong-fits")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table V and reports WCPI's correlations
+// (paper: Pearson 0.567, Spearman 0.768 — the best/near-best of the five
+// candidate metrics).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.Table5(session())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = r.Render()
+		last := r.Inter[len(r.Inter)-1] // WCPI row
+		b.ReportMetric(last.Pearson, "wcpi-pearson")
+		b.ReportMetric(last.Spearman, "wcpi-spearman")
+	}
+}
+
+// BenchmarkFig4 regenerates the Figure 4 scatter.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates the Figure 5 intra-workload curve.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates the Figure 6 component breakdown.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 and reports the largest non-retired
+// walk fraction seen (paper: up to 57%).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.Fig7(session())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = r.Render()
+		var worst float64
+		for _, row := range r.Rows {
+			if nr := row.WrongPath + row.Aborted; nr > worst {
+				worst = nr
+			}
+		}
+		b.ReportMetric(100*worst, "max-non-retired-%")
+	}
+}
+
+// BenchmarkTable6 evaluates the Table VI formulae on live counters.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkFig8 regenerates the Figure 8 PTE-location bands.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (clears vs wrong-path walks).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates the Figure 10 superpage study and reports
+// the WCPI reduction factor 2 MB pages deliver at the largest footprint.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.Fig10(session())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = r.Render()
+		last := r.Rows[len(r.Rows)-1]
+		if last.WCPI2M > 0 {
+			b.ReportMetric(last.WCPI4K/last.WCPI2M, "wcpi-reduction-x")
+		}
+	}
+}
+
+// --- Ablation benches (design-choice studies from DESIGN.md) ---
+
+// ablation measures mcf-rand's WCPI under a modified machine.
+func ablation(b *testing.B, mutate func(*atscale.SystemConfig)) {
+	cfg := atscale.DefaultSystem()
+	mutate(&cfg)
+	run := atscale.DefaultRunConfig()
+	run.System = cfg
+	run.Budget = benchBudget
+	spec, err := atscale.WorkloadByName("mcf-rand")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wcpi float64
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.Run(&run, spec, 1<<18, atscale.Page4K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcpi = r.Metrics.WCPI
+	}
+	b.ReportMetric(wcpi, "wcpi")
+}
+
+// BenchmarkAblationBaseline is the unmodified machine.
+func BenchmarkAblationBaseline(b *testing.B) {
+	ablation(b, func(*atscale.SystemConfig) {})
+}
+
+// BenchmarkAblationNoPSC disables the paging-structure caches: every walk
+// pays full radix depth.
+func BenchmarkAblationNoPSC(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) {
+		c.PSC.PML4Entries, c.PSC.PDPTEntries, c.PSC.PDEntries = 0, 0, 0
+	})
+}
+
+// BenchmarkAblationNoSTLB removes the second-level TLB.
+func BenchmarkAblationNoSTLB(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) { c.STLB.Entries = 0 })
+}
+
+// BenchmarkAblationBigSTLB doubles the STLB (a common what-if in the
+// papers the introduction cites).
+func BenchmarkAblationBigSTLB(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) { c.STLB.Entries = 2048 })
+}
+
+// BenchmarkAblationNoSpeculation turns off wrong-path modelling,
+// quantifying how much of the walk stream §V-D attributes to speculation.
+func BenchmarkAblationNoSpeculation(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) {
+		c.CPU.MaxWrongPathAccesses = 0
+		c.CPU.ClearProbability = 0
+	})
+}
+
+// BenchmarkAblationRandomL3 swaps the L3 to random replacement — the
+// replacement-policy family the paper's filtering-effect citations study.
+func BenchmarkAblationRandomL3(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) { c.L3.Replacement = "random" })
+}
+
+// BenchmarkAblationNRUL3 swaps the L3 to not-recently-used replacement.
+func BenchmarkAblationNRUL3(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) { c.L3.Replacement = "nru" })
+}
+
+// BenchmarkAblation5LevelPaging swaps in LA57 5-level tables: one more
+// radix level per cold walk.
+func BenchmarkAblation5LevelPaging(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) { c.PagingLevels = 5 })
+}
+
+// BenchmarkAblationTLBPrefetch enables the next-page TLB prefetcher
+// (research extension).
+func BenchmarkAblationTLBPrefetch(b *testing.B) {
+	ablation(b, func(c *atscale.SystemConfig) { c.TLBPrefetchNextPage = true })
+}
+
+// BenchmarkPromotion runs the WCPI-guided hugepage promotion study
+// (the extension experiment `promo`) and reports how much of the static
+// 2MB benefit the online policy recovers at the largest footprint.
+func BenchmarkPromotion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := atscale.PromotionStudy(session(), "mcf-rand")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkString = r.Render()
+		last := r.Rows[len(r.Rows)-1]
+		b.ReportMetric(100*last.Recovered, "gap-recovered-%")
+		b.ReportMetric(float64(last.Promotions), "promotions")
+	}
+}

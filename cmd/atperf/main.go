@@ -1,0 +1,99 @@
+// Command atperf is `perf stat` for the simulated machine: it runs one
+// workload instance under one page-size policy and prints the raw
+// counters plus the paper's derived metrics.
+//
+// Usage:
+//
+//	atperf -w bfs-urand -param 16 -pages 4KB -budget 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atscale/internal/arch"
+	"atscale/internal/core"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+	_ "atscale/internal/workloads/all"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "atperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("w", "bfs-urand", "workload (program-generator)")
+		param  = flag.Uint64("param", 0, "input size parameter (default: smallest rung)")
+		pages  = flag.String("pages", "4KB", "backing page size: 4KB|2MB|1GB")
+		budget = flag.Uint64("budget", 2_000_000, "retired accesses in the measured region")
+		seed   = flag.Int64("seed", 2024, "simulation seed")
+		all    = flag.Bool("counters", true, "print the full counter listing")
+		events = flag.String("e", "", "comma-separated event names to print (perf spellings); overrides -counters")
+	)
+	flag.Parse()
+
+	spec, err := workloads.ByName(*name)
+	if err != nil {
+		return err
+	}
+	ps, err := arch.ParsePageSize(*pages)
+	if err != nil {
+		return err
+	}
+	if *param == 0 {
+		*param = spec.Ladder[0]
+	}
+	cfg := core.DefaultRunConfig()
+	cfg.Budget = *budget
+	cfg.Seed = *seed
+
+	r, err := core.Run(&cfg, spec, *param, ps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s  param %d  pages %s  footprint %s\n\n",
+		r.Workload, r.Param, r.PageSize, arch.FormatBytes(r.Footprint))
+	switch {
+	case *events != "":
+		for _, name := range strings.Split(*events, ",") {
+			e, err := perf.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%20d  %s\n", r.Counters.Get(e), e)
+		}
+	case *all:
+		fmt.Print(r.Counters.Format())
+	}
+	m := r.Metrics
+	ret, wp, ab := m.Outcomes.Fractions()
+	fmt.Printf(`
+derived:
+  CPI                          %8.3f
+  WCPI                         %8.4f
+  walk cycle fraction          %8.4f
+  TLB misses / kilo access     %8.2f
+  TLB misses / kilo instr      %8.2f
+  accesses / instruction       %8.3f
+  walker loads / walk          %8.3f
+  cycles / walker load         %8.1f
+  avg walk latency             %8.1f
+  STLB hit rate                %8.3f
+  PTE hit location L1/L2/L3/M  %6.1f%% %6.1f%% %6.1f%% %6.1f%%
+  walks retired/wrong/aborted  %6.1f%% %6.1f%% %6.1f%%
+`,
+		m.CPI, m.WCPI, m.WalkCycleFraction,
+		m.TLBMissesPerKiloAccess, m.TLBMissesPerKiloInstruction,
+		m.Eq1.AccessesPerInstruction, m.Eq1.WalkerLoadsPerWalk, m.Eq1.CyclesPerWalkerLoad,
+		m.AvgWalkCycles, m.STLBHitRate,
+		100*m.PTELocation[0], 100*m.PTELocation[1], 100*m.PTELocation[2], 100*m.PTELocation[3],
+		100*ret, 100*wp, 100*ab)
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command atscale regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	atscale [flags] <experiment>...
+//	atscale -list
+//	atscale -size small fig1 table4
+//	atscale -size medium all
+//
+// Each experiment id names one artifact of the paper's evaluation
+// (fig1..fig10, table4..table6, tables). Experiments run within one
+// session, so artifacts that share measurements (fig1/fig4/table4/table5
+// all consume the same sweeps) measure each workload only once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atscale/internal/core"
+	"atscale/internal/workloads"
+	_ "atscale/internal/workloads/all"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "atscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		size   = flag.String("size", "medium", "ladder preset: tiny|small|medium|large")
+		budget = flag.Uint64("budget", 2_000_000, "retired accesses per measured region")
+		seed   = flag.Int64("seed", 2024, "simulation seed")
+		quiet  = flag.Bool("quiet", false, "suppress per-run progress")
+		list   = flag.Bool("list", false, "list experiments and workloads, then exit")
+		out    = flag.String("out", "", "also write rendered output to this file")
+		csvDir = flag.String("csv", "", "also write each experiment's data as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range core.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Caption)
+		}
+		fmt.Println("\nworkloads:")
+		for _, w := range workloads.All() {
+			fmt.Printf("  %-22s suite=%-10s rungs=%d\n", w.Name(), w.Suite, len(w.Ladder))
+		}
+		return nil
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments given (try -list, or: atscale fig1)")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	preset, err := workloads.ParsePreset(*size)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultRunConfig()
+	cfg.Preset = preset
+	cfg.Budget = *budget
+	cfg.Seed = *seed
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	session := core.NewSession(cfg)
+
+	var rendered strings.Builder
+	for _, id := range ids {
+		exp, err := core.ExperimentByID(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "== %s: %s\n", exp.ID, exp.Caption)
+		result, err := exp.Run(session)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		block := result.Render()
+		fmt.Println(block)
+		rendered.WriteString(block + "\n")
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, exp.ID+".csv")
+			if err := os.WriteFile(path, []byte(core.CSV(result)), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(rendered.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

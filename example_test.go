@@ -1,0 +1,61 @@
+package atscale_test
+
+import (
+	"fmt"
+	"log"
+
+	"atscale"
+)
+
+// Example_singleRun measures one workload instance and reads the paper's
+// headline metric off the simulated PMU.
+func Example_singleRun() {
+	m, err := atscale.NewMachine(atscale.DefaultSystem(), atscale.Page4K, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := atscale.WorkloadByName("gups-rand")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := spec.Build(m, 24) // 16MB update table
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := m.Counters()
+	inst.Run(1_000_000)
+	met := atscale.ComputeMetrics(atscale.CounterDelta(start, m.Counters()))
+	fmt.Printf("WCPI is the product of the four Equation 1 terms: %v\n",
+		met.Eq1.Product() == met.WCPI)
+}
+
+// Example_overheadMethodology applies the paper's §III methodology — the
+// same instance under 4 KB, 2 MB and 1 GB backing, overhead against the
+// min(2MB, 1GB) baseline.
+func Example_overheadMethodology() {
+	cfg := atscale.DefaultRunConfig()
+	cfg.Budget = 500_000
+	spec, err := atscale.WorkloadByName("uniform-synth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	point, err := atscale.MeasureOverhead(&cfg, spec, 28) // 256MB
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4KB pages cost %.0f%% extra runtime at %d MB\n",
+		100*point.RelOverhead, point.Footprint>>20)
+}
+
+// Example_experiment regenerates one of the paper's artifacts.
+func Example_experiment() {
+	cfg := atscale.DefaultRunConfig()
+	cfg.Preset = atscale.PresetTiny
+	cfg.Budget = 100_000
+	session := atscale.NewSession(cfg)
+	fig2, err := atscale.Fig2(session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cc-urand overhead = %.2f + %.2f*log10(M)\n", fig2.Fit.Const, fig2.Fit.Slope)
+}

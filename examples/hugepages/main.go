@@ -1,0 +1,39 @@
+// Hugepages: apply the paper's §III methodology to one workload — run it
+// under 4 KB, 2 MB and 1 GB heap backing and compute the relative address
+// translation overhead against the min(2MB, 1GB) baseline.
+//
+// The run also demonstrates the §III-B subtlety the baseline exists for:
+// below 1 GB footprints the 1 GB policy falls back to 4 KB pages and
+// loses to 2 MB.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atscale"
+)
+
+func main() {
+	cfg := atscale.DefaultRunConfig()
+	cfg.Budget = 1_000_000
+
+	spec, err := atscale.WorkloadByName("uniform-synth")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("uniform random accesses, footprint sweep:")
+	fmt.Printf("%-10s %10s %10s %10s %14s\n", "footprint", "CPI 4K", "CPI 2M", "CPI 1G", "rel overhead")
+	for _, logBytes := range []uint64{26, 28, 30, 31} { // 64MB .. 2GB
+		p, err := atscale.MeasureOverhead(&cfg, spec, logBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %10.2f %10.2f %10.2f %13.1f%%\n",
+			uint64(1)<<(logBytes-20), p.CPI4K, p.CPI2M, p.CPI1G, 100*p.RelOverhead)
+	}
+	fmt.Println("\nnote: below a 1GB footprint the 1GB policy backs the heap with 4KB")
+	fmt.Println("pages (pool granularity), so CPI 1G ~= CPI 4K there — the reason the")
+	fmt.Println("paper's baseline is min(t_2MB, t_1GB).")
+}

@@ -1,0 +1,47 @@
+// Quickstart: run one workload on the simulated machine and read the
+// paper's headline metric (walk cycles per instruction) off the
+// perf-style counters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atscale"
+)
+
+func main() {
+	// A simulated Haswell-EP memory system with a 4 KB-backed heap.
+	m, err := atscale.NewMachine(atscale.DefaultSystem(), atscale.Page4K, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a BFS-on-uniform-random-graph instance (GAP benchmark
+	// style); scale 16 = 64K vertices, ~2M directed edges.
+	spec, err := atscale.WorkloadByName("bfs-urand")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := spec.Build(m, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure a two-million-access region.
+	start := m.Counters()
+	inst.Run(2_000_000)
+	metrics := atscale.ComputeMetrics(atscale.CounterDelta(start, m.Counters()))
+
+	fmt.Printf("workload:   %s (footprint %d MB)\n", spec.Name(), m.Footprint()>>20)
+	fmt.Printf("CPI:        %.3f\n", metrics.CPI)
+	fmt.Printf("WCPI:       %.4f  (walk cycles per instruction)\n", metrics.WCPI)
+	fmt.Printf("Eq.1 terms: %.3f acc/inst x %.5f miss/acc x %.2f loads/walk x %.1f cyc/load\n",
+		metrics.Eq1.AccessesPerInstruction, metrics.Eq1.TLBMissesPerAccess,
+		metrics.Eq1.WalkerLoadsPerWalk, metrics.Eq1.CyclesPerWalkerLoad)
+	fmt.Printf("identity:   product = %.4f (must equal WCPI)\n", metrics.Eq1.Product())
+
+	ret, wp, ab := metrics.Outcomes.Fractions()
+	fmt.Printf("walks:      %d initiated = %.1f%% retired + %.1f%% wrong-path + %.1f%% aborted\n",
+		metrics.Outcomes.Initiated, 100*ret, 100*wp, 100*ab)
+}

@@ -1,0 +1,37 @@
+// Scalingfit: reproduce the paper's core scaling result (§V-A) in
+// miniature — sweep one workload's footprint ladder, measure relative AT
+// overhead, and fit overhead = b0 + b1*log10(M).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"atscale"
+)
+
+func main() {
+	cfg := atscale.DefaultRunConfig()
+	cfg.Preset = atscale.PresetSmall
+	cfg.Budget = 800_000
+	cfg.Log = os.Stderr
+
+	session := atscale.NewSession(cfg)
+	fig2, err := atscale.Fig2(session) // the cc-urand deep dive
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %10s %14s\n", "footprint", "log10(M)", "rel overhead")
+	for _, p := range fig2.Points {
+		fmt.Printf("%-12d %10.2f %13.1f%%\n",
+			p.Footprint>>20, math.Log10(float64(p.Footprint)), 100*p.RelOverhead)
+	}
+	fit := fig2.Fit
+	fmt.Printf("\nfit: overhead = %.3f + %.3f * log10(M), adjusted R2 = %.3f\n",
+		fit.Const, fit.Slope, fit.AdjR2)
+	fmt.Println("a 10x footprint increase costs", fmt.Sprintf("%.1f%%", 100*fit.Slope),
+		"additional relative AT overhead (paper: ~13% on real hardware)")
+}

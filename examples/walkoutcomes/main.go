@@ -1,0 +1,41 @@
+// Walkoutcomes: classify page table walks with the paper's Table VI
+// formulae and watch wrong-path and aborted walks grow as a graph
+// workload's footprint scales (§V-D).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atscale"
+)
+
+func main() {
+	spec, err := atscale.WorkloadByName("bc-urand")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("bc-urand walk outcomes by graph scale (4KB pages):")
+	fmt.Printf("%-8s %-10s %10s %9s %11s %9s\n",
+		"scale", "footprint", "initiated", "retired", "wrong-path", "aborted")
+	for _, scale := range []uint64{14, 16, 18, 20} {
+		m, err := atscale.NewMachine(atscale.DefaultSystem(), atscale.Page4K, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := spec.Build(m, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := m.Counters()
+		inst.Run(1_000_000)
+		metrics := atscale.ComputeMetrics(atscale.CounterDelta(start, m.Counters()))
+		o := metrics.Outcomes
+		ret, wp, ab := o.Fractions()
+		fmt.Printf("%-8d %-10d %10d %8.1f%% %10.1f%% %8.1f%%\n",
+			scale, m.Footprint()>>20, o.Initiated, 100*ret, 100*wp, 100*ab)
+	}
+	fmt.Println("\nfootprint in MB. Wrong path = completed - retired; aborted =")
+	fmt.Println("initiated - completed (Table VI).")
+}

@@ -1,0 +1,3 @@
+module atscale
+
+go 1.24

@@ -1,0 +1,197 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeBytes(t *testing.T) {
+	cases := []struct {
+		ps   PageSize
+		want uint64
+	}{
+		{Page4K, 4 * KB},
+		{Page2M, 2 * MB},
+		{Page1G, 1 * GB},
+	}
+	for _, c := range cases {
+		if got := c.ps.Bytes(); got != c.want {
+			t.Errorf("%v.Bytes() = %d, want %d", c.ps, got, c.want)
+		}
+		if got := c.ps.Mask(); got != c.want-1 {
+			t.Errorf("%v.Mask() = %#x, want %#x", c.ps, got, c.want-1)
+		}
+	}
+}
+
+func TestPageSizeWalkLength(t *testing.T) {
+	if got := Page4K.WalkLength(); got != 4 {
+		t.Errorf("4K walk length = %d, want 4", got)
+	}
+	if got := Page2M.WalkLength(); got != 3 {
+		t.Errorf("2M walk length = %d, want 3", got)
+	}
+	if got := Page1G.WalkLength(); got != 2 {
+		t.Errorf("1G walk length = %d, want 2", got)
+	}
+}
+
+func TestPageSizeLeafLevel(t *testing.T) {
+	if Page4K.LeafLevel() != LevelPT || Page2M.LeafLevel() != LevelPD || Page1G.LeafLevel() != LevelPDPT {
+		t.Errorf("leaf levels wrong: %v %v %v", Page4K.LeafLevel(), Page2M.LeafLevel(), Page1G.LeafLevel())
+	}
+}
+
+func TestPageSizeStringRoundTrip(t *testing.T) {
+	for ps := Page4K; ps < NumPageSizes; ps++ {
+		got, err := ParsePageSize(ps.String())
+		if err != nil || got != ps {
+			t.Errorf("ParsePageSize(%q) = %v, %v", ps.String(), got, err)
+		}
+	}
+	if _, err := ParsePageSize("8KB"); err == nil {
+		t.Error("ParsePageSize(8KB) should fail")
+	}
+}
+
+func TestLevelIndex(t *testing.T) {
+	// A VA with known per-level indices:
+	// PML4=1, PDPT=2, PD=3, PT=4, offset=5.
+	va := VAddr(uint64(1)<<39 | uint64(2)<<30 | uint64(3)<<21 | uint64(4)<<12 | 5)
+	if got := LevelPML4.Index(va); got != 1 {
+		t.Errorf("PML4 index = %d, want 1", got)
+	}
+	if got := LevelPDPT.Index(va); got != 2 {
+		t.Errorf("PDPT index = %d, want 2", got)
+	}
+	if got := LevelPD.Index(va); got != 3 {
+		t.Errorf("PD index = %d, want 3", got)
+	}
+	if got := LevelPT.Index(va); got != 4 {
+		t.Errorf("PT index = %d, want 4", got)
+	}
+}
+
+func TestLevelPrefixNests(t *testing.T) {
+	// Prefixes must nest: the PML4 prefix is a suffix-truncation of the
+	// PDPT prefix, and so on.
+	check := func(raw uint64) bool {
+		va := VAddr(raw & ((1 << VABits) - 1))
+		p1 := LevelPT.Prefix(va)
+		p2 := LevelPD.Prefix(va)
+		p3 := LevelPDPT.Prefix(va)
+		p4 := LevelPML4.Prefix(va)
+		return p1>>RadixBits == p2 && p2>>RadixBits == p3 && p3>>RadixBits == p4
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexReconstruction(t *testing.T) {
+	// The four indices plus offset must reconstruct the VA.
+	check := func(raw uint64) bool {
+		va := VAddr(raw & ((1 << VABits) - 1))
+		rebuilt := LevelPML4.Index(va)<<39 | LevelPDPT.Index(va)<<30 |
+			LevelPD.Index(va)<<21 | LevelPT.Index(va)<<12 | uint64(va)&0xFFF
+		return VAddr(rebuilt) == va
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if AlignUp(0, 4096) != 0 || AlignUp(1, 4096) != 4096 || AlignUp(4096, 4096) != 4096 {
+		t.Error("AlignUp wrong")
+	}
+	if AlignDown(4095, 4096) != 0 || AlignDown(4096, 4096) != 4096 {
+		t.Error("AlignDown wrong")
+	}
+	if !IsAligned(8192, 4096) || IsAligned(4097, 4096) {
+		t.Error("IsAligned wrong")
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	check := func(n uint32, shift uint8) bool {
+		align := uint64(1) << (shift % 31)
+		u := AlignUp(uint64(n), align)
+		d := AlignDown(uint64(n), align)
+		return u >= uint64(n) && d <= uint64(n) && IsAligned(u, align) &&
+			IsAligned(d, align) && u-d < 2*align
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageBase(t *testing.T) {
+	va := VAddr(0x12345678)
+	if PageBase(va, Page4K) != 0x12345000 {
+		t.Errorf("PageBase 4K = %#x", uint64(PageBase(va, Page4K)))
+	}
+	if PageBase(va, Page2M) != 0x12200000 {
+		t.Errorf("PageBase 2M = %#x", uint64(PageBase(va, Page2M)))
+	}
+	if PageBase(va, Page1G) != 0 {
+		t.Errorf("PageBase 1G = %#x", uint64(PageBase(va, Page1G)))
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if !Canonical(VAddr(1<<47)) || Canonical(VAddr(1<<48)) {
+		t.Error("Canonical boundary wrong")
+	}
+}
+
+func TestDefaultSystemValidates(t *testing.T) {
+	cfg := DefaultSystem()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultSystem invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadGeometry(t *testing.T) {
+	cfg := DefaultSystem()
+	cfg.STLB.Ways = 3 // 1024/3 not integral
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for non-divisible STLB ways")
+	}
+
+	cfg = DefaultSystem()
+	cfg.L1D.SizeBytes = 3*KB + 32 // not line-divisible
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for non-line-divisible L1D size")
+	}
+
+	cfg = DefaultSystem()
+	cfg.DRAMLatency = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for zero DRAM latency")
+	}
+
+	cfg = DefaultSystem()
+	cfg.CPU.BaseCPI = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for zero BaseCPI")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{512, "512B"},
+		{4 * KB, "4.0KB"},
+		{256 * MB, "256.0MB"},
+		{3 * GB / 2, "1.5GB"},
+		{2 * TB, "2.0TB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

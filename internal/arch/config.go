@@ -1,0 +1,257 @@
+package arch
+
+// TLBGeometry describes one TLB array.
+type TLBGeometry struct {
+	Entries int // total entries; 0 disables the array
+	Ways    int // associativity; Ways == Entries means fully associative
+}
+
+// ReplacementPolicy selects a cache's victim-selection policy.
+type ReplacementPolicy string
+
+// Supported replacement policies.
+const (
+	// ReplaceLRU is true least-recently-used (the default).
+	ReplaceLRU ReplacementPolicy = "lru"
+	// ReplaceRandom evicts a pseudo-random way.
+	ReplaceRandom ReplacementPolicy = "random"
+	// ReplaceNRU is not-recently-used (one reference bit per line,
+	// cleared in bulk when a set saturates) — the cheap hardware
+	// approximation many LLCs ship.
+	ReplaceNRU ReplacementPolicy = "nru"
+)
+
+// CacheGeometry describes one level of the data-cache hierarchy.
+type CacheGeometry struct {
+	SizeBytes int    // total capacity
+	Ways      int    // associativity
+	Latency   uint64 // load-to-use latency in cycles
+	// Replacement selects the victim policy; empty means LRU.
+	Replacement ReplacementPolicy
+}
+
+// CPUParams collects the timing and speculation parameters of the core
+// model. They are deliberately coarse: the goal is a first-order model whose
+// *relative* behaviour across footprints and page sizes matches hardware,
+// not a cycle-accurate Haswell.
+type CPUParams struct {
+	// BaseCPI is the cycles charged per instruction for everything other
+	// than memory stalls (issue bandwidth, ALU work, L1 hits).
+	BaseCPI float64
+	// STLBHitLatency is the extra lookup latency of an L2 TLB hit over an
+	// L1 TLB hit (the paper cites 8 cycles on Haswell).
+	STLBHitLatency uint64
+	// STLBHitVisibility is the fraction of STLBHitLatency that shows up on
+	// the critical path (OoO hides most of it).
+	STLBHitVisibility float64
+	// MemVisibility is the fraction of data-cache miss latency beyond L1
+	// that shows up on the critical path.
+	MemVisibility float64
+	// WalkVisibility is the fraction of page-walk latency that shows up on
+	// the critical path (walks serialize dependent loads; hard to hide).
+	WalkVisibility float64
+	// PipelineDepth is the minimum branch misprediction resolve latency.
+	PipelineDepth uint64
+	// IssueWidth bounds how many wrong-path micro-ops issue per cycle
+	// during a speculation window.
+	IssueWidth float64
+	// MaxWrongPathAccesses caps the wrong-path memory accesses simulated
+	// per misprediction episode (ROB-size bound).
+	MaxWrongPathAccesses int
+	// GsharePCBits sizes the branch predictor's history table (2^bits
+	// two-bit counters).
+	GsharePCBits uint
+	// StoreBufferSize is how many recent stores are tracked for
+	// memory-ordering / 4K-aliasing machine clears.
+	StoreBufferSize int
+	// ClearProbability is the probability that a detected 4K-aliasing or
+	// ordering conflict escalates into a machine clear.
+	ClearProbability float64
+	// WrongPathNearFraction is the fraction of wrong-path addresses drawn
+	// as strides off recent accesses; most of the rest revisit recent
+	// addresses exactly.
+	WrongPathNearFraction float64
+	// WrongPathWildFraction is the small tail of wrong-path addresses
+	// that are garbage pointers (walk, fault, suppressed).
+	WrongPathWildFraction float64
+	// WrongPathMaxStride bounds the byte offset applied to a recent
+	// address when synthesizing a near wrong-path access.
+	WrongPathMaxStride uint64
+}
+
+// PSCGeometry sizes the paging-structure caches (one per non-leaf level).
+type PSCGeometry struct {
+	PML5Entries int // caches PML5Es (5-level paging only), tagged by VA[56:48]
+	PML4Entries int // caches PML4Es, tagged by VA[47:39]
+	PDPTEntries int // caches PDPTEs, tagged by VA[47:30]
+	PDEntries   int // caches PDEs, tagged by VA[47:21]
+}
+
+// SystemConfig describes the whole simulated machine. The zero value is not
+// usable; start from DefaultSystem().
+type SystemConfig struct {
+	// Name labels the configuration in reports.
+	Name string
+
+	// L1TLB holds the first-level TLB geometry per page size
+	// (indexed by PageSize).
+	L1TLB [NumPageSizes]TLBGeometry
+	// STLB is the unified second-level TLB shared by 4 KB and 2 MB
+	// translations. 1 GB translations are not cached in the STLB
+	// (as on Haswell).
+	STLB TLBGeometry
+	// STLBHolds1G selects whether 1 GB entries may live in the STLB.
+	STLBHolds1G bool
+
+	// PagingLevels selects 4-level (48-bit VA) or 5-level (LA57, 57-bit
+	// VA) radix page tables.
+	PagingLevels int
+
+	// PageTable selects the page-table organization: "radix" (default,
+	// x86-64) or "hashed" (the alternative-structure extension; 4 KB
+	// heap policy only, paging-structure caches unused).
+	PageTable string
+
+	// PSC sizes the paging-structure caches.
+	PSC PSCGeometry
+
+	// TLBPrefetchNextPage enables the research-extension next-page TLB
+	// prefetcher: each demand walk for page P also walks P+1 and
+	// installs the result into the STLB (Vavouliotis et al. style
+	// sequential TLB prefetching).
+	TLBPrefetchNextPage bool
+
+	// L1D, L2, L3 describe the data-cache hierarchy the walker and demand
+	// accesses share.
+	L1D, L2, L3 CacheGeometry
+	// DRAMLatency is the cycle cost of a miss in all cache levels.
+	DRAMLatency uint64
+
+	// PhysMemBytes bounds the simulated physical memory.
+	PhysMemBytes uint64
+
+	// CPU holds the core timing/speculation parameters.
+	CPU CPUParams
+}
+
+// DefaultSystem returns the simulated equivalent of the paper's Table III
+// machine: one socket's worth of an Intel Xeon E5-2680 v3 (Haswell-EP)
+// memory system.
+//
+// TLB and cache geometry follow Table III; the paging-structure-cache sizes
+// follow the RevAnC reverse-engineering of Haswell; latencies follow the
+// 7-cpu Haswell tables the paper cites.
+func DefaultSystem() SystemConfig {
+	return SystemConfig{
+		Name: "haswell-ep-sim",
+		L1TLB: [NumPageSizes]TLBGeometry{
+			Page4K: {Entries: 64, Ways: 4},
+			Page2M: {Entries: 32, Ways: 4},
+			Page1G: {Entries: 4, Ways: 4}, // fully associative
+		},
+		STLB:         TLBGeometry{Entries: 1024, Ways: 8},
+		STLBHolds1G:  false,
+		PagingLevels: 4,
+		PSC: PSCGeometry{
+			PML5Entries: 2,
+			PML4Entries: 2,
+			PDPTEntries: 4,
+			PDEntries:   24,
+		},
+		L1D:          CacheGeometry{SizeBytes: 32 * KB, Ways: 8, Latency: 4},
+		L2:           CacheGeometry{SizeBytes: 256 * KB, Ways: 8, Latency: 12},
+		L3:           CacheGeometry{SizeBytes: 30 * MB, Ways: 20, Latency: 38},
+		DRAMLatency:  210,
+		PhysMemBytes: 64 * GB,
+		CPU: CPUParams{
+			BaseCPI:               0.45,
+			STLBHitLatency:        8,
+			STLBHitVisibility:     0.25,
+			MemVisibility:         0.35,
+			WalkVisibility:        0.75,
+			PipelineDepth:         16,
+			IssueWidth:            1.0,
+			MaxWrongPathAccesses:  48,
+			GsharePCBits:          14,
+			StoreBufferSize:       42,
+			ClearProbability:      0.03,
+			WrongPathNearFraction: 0.988,
+			WrongPathWildFraction: 0.002,
+			WrongPathMaxStride:    4 * KB,
+		},
+	}
+}
+
+// Validate reports configuration errors that would make the simulated
+// machine unbuildable (zero ways, non-power-of-two set counts, etc.).
+func (c *SystemConfig) Validate() error {
+	for ps := Page4K; ps < NumPageSizes; ps++ {
+		if err := c.L1TLB[ps].validate("L1TLB[" + ps.String() + "]"); err != nil {
+			return err
+		}
+	}
+	if err := c.STLB.validate("STLB"); err != nil {
+		return err
+	}
+	for _, cg := range []struct {
+		name string
+		g    CacheGeometry
+	}{{"L1D", c.L1D}, {"L2", c.L2}, {"L3", c.L3}} {
+		if err := cg.g.validate(cg.name); err != nil {
+			return err
+		}
+	}
+	if c.DRAMLatency == 0 {
+		return errf("DRAMLatency must be positive")
+	}
+	if c.PhysMemBytes < GB {
+		return errf("PhysMemBytes %d too small (need >= 1GB)", c.PhysMemBytes)
+	}
+	if c.CPU.BaseCPI <= 0 {
+		return errf("CPU.BaseCPI must be positive")
+	}
+	if c.CPU.IssueWidth <= 0 {
+		return errf("CPU.IssueWidth must be positive")
+	}
+	if c.PagingLevels != 4 && c.PagingLevels != 5 {
+		return errf("PagingLevels must be 4 or 5, got %d", c.PagingLevels)
+	}
+	switch c.PageTable {
+	case "", "radix", "hashed":
+	default:
+		return errf("PageTable must be \"radix\" or \"hashed\", got %q", c.PageTable)
+	}
+	if c.PageTable == "hashed" && c.PagingLevels != 4 {
+		return errf("hashed page tables pair with PagingLevels=4")
+	}
+	return nil
+}
+
+func (g TLBGeometry) validate(name string) error {
+	if g.Entries == 0 {
+		return nil // disabled array is legal
+	}
+	if g.Ways <= 0 || g.Entries%g.Ways != 0 {
+		return errf("%s: entries %d not divisible by ways %d", name, g.Entries, g.Ways)
+	}
+	return nil
+}
+
+func (g CacheGeometry) validate(name string) error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 {
+		return errf("%s: size and ways must be positive", name)
+	}
+	lines := g.SizeBytes / CacheLineSize
+	if g.SizeBytes%CacheLineSize != 0 || lines%g.Ways != 0 {
+		return errf("%s: size %d not divisible into %d-way line sets", name, g.SizeBytes, g.Ways)
+	}
+	if g.Latency == 0 {
+		return errf("%s: latency must be positive", name)
+	}
+	switch g.Replacement {
+	case "", ReplaceLRU, ReplaceRandom, ReplaceNRU:
+	default:
+		return errf("%s: unknown replacement policy %q", name, g.Replacement)
+	}
+	return nil
+}

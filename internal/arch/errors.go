@@ -1,0 +1,7 @@
+package arch
+
+import "fmt"
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("arch: "+format, args...)
+}

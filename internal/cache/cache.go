@@ -1,0 +1,259 @@
+// Package cache models the data-cache hierarchy of the simulated machine.
+// Demand accesses and page-table-walker loads share the same arrays, so
+// PTEs compete with program data for capacity — the interaction behind the
+// paper's PTE-hotness results (Fig. 8) and the mcf "PTEs outcompete data"
+// anomaly (§V-C).
+//
+// Caches are set-associative with true LRU. Only presence is modelled (no
+// data movement): a line address either hits or misses, and the hierarchy
+// converts the first hit level into a load-to-use latency.
+package cache
+
+import (
+	"math"
+
+	"atscale/internal/arch"
+)
+
+// invalidTag marks an empty way.
+const invalidTag = math.MaxUint64
+
+// Cache is one set-associative level. Line addresses are physical addresses
+// shifted right by the cache-line shift; the caller does the shifting once
+// so all three levels share it.
+type Cache struct {
+	sets    int
+	ways    int
+	latency uint64
+	policy  arch.ReplacementPolicy
+
+	tags []uint64
+	// stamp carries the policy's recency state: an LRU timestamp, or an
+	// NRU reference bit.
+	stamp []uint64
+	clock uint64
+	// rng is the random policy's xorshift state.
+	rng uint64
+}
+
+// New builds a cache from its geometry.
+func New(g arch.CacheGeometry) *Cache {
+	lines := g.SizeBytes / arch.CacheLineSize
+	sets := lines / g.Ways
+	policy := g.Replacement
+	if policy == "" {
+		policy = arch.ReplaceLRU
+	}
+	c := &Cache{
+		sets:    sets,
+		ways:    g.Ways,
+		latency: g.Latency,
+		policy:  policy,
+		tags:    make([]uint64, lines),
+		stamp:   make([]uint64, lines),
+		rng:     0x853C49E6748FEA9B,
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
+}
+
+// Latency returns the level's load-to-use latency in cycles.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+// touch refreshes a way's recency state on a reference.
+func (c *Cache) touch(i uint64) {
+	switch c.policy {
+	case arch.ReplaceNRU:
+		c.stamp[i] = 1
+	default: // LRU and random both keep timestamps (random ignores them)
+		c.stamp[i] = c.clock
+	}
+}
+
+// Lookup probes for the line and refreshes its recency state on a hit. It
+// does not allocate on a miss (the hierarchy decides fills).
+func (c *Cache) Lookup(line uint64) bool {
+	base := (line % uint64(c.sets)) * uint64(c.ways)
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == line {
+			c.touch(base + uint64(w))
+			return true
+		}
+	}
+	return false
+}
+
+// victim picks the way to evict in a full set starting at base.
+func (c *Cache) victim(base uint64) uint64 {
+	switch c.policy {
+	case arch.ReplaceRandom:
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return base + c.rng%uint64(c.ways)
+	case arch.ReplaceNRU:
+		for w := 0; w < c.ways; w++ {
+			if c.stamp[base+uint64(w)] == 0 {
+				return base + uint64(w)
+			}
+		}
+		// All referenced: clear the set's bits and take way 0.
+		for w := 0; w < c.ways; w++ {
+			c.stamp[base+uint64(w)] = 0
+		}
+		return base
+	default: // LRU
+		victim := base
+		oldest := uint64(math.MaxUint64)
+		for w := 0; w < c.ways; w++ {
+			if s := c.stamp[base+uint64(w)]; s < oldest {
+				victim, oldest = base+uint64(w), s
+			}
+		}
+		return victim
+	}
+}
+
+// Fill inserts the line, evicting a victim if the set is full. Filling a
+// line that is already present only refreshes its recency state.
+func (c *Cache) Fill(line uint64) {
+	base := (line % uint64(c.sets)) * uint64(c.ways)
+	c.clock++
+	empty := int64(-1)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.tags[i] == line {
+			c.touch(i)
+			return
+		}
+		if c.tags[i] == invalidTag && empty < 0 {
+			empty = int64(i)
+		}
+	}
+	i := uint64(empty)
+	if empty < 0 {
+		i = c.victim(base)
+	}
+	c.tags[i] = line
+	c.touch(i)
+}
+
+// Invalidate removes the line if present.
+func (c *Cache) Invalidate(line uint64) {
+	base := (line % uint64(c.sets)) * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == line {
+			c.tags[base+uint64(w)] = invalidTag
+			c.stamp[base+uint64(w)] = 0
+			return
+		}
+	}
+}
+
+// Contains probes without touching LRU state (test/debug helper).
+func (c *Cache) Contains(line uint64) bool {
+	base := (line % uint64(c.sets)) * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+uint64(w)] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// HitLoc identifies where in the hierarchy an access was satisfied. The
+// names mirror the Haswell PAGE_WALKER_LOADS.DTLB_* event suffixes.
+type HitLoc uint8
+
+const (
+	// HitL1 means the line was found in the L1 data cache.
+	HitL1 HitLoc = iota
+	// HitL2 means the line was found in the L2 cache.
+	HitL2
+	// HitL3 means the line was found in the shared L3 cache.
+	HitL3
+	// HitMem means the access went to DRAM.
+	HitMem
+	// NumHitLocs is the number of hit locations.
+	NumHitLocs
+)
+
+// String implements fmt.Stringer.
+func (h HitLoc) String() string {
+	switch h {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitL3:
+		return "L3"
+	case HitMem:
+		return "Memory"
+	}
+	return "?"
+}
+
+// Hierarchy is the three-level cache stack plus DRAM.
+type Hierarchy struct {
+	l1, l2, l3 *Cache
+	dram       uint64
+}
+
+// NewHierarchy builds the hierarchy described by cfg.
+func NewHierarchy(cfg *arch.SystemConfig) *Hierarchy {
+	return &Hierarchy{
+		l1:   New(cfg.L1D),
+		l2:   New(cfg.L2),
+		l3:   New(cfg.L3),
+		dram: cfg.DRAMLatency,
+	}
+}
+
+// Access performs a load of the line containing pa: it returns the
+// load-to-use latency and the level that satisfied it, then fills the line
+// into every level above the hit (mostly-inclusive, as on Haswell).
+func (h *Hierarchy) Access(pa arch.PAddr) (latency uint64, loc HitLoc) {
+	line := uint64(pa) >> 6 // arch.CacheLineSize == 64
+	switch {
+	case h.l1.Lookup(line):
+		return h.l1.latency, HitL1
+	case h.l2.Lookup(line):
+		h.l1.Fill(line)
+		return h.l2.latency, HitL2
+	case h.l3.Lookup(line):
+		h.l1.Fill(line)
+		h.l2.Fill(line)
+		return h.l3.latency, HitL3
+	default:
+		h.l1.Fill(line)
+		h.l2.Fill(line)
+		h.l3.Fill(line)
+		return h.dram, HitMem
+	}
+}
+
+// Latency returns the load-to-use latency of the given hit location.
+func (h *Hierarchy) Latency(loc HitLoc) uint64 {
+	switch loc {
+	case HitL1:
+		return h.l1.latency
+	case HitL2:
+		return h.l2.latency
+	case HitL3:
+		return h.l3.latency
+	default:
+		return h.dram
+	}
+}
+
+// L1 exposes the first-level cache (test/debug helper).
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 exposes the second-level cache (test/debug helper).
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// L3 exposes the last-level cache (test/debug helper).
+func (h *Hierarchy) L3() *Cache { return h.l3 }

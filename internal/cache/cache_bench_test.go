@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+func BenchmarkAccessHot(b *testing.B) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	h.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0x1000)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(arch.PAddr(uint64(i) * 64))
+	}
+}
+
+func BenchmarkAccessThrashL3(b *testing.B) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	// 2x the L3 working set, random-ish stride.
+	lines := uint64(2 * cfg.L3.SizeBytes / 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(arch.PAddr((uint64(i) * 0x9E3779B9 % lines) * 64))
+	}
+}

@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atscale/internal/arch"
+)
+
+func smallGeom(sizeKB, ways int) arch.CacheGeometry {
+	return arch.CacheGeometry{SizeBytes: sizeKB * arch.KB, Ways: ways, Latency: 4}
+}
+
+func TestFillThenLookupHits(t *testing.T) {
+	c := New(smallGeom(4, 4)) // 64 lines, 16 sets
+	for line := uint64(0); line < 16; line++ {
+		c.Fill(line)
+		if !c.Lookup(line) {
+			t.Fatalf("line %d missing right after fill", line)
+		}
+	}
+}
+
+func TestLookupDoesNotAllocate(t *testing.T) {
+	c := New(smallGeom(4, 4))
+	if c.Lookup(99) {
+		t.Fatal("empty cache hit")
+	}
+	if c.Contains(99) {
+		t.Fatal("Lookup allocated the line")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(smallGeom(1, 4)) // 16 lines, 4 sets; same set = line % 4
+	// Fill 4 conflicting lines into set 0: 0, 4, 8, 12.
+	for _, l := range []uint64{0, 4, 8, 12} {
+		c.Fill(l)
+	}
+	// Touch 0 so 4 becomes LRU.
+	if !c.Lookup(0) {
+		t.Fatal("line 0 missing")
+	}
+	c.Fill(16) // conflicts; must evict 4
+	if c.Contains(4) {
+		t.Error("LRU line 4 survived eviction")
+	}
+	for _, l := range []uint64{0, 8, 12, 16} {
+		if !c.Contains(l) {
+			t.Errorf("line %d wrongly evicted", l)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(smallGeom(1, 4))
+	c.Fill(5)
+	c.Invalidate(5)
+	if c.Contains(5) {
+		t.Error("line survived invalidate")
+	}
+	c.Invalidate(5) // idempotent
+}
+
+func TestSetCapacityNeverExceeded(t *testing.T) {
+	c := New(smallGeom(1, 2)) // 16 lines, 8 sets, 2 ways
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		c.Fill(rng.Uint64() % 1024)
+	}
+	// Count live lines per set.
+	perSet := map[uint64]int{}
+	for l := uint64(0); l < 1024; l++ {
+		if c.Contains(l) {
+			perSet[l%8]++
+		}
+	}
+	for set, n := range perSet {
+		if n > 2 {
+			t.Errorf("set %d holds %d lines, ways=2", set, n)
+		}
+	}
+}
+
+func TestRefillRefreshesInsteadOfDuplicating(t *testing.T) {
+	c := New(smallGeom(1, 4))
+	c.Fill(0)
+	c.Fill(0)
+	c.Fill(0)
+	// The set must still have room for 3 more distinct lines.
+	c.Fill(4)
+	c.Fill(8)
+	c.Fill(12)
+	for _, l := range []uint64{0, 4, 8, 12} {
+		if !c.Contains(l) {
+			t.Errorf("line %d missing; duplicate fill consumed ways", l)
+		}
+	}
+}
+
+func TestWorkingSetSmallerThanCacheAlwaysHits(t *testing.T) {
+	// Property: after a warmup pass, a working set that fits entirely in
+	// the cache never misses, regardless of access order.
+	check := func(seed int64) bool {
+		c := New(smallGeom(4, 4)) // 64 lines
+		rng := rand.New(rand.NewSource(seed))
+		ws := make([]uint64, 48) // 48 distinct lines < 64, spread across sets
+		for i := range ws {
+			ws[i] = uint64(i)
+		}
+		for _, l := range ws {
+			c.Fill(l)
+		}
+		for i := 0; i < 2000; i++ {
+			if !c.Lookup(ws[rng.Intn(len(ws))]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestHierarchy() *Hierarchy {
+	cfg := arch.DefaultSystem()
+	cfg.L1D = smallGeom(1, 4)                                                  // 16 lines
+	cfg.L2 = arch.CacheGeometry{SizeBytes: 4 * arch.KB, Ways: 4, Latency: 12}  // 64 lines
+	cfg.L3 = arch.CacheGeometry{SizeBytes: 16 * arch.KB, Ways: 8, Latency: 38} // 256 lines
+	return NewHierarchy(&cfg)
+}
+
+func TestHierarchyMissThenHit(t *testing.T) {
+	h := newTestHierarchy()
+	lat, loc := h.Access(0x1000)
+	if loc != HitMem || lat != 210 {
+		t.Fatalf("cold access = %d,%v; want 210,Memory", lat, loc)
+	}
+	lat, loc = h.Access(0x1008) // same line
+	if loc != HitL1 || lat != 4 {
+		t.Fatalf("warm access = %d,%v; want 4,L1", lat, loc)
+	}
+}
+
+func TestHierarchyFillOnHitPromotes(t *testing.T) {
+	h := newTestHierarchy()
+	h.Access(0x1000) // now in all levels
+	// Evict from L1 by filling its set (set = line % 4... line 0x40).
+	line := uint64(0x1000) >> 6
+	set := line % 4
+	filled := 0
+	for l := uint64(0); filled < 4; l++ {
+		if l != line && l%4 == set {
+			h.L1().Fill(l)
+			filled++
+		}
+	}
+	if h.L1().Contains(line) {
+		t.Fatal("line still in L1 after conflict fills")
+	}
+	lat, loc := h.Access(0x1000)
+	if loc != HitL2 || lat != 12 {
+		t.Fatalf("L2 access = %d,%v; want 12,L2", lat, loc)
+	}
+	if !h.L1().Contains(line) {
+		t.Error("L2 hit did not refill L1")
+	}
+}
+
+func TestHierarchyLatencyMonotone(t *testing.T) {
+	h := newTestHierarchy()
+	if !(h.Latency(HitL1) < h.Latency(HitL2) &&
+		h.Latency(HitL2) < h.Latency(HitL3) &&
+		h.Latency(HitL3) < h.Latency(HitMem)) {
+		t.Error("latencies not monotone across levels")
+	}
+}
+
+func TestHitLocString(t *testing.T) {
+	want := map[HitLoc]string{HitL1: "L1", HitL2: "L2", HitL3: "L3", HitMem: "Memory"}
+	for loc, s := range want {
+		if loc.String() != s {
+			t.Errorf("%d.String() = %q, want %q", loc, loc.String(), s)
+		}
+	}
+}
+
+func TestHierarchyStreamLargerThanL3MissesOften(t *testing.T) {
+	h := newTestHierarchy() // L3 = 256 lines
+	misses := 0
+	const N = 4096
+	for i := 0; i < N; i++ {
+		_, loc := h.Access(arch.PAddr(i * 64))
+		if loc == HitMem {
+			misses++
+		}
+	}
+	if misses != N {
+		t.Errorf("streaming pass: %d/%d memory hits, want all (no reuse)", misses, N)
+	}
+	// Second pass over a window larger than L3 still misses (LRU thrash).
+	misses = 0
+	for i := 0; i < N; i++ {
+		_, loc := h.Access(arch.PAddr(i * 64))
+		if loc == HitMem {
+			misses++
+		}
+	}
+	if misses != N {
+		t.Errorf("second streaming pass: %d/%d memory hits, want all", misses, N)
+	}
+}

@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+// goldenCacheSet is a reference LRU set ordered most-recent-first.
+type goldenCacheSet struct {
+	ways  int
+	lines []uint64
+}
+
+func (g *goldenCacheSet) lookup(line uint64) bool {
+	for i, l := range g.lines {
+		if l == line {
+			copy(g.lines[1:i+1], g.lines[:i])
+			g.lines[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+func (g *goldenCacheSet) fill(line uint64) {
+	if g.lookup(line) {
+		return
+	}
+	if len(g.lines) == g.ways {
+		g.lines = g.lines[:g.ways-1]
+	}
+	g.lines = append([]uint64{line}, g.lines...)
+}
+
+// TestCacheMatchesGoldenLRU cross-checks the production set-associative
+// cache against the reference model over a random Lookup/Fill/Invalidate
+// stream.
+func TestCacheMatchesGoldenLRU(t *testing.T) {
+	g := arch.CacheGeometry{SizeBytes: 4 * arch.KB, Ways: 4, Latency: 4} // 16 sets
+	c := New(g)
+	sets := g.SizeBytes / arch.CacheLineSize / g.Ways
+	golden := make([]goldenCacheSet, sets)
+	for i := range golden {
+		golden[i] = goldenCacheSet{ways: g.Ways}
+	}
+	rng := rand.New(rand.NewSource(77))
+	const lines = 128
+	for op := 0; op < 300000; op++ {
+		line := uint64(rng.Intn(lines))
+		set := line % uint64(sets)
+		switch rng.Intn(4) {
+		case 0, 1:
+			if got, want := c.Lookup(line), golden[set].lookup(line); got != want {
+				t.Fatalf("op %d: Lookup(%d) = %v, golden %v", op, line, got, want)
+			}
+		case 2:
+			c.Fill(line)
+			golden[set].fill(line)
+		default:
+			c.Invalidate(line)
+			gl := &golden[set]
+			for i, l := range gl.lines {
+				if l == line {
+					gl.lines = append(gl.lines[:i], gl.lines[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}

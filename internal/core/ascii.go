@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders stacked-band distributions (the paper's Figures 7
+// and 8 are band charts) as aligned ASCII bars, so the CLI output
+// resembles the figures rather than just tabulating them.
+
+// bandGlyphs paints each band of a stacked bar with a distinct fill.
+var bandGlyphs = []rune{'#', 'x', '-', '.', ' '}
+
+// BandBar renders fractions (summing to <= 1) as one width-character
+// stacked bar, e.g. "#####xxx--......".
+func BandBar(fractions []float64, width int) string {
+	var b strings.Builder
+	used := 0
+	for i, frac := range fractions {
+		if frac < 0 {
+			frac = 0
+		}
+		n := int(frac*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		g := bandGlyphs[min(i, len(bandGlyphs)-1)]
+		for j := 0; j < n; j++ {
+			b.WriteRune(g)
+		}
+		used += n
+	}
+	for used < width {
+		b.WriteByte(' ')
+		used++
+	}
+	return b.String()
+}
+
+// BandChart renders one stacked bar per row with a label column and a
+// legend, the text analogue of the paper's band figures.
+func BandChart(title string, legend []string, labels []string, rows [][]float64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, row := range rows {
+		fmt.Fprintf(&b, "  %-*s |%s|\n", labelW, labels[i], BandBar(row, width))
+	}
+	b.WriteString("  legend: ")
+	for i, name := range legend {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", bandGlyphs[min(i, len(bandGlyphs)-1)], name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandBarWidths(t *testing.T) {
+	bar := BandBar([]float64{0.5, 0.3, 0.2}, 10)
+	if len(bar) != 10 {
+		t.Fatalf("bar width %d, want 10", len(bar))
+	}
+	if bar != "#####xxx--" {
+		t.Errorf("bar = %q", bar)
+	}
+}
+
+func TestBandBarNeverOverflows(t *testing.T) {
+	check := func(a, b, c float64, w uint8) bool {
+		width := int(w%60) + 1
+		clamp := func(x float64) float64 {
+			if x != x || x < 0 {
+				return 0
+			}
+			if x > 1 {
+				return 1
+			}
+			return x
+		}
+		bar := BandBar([]float64{clamp(a), clamp(b), clamp(c)}, width)
+		return len(bar) == width
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandBarEmpty(t *testing.T) {
+	if bar := BandBar(nil, 8); bar != strings.Repeat(" ", 8) {
+		t.Errorf("empty bar = %q", bar)
+	}
+}
+
+func TestBandChartLayout(t *testing.T) {
+	out := BandChart("title", []string{"a", "b"}, []string{"row1", "longer-row"},
+		[][]float64{{0.9, 0.1}, {0.2, 0.8}}, 20)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "legend: #=a  x=b") {
+		t.Errorf("chart missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	// Bars must align: both rows' '|' at the same column.
+	if strings.Index(lines[1], "|") != strings.Index(lines[2], "|") {
+		t.Errorf("bars misaligned:\n%s", out)
+	}
+}

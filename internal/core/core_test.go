@@ -1,0 +1,275 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/workloads"
+	_ "atscale/internal/workloads/all"
+)
+
+// testConfig keeps core tests fast: tiny ladder, small measured regions.
+func testConfig() RunConfig {
+	cfg := DefaultRunConfig()
+	cfg.Preset = workloads.Tiny
+	cfg.Budget = 120_000
+	return cfg
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	cfg := testConfig()
+	spec, err := workloads.ByName("bfs-urand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(&cfg, spec, 12, arch.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Footprint == 0 || r.Metrics.Instructions == 0 || r.Metrics.CPI <= 0 {
+		t.Errorf("degenerate run result: %+v", r.Metrics)
+	}
+	if r.Workload != "bfs-urand" || r.PageSize != arch.Page4K {
+		t.Errorf("metadata wrong: %s %v", r.Workload, r.PageSize)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := testConfig()
+	spec, _ := workloads.ByName("mcf-rand")
+	a, err := Run(&cfg, spec, 1<<12, arch.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(&cfg, spec, 1<<12, arch.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters {
+		t.Error("identical runs differ")
+	}
+}
+
+func TestMeasureOverheadComparable(t *testing.T) {
+	cfg := testConfig()
+	spec, _ := workloads.ByName("uniform-synth")
+	// 256MB uniform random: far beyond TLB reach, so 4K must lose badly
+	// to superpages.
+	p, err := MeasureOverhead(&cfg, spec, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RelOverhead < 0.2 {
+		t.Errorf("uniform-synth@256MB overhead = %v, want substantial (>20%%)", p.RelOverhead)
+	}
+	if p.CPI2M >= p.CPI4K {
+		t.Errorf("2MB CPI %v not better than 4K %v", p.CPI2M, p.CPI4K)
+	}
+}
+
+func TestOverheadBaselinePicksMin(t *testing.T) {
+	cfg := testConfig()
+	spec, _ := workloads.ByName("uniform-synth")
+	// At a footprint below 1GB, the 1GB policy falls back to 4K backing
+	// (§III-B), so the 2MB run must be the baseline.
+	p, err := MeasureOverhead(&cfg, spec, 26) // 64MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPI1G < p.CPI2M {
+		t.Errorf("1G CPI %v beat 2M %v at 64MB, fallback not modelled?", p.CPI1G, p.CPI2M)
+	}
+	base := p.CPI2M
+	want := (p.CPI4K - base) / base
+	if diff := p.RelOverhead - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("RelOverhead %v != computed %v", p.RelOverhead, want)
+	}
+}
+
+func TestSessionMemoizes(t *testing.T) {
+	s := NewSession(testConfig())
+	a, err := s.Sweep("stride-synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sweep("stride-synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("sweep not memoized")
+	}
+	if len(a) != len(mustSpec(t, "stride-synth").Sizes(workloads.Tiny)) {
+		t.Errorf("sweep has %d points", len(a))
+	}
+}
+
+func mustSpec(t *testing.T, name string) *workloads.Spec {
+	t.Helper()
+	s, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPaperWorkloadsExcludeSynthetic(t *testing.T) {
+	for _, s := range PaperWorkloads() {
+		if s.Suite == "synthetic" {
+			t.Errorf("synthetic workload %s in paper set", s.Name())
+		}
+	}
+	if n := len(PaperWorkloads()); n != 13 {
+		t.Errorf("paper workload count = %d, want 13 (Table I)", n)
+	}
+}
+
+func TestFitLogLinearRecovers(t *testing.T) {
+	// Synthetic points on a perfect log-linear relationship.
+	var pts []OverheadPoint
+	for i := 0; i < 8; i++ {
+		fp := uint64(1) << (20 + i)
+		p := OverheadPoint{Footprint: fp}
+		p.RelOverhead = -0.5 + 0.13*p.Log10Footprint()
+		pts = append(pts, p)
+	}
+	fit := FitLogLinear("x", pts)
+	if fit.Err != "" {
+		t.Fatal(fit.Err)
+	}
+	if fit.AdjR2 < 0.999 || fit.Slope < 0.12 || fit.Slope > 0.14 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"tables", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "table4", "table5", "table6"}
+	for _, id := range want {
+		if _, err := ExperimentByID(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if _, err := ExperimentByID("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	want = append(want, "promo", "hashedpt", "xsweep", "stability")
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Experiments()), len(want))
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := NewSession(testConfig())
+	r, err := Tables(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, needle := range []string{"Table I", "Table II", "Table III", "memcached", "kron", "64x4KB"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("inventory missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestSmallExperimentsEndToEnd exercises the session-driven experiments on
+// a single cheap workload by running the ones that only need one sweep.
+func TestSmallExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment run")
+	}
+	s := NewSession(testConfig())
+
+	f2, err := Fig2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Points) == 0 {
+		t.Error("fig2 empty")
+	}
+	if out := f2.Render(); !strings.Contains(out, "fit:") {
+		t.Error("fig2 render missing fit")
+	}
+
+	f5, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Points) == 0 || f5.Points[0].Workload != "bc-urand" {
+		t.Error("fig5 wrong")
+	}
+
+	f8, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f8.Rows {
+		sum := row.L1 + row.L2 + row.L3 + row.Mem
+		if sum > 1.001 || (sum != 0 && sum < 0.999) {
+			t.Errorf("fig8 bands sum to %v", sum)
+		}
+	}
+
+	f9, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f9.Rows) == 0 {
+		t.Error("fig9 empty")
+	}
+
+	f10, err := Fig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f10.Rows {
+		if row.WCPI2M > row.WCPI4K {
+			t.Errorf("fig10 footprint %d: 2MB WCPI %v above 4K %v",
+				row.Footprint, row.WCPI2M, row.WCPI4K)
+		}
+	}
+
+	t6, err := Table6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := t6.Outcomes
+	if o.Retired+o.WrongPath+o.Aborted != o.Initiated {
+		t.Errorf("table6 conservation broken: %+v", o)
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	// Renderers must work on hand-built data without running sweeps.
+	sc := &ScatterResult{Title: "x", Points: []ScatterPoint{{"w", 1 << 20, 0.1, 0.2}}}
+	if !strings.Contains(sc.Render(), "1.0MB") {
+		t.Error("scatter render broken")
+	}
+	ob := &OverheadScaling{Title: "t", ByWorkload: map[string][]OverheadPoint{
+		"w": {{Workload: "w", Footprint: 1 << 30, RelOverhead: 0.5, CPI4K: 1.5, CPI2M: 1.0, CPI1G: 1.0}},
+	}, Workloads: []string{"w"}}
+	if !strings.Contains(ob.Render(), "50.0%") {
+		t.Error("overhead render broken")
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := NewTable("title", "a", "b")
+	tab.Row("x", "y")
+	tab.Row("longer-cell", "z")
+	out := tab.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "longer-cell") {
+		t.Errorf("table render: %s", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv render: %s", csv)
+	}
+	tab2 := NewTable("", "c")
+	tab2.Row(`needs,"quoting"`)
+	if !strings.Contains(tab2.CSV(), `"needs,""quoting"""`) {
+		t.Errorf("csv quoting: %s", tab2.CSV())
+	}
+}

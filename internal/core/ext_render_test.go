@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"atscale/internal/stats"
+)
+
+func TestPromotionRenderRecoveredColumn(t *testing.T) {
+	r := &PromotionResult{Workload: "mcf-rand", Rows: []PromotionRow{{
+		Footprint: 1 << 26,
+		CPI4K:     10, CPIPromo: 7, CPI2M: 6,
+		WCPI4K: 1.0, WCPIPromo: 0.4, WCPI2M: 0.1,
+		Promotions: 12, Recovered: 0.75,
+	}}}
+	out := r.Render()
+	if !strings.Contains(out, "75.0%") || !strings.Contains(out, "64.0MB") {
+		t.Errorf("promotion render missing fields:\n%s", out)
+	}
+	if csv := CSV(r); !strings.Contains(csv, "footprint,") {
+		t.Errorf("promotion CSV missing header:\n%s", csv)
+	}
+}
+
+func TestHashedPTRender(t *testing.T) {
+	r := &HashedPTResult{Workload: "gups-rand", Rows: []HashedPTRow{{
+		Footprint: 1 << 30,
+		CPIRadix:  20, CPIHashed: 22,
+		WCPIRadix: 5, WCPIHashed: 6,
+		WalkCyclesRadix: 70, WalkCyclesHashed: 90,
+		LoadsPerWalkRadix: 1.8, LoadsPerWalkHashed: 1.1,
+	}}}
+	out := r.Render()
+	for _, needle := range []string{"1.0GB", "1.80", "1.10"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("hashedpt render missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestXSweepRender(t *testing.T) {
+	r := &XSweepResult{Rows: []XSweepRow{{
+		Workload: "uniform-synth", Footprint: 1 << 35,
+		WCPI4K: 30, WCPI2M: 2,
+		MissesPerKiloAccess4K: 900, MissesPerKiloAccess2M: 100,
+		AvgWalkCycles4K: 150,
+	}}}
+	out := r.Render()
+	if !strings.Contains(out, "32.0GB") || !strings.Contains(out, "uniform-synth") {
+		t.Errorf("xsweep render:\n%s", out)
+	}
+}
+
+func TestTable5RenderIncludesCI(t *testing.T) {
+	r := &Table5Result{
+		Inter: []MetricCorrelation{{
+			Metric: "Walk cycles per instruction", Pearson: 0.6, Spearman: 0.8,
+			PearsonCI: stats.Interval{Lo: 0.4, Hi: 0.7}, N: 70,
+		}},
+		Intra: []WorkloadSpearman{{Workload: "bc-urand", Spearman: 1, N: 6}},
+	}
+	out := r.Render()
+	if !strings.Contains(out, "[0.400, 0.700]") {
+		t.Errorf("table5 render missing CI:\n%s", out)
+	}
+	if !strings.Contains(out, "bc-urand") {
+		t.Errorf("table5 render missing intra table:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"atscale/internal/arch"
+)
+
+// This file drives the component-breakdown experiments: Figure 6 (every
+// Equation 1 term against footprint for four representative workloads)
+// and Figure 8 (PTE hit-location distribution for pr-kron).
+
+// fig6Workloads are the four workloads §V-C plots.
+var fig6Workloads = []string{"bfs-urand", "mcf-rand", "pr-kron", "tc-kron"}
+
+// ComponentRow is one (workload, size) breakdown: the WCPI product and
+// its four Equation 1 factors.
+type ComponentRow struct {
+	Workload  string
+	Footprint uint64
+
+	WCPI float64
+	// AccessesPerInstr is the program term.
+	AccessesPerInstr float64
+	// MissesPerKiloAccess is the TLB term, scaled per 1000 accesses for
+	// readability (the paper's "TLB misses per access" panel).
+	MissesPerKiloAccess float64
+	// AccessesPerWalk is the MMU-cache term (walker loads per walk).
+	AccessesPerWalk float64
+	// LatencyPerWalkAccess is the cache-hierarchy term (cycles per
+	// walker load).
+	LatencyPerWalkAccess float64
+}
+
+// ComponentBreakdown is Figure 6's dataset.
+type ComponentBreakdown struct {
+	Rows []ComponentRow
+}
+
+// Fig6 computes the Equation 1 breakdown for the four representative
+// workloads.
+func Fig6(s *Session) (*ComponentBreakdown, error) {
+	r := &ComponentBreakdown{}
+	for _, name := range fig6Workloads {
+		pts, err := s.Sweep(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			m := p.M4K
+			r.Rows = append(r.Rows, ComponentRow{
+				Workload:             name,
+				Footprint:            p.Footprint,
+				WCPI:                 m.WCPI,
+				AccessesPerInstr:     m.Eq1.AccessesPerInstruction,
+				MissesPerKiloAccess:  1000 * m.Eq1.TLBMissesPerAccess,
+				AccessesPerWalk:      m.Eq1.WalkerLoadsPerWalk,
+				LatencyPerWalkAccess: m.Eq1.CyclesPerWalkerLoad,
+			})
+		}
+	}
+	return r, nil
+}
+
+// Tables exposes one row per (workload, footprint) with all Eq. 1 terms.
+func (r *ComponentBreakdown) Tables() []*Table {
+	t := NewTable("Fig 6: component-wise WCPI breakdown (Equation 1 terms, 4KB pages)",
+		"workload", "footprint", "WCPI", "accesses/instr", "misses/kacc", "accesses/walk", "lat/walk-access")
+	for _, row := range r.Rows {
+		t.Row(row.Workload, arch.FormatBytes(row.Footprint), f(row.WCPI, 4),
+			f(row.AccessesPerInstr, 3), f(row.MissesPerKiloAccess, 2),
+			f(row.AccessesPerWalk, 3), f(row.LatencyPerWalkAccess, 1))
+	}
+	return []*Table{t}
+}
+
+// Render emits the component breakdown table.
+func (r *ComponentBreakdown) Render() string { return RenderTables(r.Tables(), "") }
+
+// PTELocationRow is one Figure 8 band sample: where walker loads were
+// satisfied at one footprint.
+type PTELocationRow struct {
+	Footprint uint64
+	// L1, L2, L3, Mem are the fractions of walker loads satisfied at
+	// each level (they sum to 1 when any walk happened).
+	L1, L2, L3, Mem float64
+}
+
+// PTELocationResult is Figure 8's dataset.
+type PTELocationResult struct {
+	Workload string
+	Rows     []PTELocationRow
+}
+
+// Fig8 measures the PTE access-location distribution for pr-kron.
+func Fig8(s *Session) (*PTELocationResult, error) {
+	return PTELocationSweep(s, "pr-kron")
+}
+
+// PTELocationSweep computes the Figure 8 bands for any workload.
+func PTELocationSweep(s *Session, workload string) (*PTELocationResult, error) {
+	pts, err := s.Sweep(workload)
+	if err != nil {
+		return nil, err
+	}
+	r := &PTELocationResult{Workload: workload}
+	for _, p := range pts {
+		loc := p.M4K.PTELocation
+		r.Rows = append(r.Rows, PTELocationRow{
+			Footprint: p.Footprint,
+			L1:        loc[0], L2: loc[1], L3: loc[2], Mem: loc[3],
+		})
+	}
+	return r, nil
+}
+
+// Tables exposes the band fractions per footprint.
+func (r *PTELocationResult) Tables() []*Table {
+	t := NewTable("Fig 8: PTE access location distribution for "+r.Workload+" (4KB pages)",
+		"footprint", "L1", "L2", "L3", "memory")
+	for _, row := range r.Rows {
+		t.Row(arch.FormatBytes(row.Footprint), pct(row.L1), pct(row.L2), pct(row.L3), pct(row.Mem))
+	}
+	return []*Table{t}
+}
+
+// Render emits the band table plus the ASCII band chart (the Figure 8
+// visual).
+func (r *PTELocationResult) Render() string {
+	out := RenderTables(r.Tables(), "")
+	var labels []string
+	var bands [][]float64
+	for _, row := range r.Rows {
+		labels = append(labels, arch.FormatBytes(row.Footprint))
+		bands = append(bands, []float64{row.L1, row.L2, row.L3, row.Mem})
+	}
+	return out + "\n" + BandChart("PTE hit location bands", []string{"L1", "L2", "L3", "memory"},
+		labels, bands, 50)
+}

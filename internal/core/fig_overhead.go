@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sort"
+
+	"atscale/internal/arch"
+	"atscale/internal/stats"
+)
+
+// This file drives the footprint-scaling experiments: Figure 1 (overhead
+// vs footprint, all workloads), Figure 2 (cc-urand log-linear fit),
+// Figure 3 (the four exception workloads) and Table IV (per-workload
+// regressions of overhead against log10 footprint).
+
+// exceptionWorkloads are the four workloads §V-A singles out for weak or
+// nonlinear log-footprint scaling.
+var exceptionWorkloads = []string{"mcf-rand", "memcached-uniform", "streamcluster-rand", "tc-kron"}
+
+// OverheadScaling is the result of Figures 1-3: overhead sweeps grouped
+// by workload.
+type OverheadScaling struct {
+	// Title distinguishes fig1 (all) from fig3 (exceptions).
+	Title string
+	// ByWorkload holds sweeps keyed by workload, Workloads the key order.
+	ByWorkload map[string][]OverheadPoint
+	Workloads  []string
+}
+
+// Fig1 measures relative AT overhead against footprint for every Table I
+// workload.
+func Fig1(s *Session) (*OverheadScaling, error) {
+	all, err := s.SweepAll()
+	if err != nil {
+		return nil, err
+	}
+	return newScaling("Fig 1: relative AT overhead vs memory footprint", all), nil
+}
+
+// Fig3 is the Figure 3 subset: the exception workloads.
+func Fig3(s *Session) (*OverheadScaling, error) {
+	sub := make(map[string][]OverheadPoint)
+	for _, name := range exceptionWorkloads {
+		pts, err := s.Sweep(name)
+		if err != nil {
+			return nil, err
+		}
+		sub[name] = pts
+	}
+	return newScaling("Fig 3: exception workloads (weak/nonlinear scaling)", sub), nil
+}
+
+func newScaling(title string, by map[string][]OverheadPoint) *OverheadScaling {
+	r := &OverheadScaling{Title: title, ByWorkload: by}
+	for name := range by {
+		r.Workloads = append(r.Workloads, name)
+	}
+	sort.Strings(r.Workloads)
+	return r
+}
+
+// Tables exposes one row per (workload, size).
+func (r *OverheadScaling) Tables() []*Table {
+	t := NewTable(r.Title, "workload", "footprint", "log10(M)", "rel AT overhead", "CPI 4K", "CPI 2M", "CPI 1G")
+	for _, name := range r.Workloads {
+		for _, p := range r.ByWorkload[name] {
+			t.Row(name, arch.FormatBytes(p.Footprint), f(p.Log10Footprint(), 2),
+				pct(p.RelOverhead), f(p.CPI4K, 3), f(p.CPI2M, 3), f(p.CPI1G, 3))
+		}
+	}
+	return []*Table{t}
+}
+
+// Render emits one row per (workload, size).
+func (r *OverheadScaling) Render() string { return RenderTables(r.Tables(), "") }
+
+// LogLinearFit is one workload's Figure 2 / Table IV regression:
+// relative overhead = Const + Slope*log10(footprint).
+type LogLinearFit struct {
+	Workload     string
+	Const, Slope float64
+	AdjR2        float64
+	N            int
+	// Err is non-empty when the fit was degenerate.
+	Err string
+}
+
+// FitLogLinear regresses a sweep's overhead on log10 footprint.
+func FitLogLinear(name string, pts []OverheadPoint) LogLinearFit {
+	var x, y []float64
+	for _, p := range pts {
+		x = append(x, p.Log10Footprint())
+		y = append(y, p.RelOverhead)
+	}
+	c, m, adj, err := stats.LinearFit(x, y)
+	if err != nil {
+		return LogLinearFit{Workload: name, N: len(pts), Err: err.Error()}
+	}
+	return LogLinearFit{Workload: name, Const: c, Slope: m, AdjR2: adj, N: len(pts)}
+}
+
+// Fig2Result is the cc-urand deep dive of Figure 2.
+type Fig2Result struct {
+	Points []OverheadPoint
+	Fit    LogLinearFit
+}
+
+// Fig2 measures cc-urand and fits the log-linear model.
+func Fig2(s *Session) (*Fig2Result, error) {
+	pts, err := s.Sweep("cc-urand")
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Points: pts, Fit: FitLogLinear("cc-urand", pts)}, nil
+}
+
+// Tables exposes the points plus per-point fitted values.
+func (r *Fig2Result) Tables() []*Table {
+	t := NewTable("Fig 2: cc-urand relative AT overhead vs log10 footprint",
+		"footprint", "log10(M)", "rel AT overhead", "fit value")
+	for _, p := range r.Points {
+		fit := r.Fit.Const + r.Fit.Slope*p.Log10Footprint()
+		t.Row(arch.FormatBytes(p.Footprint), f(p.Log10Footprint(), 2), pct(p.RelOverhead), pct(fit))
+	}
+	return []*Table{t}
+}
+
+// Render emits the points plus the fitted line's parameters.
+func (r *Fig2Result) Render() string {
+	footer := "fit: overhead = " + f(r.Fit.Const, 3) + " + " + f(r.Fit.Slope, 3) +
+		" * log10(M)   adjR2 = " + f(r.Fit.AdjR2, 3) + "\n"
+	return RenderTables(r.Tables(), footer)
+}
+
+// Table4Result holds the per-workload regressions of Table IV.
+type Table4Result struct {
+	Fits []LogLinearFit
+}
+
+// Table4 fits the log-linear overhead model for every workload.
+func Table4(s *Session) (*Table4Result, error) {
+	all, err := s.SweepAll()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	r := &Table4Result{}
+	for _, n := range names {
+		r.Fits = append(r.Fits, FitLogLinear(n, all[n]))
+	}
+	return r, nil
+}
+
+// MeanSlopeStrongFits averages the log10(M) coefficient over fits with
+// adjusted R² above the threshold — the paper reports 0.13 across fits
+// with adjR² > 0.9.
+func (r *Table4Result) MeanSlopeStrongFits(minAdjR2 float64) (float64, int) {
+	var sum float64
+	var n int
+	for _, fit := range r.Fits {
+		if fit.Err == "" && fit.AdjR2 > minAdjR2 {
+			sum += fit.Slope
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// Tables exposes the Table IV layout: const, log10(M) slope, adjusted R².
+func (r *Table4Result) Tables() []*Table {
+	t := NewTable("Table IV: overhead = b0 + b1*log10(M) regression per workload",
+		"workload", "const", "log10(M)", "adj R2", "n")
+	for _, fit := range r.Fits {
+		if fit.Err != "" {
+			t.Row(fit.Workload, "-", "-", fit.Err, f(float64(fit.N), 0))
+			continue
+		}
+		t.Row(fit.Workload, f(fit.Const, 3), f(fit.Slope, 3), f(fit.AdjR2, 3), f(float64(fit.N), 0))
+	}
+	return []*Table{t}
+}
+
+// Render emits Table IV plus the strong-fit slope summary.
+func (r *Table4Result) Render() string {
+	footer := ""
+	if mean, n := r.MeanSlopeStrongFits(0.9); n > 0 {
+		footer = "mean log10(M) coefficient over " + f(float64(n), 0) +
+			" strong fits (adjR2>0.9): " + f(mean, 3) + "\n"
+	}
+	return RenderTables(r.Tables(), footer)
+}

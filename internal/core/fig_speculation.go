@@ -1,0 +1,183 @@
+package core
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+	"atscale/internal/stats"
+)
+
+// This file drives the speculation experiments: Figure 7 (walk outcome
+// bands vs footprint), Table VI (the outcome formulae, demonstrated live)
+// and Figure 9 (wrong-path walks vs machine clears for bc-kron).
+
+// fig7Workloads are the three workloads the paper's Figure 7 plots.
+var fig7Workloads = []string{"bc-urand", "streamcluster-rand", "mcf-rand"}
+
+// OutcomeRow is one (workload, footprint) walk-outcome sample.
+type OutcomeRow struct {
+	Workload  string
+	Footprint uint64
+	Outcomes  perf.WalkOutcomes
+	// Retired, WrongPath, Aborted are the band fractions of initiated
+	// walks.
+	Retired, WrongPath, Aborted float64
+}
+
+// WalkOutcomeResult is Figure 7's dataset.
+type WalkOutcomeResult struct {
+	Title string
+	Rows  []OutcomeRow
+}
+
+// Fig7 measures walk-outcome distributions for the paper's three
+// workloads under 4 KB pages.
+func Fig7(s *Session) (*WalkOutcomeResult, error) {
+	r := &WalkOutcomeResult{Title: "Fig 7: walk outcome distribution vs footprint (4KB pages)"}
+	for _, name := range fig7Workloads {
+		pts, err := s.Sweep(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			r.Rows = append(r.Rows, outcomeRow(name, p.Footprint, p.M4K))
+		}
+	}
+	return r, nil
+}
+
+func outcomeRow(name string, footprint uint64, m perf.Metrics) OutcomeRow {
+	ret, wp, ab := m.Outcomes.Fractions()
+	return OutcomeRow{
+		Workload: name, Footprint: footprint, Outcomes: m.Outcomes,
+		Retired: ret, WrongPath: wp, Aborted: ab,
+	}
+}
+
+// Tables exposes the band fractions per (workload, footprint).
+func (r *WalkOutcomeResult) Tables() []*Table {
+	t := NewTable(r.Title,
+		"workload", "footprint", "initiated", "retired", "wrong-path", "aborted", "non-retired")
+	for _, row := range r.Rows {
+		t.Row(row.Workload, arch.FormatBytes(row.Footprint),
+			f(float64(row.Outcomes.Initiated), 0),
+			pct(row.Retired), pct(row.WrongPath), pct(row.Aborted),
+			pct(row.WrongPath+row.Aborted))
+	}
+	return []*Table{t}
+}
+
+// Render emits the outcome-band table plus an ASCII band chart per
+// workload (the Figure 7 visual).
+func (r *WalkOutcomeResult) Render() string {
+	out := RenderTables(r.Tables(), "")
+	var labels []string
+	var bands [][]float64
+	for _, row := range r.Rows {
+		labels = append(labels, row.Workload+" @ "+arch.FormatBytes(row.Footprint))
+		bands = append(bands, []float64{row.Retired, row.WrongPath, row.Aborted})
+	}
+	return out + "\n" + BandChart("walk outcome bands", []string{"retired", "wrong-path", "aborted"},
+		labels, bands, 50)
+}
+
+// Fig9Row is one bc-kron sample relating machine clears to non-retired
+// walks.
+type Fig9Row struct {
+	Footprint uint64
+	// ClearsPerKiloInstr is machine clears per 1000 instructions.
+	ClearsPerKiloInstr float64
+	// NonRetiredFraction is (wrong-path + aborted) / initiated walks.
+	NonRetiredFraction float64
+	// MispredictRate is retired branch mispredicts per branch.
+	MispredictRate float64
+}
+
+// Fig9Result is Figure 9's dataset plus the association strength.
+type Fig9Result struct {
+	Workload string
+	Rows     []Fig9Row
+	// Pearson is the correlation between clears/kiloinstr and the
+	// non-retired walk fraction across the sweep.
+	Pearson float64
+}
+
+// Fig9 measures bc-kron's machine clears against its wrong-path/aborted
+// walk fraction.
+func Fig9(s *Session) (*Fig9Result, error) {
+	pts, err := s.Sweep("bc-kron")
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig9Result{Workload: "bc-kron"}
+	var xs, ys []float64
+	for _, p := range pts {
+		m := p.M4K
+		_, wp, ab := m.Outcomes.Fractions()
+		row := Fig9Row{
+			Footprint:          p.Footprint,
+			ClearsPerKiloInstr: m.MachineClearsPerKiloInstruction,
+			NonRetiredFraction: wp + ab,
+			MispredictRate:     m.BranchMispredictRate,
+		}
+		r.Rows = append(r.Rows, row)
+		xs = append(xs, row.ClearsPerKiloInstr)
+		ys = append(ys, row.NonRetiredFraction)
+	}
+	if p, err := stats.Pearson(xs, ys); err == nil {
+		r.Pearson = p
+	}
+	return r, nil
+}
+
+// Tables exposes clears vs non-retired walk fraction per footprint.
+func (r *Fig9Result) Tables() []*Table {
+	t := NewTable("Fig 9: wrong-path/aborted walk fraction vs machine clears ("+r.Workload+", 4KB)",
+		"footprint", "clears/kinst", "non-retired walks", "br mispredict rate")
+	for _, row := range r.Rows {
+		t.Row(arch.FormatBytes(row.Footprint), f(row.ClearsPerKiloInstr, 4),
+			pct(row.NonRetiredFraction), pct(row.MispredictRate))
+	}
+	return []*Table{t}
+}
+
+// Render emits the table plus the association strength.
+func (r *Fig9Result) Render() string {
+	return RenderTables(r.Tables(),
+		"Pearson(clears, non-retired fraction) = "+f(r.Pearson, 3)+"\n")
+}
+
+// Table6Result demonstrates the Table VI walk-outcome formulae on a live
+// run: the raw counters, the derived outcomes, and the conservation
+// identity.
+type Table6Result struct {
+	Workload string
+	Counters perf.Counters
+	Outcomes perf.WalkOutcomes
+}
+
+// Table6 runs one bc-urand instance and derives the outcome counts
+// exactly as Table VI prescribes.
+func Table6(s *Session) (*Table6Result, error) {
+	pts, err := s.Sweep("bc-urand")
+	if err != nil {
+		return nil, err
+	}
+	last := pts[len(pts)-1]
+	return &Table6Result{Workload: "bc-urand", Outcomes: last.M4K.Outcomes}, nil
+}
+
+// Tables exposes the formulae with the measured values substituted in.
+func (r *Table6Result) Tables() []*Table {
+	o := r.Outcomes
+	t := NewTable("Table VI: walk outcome formulae (evaluated on "+r.Workload+")",
+		"walk outcome", "formula", "value")
+	t.Row("Initiated", "dtlb_load_misses.miss_causes_a_walk + dtlb_store_misses.miss_causes_a_walk", f(float64(o.Initiated), 0))
+	t.Row("Completed", "dtlb_load_misses.walk_completed + dtlb_store_misses.walk_completed", f(float64(o.Completed), 0))
+	t.Row("Retired", "mem_uops_retired.stlb_miss_loads + mem_uops_retired.stlb_miss_stores", f(float64(o.Retired), 0))
+	t.Row("Aborted", "Initiated - Completed", f(float64(o.Aborted), 0))
+	t.Row("Wrong path", "Completed - Retired", f(float64(o.WrongPath), 0))
+	return []*Table{t}
+}
+
+// Render emits the formula table.
+func (r *Table6Result) Render() string { return RenderTables(r.Tables(), "") }

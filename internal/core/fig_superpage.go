@@ -1,0 +1,84 @@
+package core
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+// This file drives Figure 10: the 2 MB superpage study (§V-E) — key AT
+// metrics for bc-urand under 2 MB pages with the 4 KB configuration
+// alongside for comparison.
+
+// SuperpageRow compares one footprint's 4 KB and 2 MB behaviour.
+type SuperpageRow struct {
+	Footprint uint64
+
+	WCPI4K, WCPI2M float64
+	// MissesPerKiloAccess is the TLB-walk rate per 1000 accesses.
+	MissesPerKiloAccess4K, MissesPerKiloAccess2M float64
+	// AvgWalkCycles is the mean page-walk latency.
+	AvgWalkCycles4K, AvgWalkCycles2M float64
+	// NonRetired2M is the wrong-path + aborted walk fraction with 2 MB
+	// pages (the paper's Figure 10 walk-outcome panel).
+	NonRetired2M float64
+	// NonRetired4K is the 4 KB counterpart (Figure 7's data point).
+	NonRetired4K float64
+	// Outcomes2M is the raw 2 MB outcome distribution.
+	Outcomes2M perf.WalkOutcomes
+}
+
+// SuperpageResult is Figure 10's dataset.
+type SuperpageResult struct {
+	Workload string
+	Rows     []SuperpageRow
+}
+
+// Fig10 measures bc-urand's key AT metrics with 2 MB superpages across
+// the footprint ladder.
+func Fig10(s *Session) (*SuperpageResult, error) {
+	return SuperpageStudy(s, "bc-urand")
+}
+
+// SuperpageStudy computes the Figure 10 panels for any workload.
+func SuperpageStudy(s *Session, workload string) (*SuperpageResult, error) {
+	pts, err := s.Sweep(workload)
+	if err != nil {
+		return nil, err
+	}
+	r := &SuperpageResult{Workload: workload}
+	for _, p := range pts {
+		_, wp4, ab4 := p.M4K.Outcomes.Fractions()
+		_, wp2, ab2 := p.M2M.Outcomes.Fractions()
+		r.Rows = append(r.Rows, SuperpageRow{
+			Footprint:             p.Footprint,
+			WCPI4K:                p.M4K.WCPI,
+			WCPI2M:                p.M2M.WCPI,
+			MissesPerKiloAccess4K: p.M4K.TLBMissesPerKiloAccess,
+			MissesPerKiloAccess2M: p.M2M.TLBMissesPerKiloAccess,
+			AvgWalkCycles4K:       p.M4K.AvgWalkCycles,
+			AvgWalkCycles2M:       p.M2M.AvgWalkCycles,
+			NonRetired4K:          wp4 + ab4,
+			NonRetired2M:          wp2 + ab2,
+			Outcomes2M:            p.M2M.Outcomes,
+		})
+	}
+	return r, nil
+}
+
+// Tables exposes the 4 KB / 2 MB comparison per footprint.
+func (r *SuperpageResult) Tables() []*Table {
+	t := NewTable("Fig 10: key AT metrics for "+r.Workload+" with 2MB pages (4KB alongside)",
+		"footprint", "WCPI 4K", "WCPI 2M", "misses/kacc 4K", "misses/kacc 2M",
+		"walk lat 4K", "walk lat 2M", "non-retired 4K", "non-retired 2M")
+	for _, row := range r.Rows {
+		t.Row(arch.FormatBytes(row.Footprint),
+			f(row.WCPI4K, 4), f(row.WCPI2M, 4),
+			f(row.MissesPerKiloAccess4K, 2), f(row.MissesPerKiloAccess2M, 2),
+			f(row.AvgWalkCycles4K, 1), f(row.AvgWalkCycles2M, 1),
+			pct(row.NonRetired4K), pct(row.NonRetired2M))
+	}
+	return []*Table{t}
+}
+
+// Render emits the superpage comparison table.
+func (r *SuperpageResult) Render() string { return RenderTables(r.Tables(), "") }

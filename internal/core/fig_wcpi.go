@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sort"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+	"atscale/internal/stats"
+)
+
+// This file drives the WCPI-as-proxy experiments: Table V (correlation of
+// five AT-pressure metrics with overhead), Figure 4 (inter-workload
+// overhead vs WCPI scatter) and Figure 5 (intra-workload bc-urand curve).
+
+// PressureMetric names one of the Table V candidate proxies and extracts
+// it from a 4 KB run's derived metrics.
+type PressureMetric struct {
+	Name    string
+	Extract func(perf.Metrics) float64
+}
+
+// PressureMetrics are the five candidates compared in Table V.
+func PressureMetrics() []PressureMetric {
+	return []PressureMetric{
+		{"TLB misses per kilo access", func(m perf.Metrics) float64 { return m.TLBMissesPerKiloAccess }},
+		{"TLB misses per kilo instruction", func(m perf.Metrics) float64 { return m.TLBMissesPerKiloInstruction }},
+		{"Walk cycle fraction", func(m perf.Metrics) float64 { return m.WalkCycleFraction }},
+		{"Walk cycles per access", func(m perf.Metrics) float64 { return m.WalkCyclesPerAccess }},
+		{"Walk cycles per instruction", func(m perf.Metrics) float64 { return m.WCPI }},
+	}
+}
+
+// MetricCorrelation is one Table V row.
+type MetricCorrelation struct {
+	Metric   string
+	Pearson  float64
+	Spearman float64
+	// PearsonCI is a bootstrap 95% confidence interval for Pearson
+	// (supplementing the paper's point estimates).
+	PearsonCI stats.Interval
+	// N is the number of (workload, size) points correlated.
+	N int
+}
+
+// WorkloadSpearman is the intra-workload supplement of §V-B: Spearman of
+// WCPI vs overhead within one workload's sweep.
+type WorkloadSpearman struct {
+	Workload string
+	Spearman float64
+	N        int
+	Err      string
+}
+
+// Table5Result bundles the inter-workload metric correlations and the
+// intra-workload WCPI Spearman coefficients.
+type Table5Result struct {
+	Inter []MetricCorrelation
+	Intra []WorkloadSpearman
+	// Excluded counts points dropped for negative measured overhead
+	// (the paper's not-AT-sensitive exclusion).
+	Excluded int
+}
+
+// Table5 computes the correlation table over every Table I workload.
+func Table5(s *Session) (*Table5Result, error) {
+	all, err := s.SweepAll()
+	if err != nil {
+		return nil, err
+	}
+	r := &Table5Result{}
+	// Flatten AT-sensitive points.
+	var pts []OverheadPoint
+	for _, sweep := range all {
+		for _, p := range sweep {
+			if p.RelOverhead < 0 {
+				r.Excluded++
+				continue
+			}
+			pts = append(pts, p)
+		}
+	}
+	var overhead []float64
+	for _, p := range pts {
+		overhead = append(overhead, p.RelOverhead)
+	}
+	for _, pm := range PressureMetrics() {
+		var xs []float64
+		for _, p := range pts {
+			xs = append(xs, pm.Extract(p.M4K))
+		}
+		pearson, err1 := stats.Pearson(xs, overhead)
+		spearman, err2 := stats.Spearman(xs, overhead)
+		row := MetricCorrelation{Metric: pm.Name, N: len(pts)}
+		if err1 == nil {
+			row.Pearson = pearson
+			if ci, err := stats.BootstrapCorrelation(xs, overhead, stats.Pearson, 400, 0.05, 7); err == nil {
+				row.PearsonCI = ci
+			}
+		}
+		if err2 == nil {
+			row.Spearman = spearman
+		}
+		r.Inter = append(r.Inter, row)
+	}
+	// Intra-workload WCPI monotonicity.
+	var names []string
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var xs, ys []float64
+		for _, p := range all[n] {
+			xs = append(xs, p.M4K.WCPI)
+			ys = append(ys, p.RelOverhead)
+		}
+		row := WorkloadSpearman{Workload: n, N: len(xs)}
+		if sp, err := stats.Spearman(xs, ys); err != nil {
+			row.Err = err.Error()
+		} else {
+			row.Spearman = sp
+		}
+		r.Intra = append(r.Intra, row)
+	}
+	return r, nil
+}
+
+// Tables exposes Table V and the intra-workload Spearman supplement.
+func (r *Table5Result) Tables() []*Table {
+	t := NewTable("Table V: correlation between AT pressure metric and relative AT overhead",
+		"AT pressure metric", "Pearson", "Pearson 95% CI", "Spearman's rank")
+	for _, row := range r.Inter {
+		t.Row(row.Metric, f(row.Pearson, 3),
+			"["+f(row.PearsonCI.Lo, 3)+", "+f(row.PearsonCI.Hi, 3)+"]",
+			f(row.Spearman, 3))
+	}
+	t2 := NewTable("Intra-workload Spearman (WCPI vs overhead)", "workload", "Spearman", "n")
+	for _, row := range r.Intra {
+		if row.Err != "" {
+			t2.Row(row.Workload, row.Err, f(float64(row.N), 0))
+			continue
+		}
+		t2.Row(row.Workload, f(row.Spearman, 3), f(float64(row.N), 0))
+	}
+	return []*Table{t, t2}
+}
+
+// Render emits Table V plus the intra-workload Spearman supplement.
+func (r *Table5Result) Render() string {
+	ts := r.Tables()
+	out := ts[0].String()
+	out += "points: " + f(float64(r.Inter[0].N), 0) + " (excluded " + f(float64(r.Excluded), 0) + " with negative overhead)\n\n"
+	return out + ts[1].String()
+}
+
+// ScatterPoint is one Figure 4/5 point.
+type ScatterPoint struct {
+	Workload  string
+	Footprint uint64
+	WCPI      float64
+	Overhead  float64
+}
+
+// ScatterResult is the overhead-vs-WCPI relationship (Figure 4 across
+// workloads, Figure 5 within bc-urand).
+type ScatterResult struct {
+	Title  string
+	Points []ScatterPoint
+}
+
+// Fig4 collects the inter-workload overhead/WCPI scatter (AT-sensitive
+// points only, as the paper's Figure 4 does).
+func Fig4(s *Session) (*ScatterResult, error) {
+	all, err := s.SweepAll()
+	if err != nil {
+		return nil, err
+	}
+	r := &ScatterResult{Title: "Fig 4: relative AT overhead vs WCPI (all workloads)"}
+	var names []string
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, p := range all[n] {
+			if p.RelOverhead < 0 {
+				continue
+			}
+			r.Points = append(r.Points, ScatterPoint{n, p.Footprint, p.M4K.WCPI, p.RelOverhead})
+		}
+	}
+	return r, nil
+}
+
+// Fig5 collects the bc-urand intra-workload curve, each point labelled by
+// footprint as in the paper.
+func Fig5(s *Session) (*ScatterResult, error) {
+	pts, err := s.Sweep("bc-urand")
+	if err != nil {
+		return nil, err
+	}
+	r := &ScatterResult{Title: "Fig 5: bc-urand AT overhead vs WCPI (labelled by footprint)"}
+	for _, p := range pts {
+		r.Points = append(r.Points, ScatterPoint{"bc-urand", p.Footprint, p.M4K.WCPI, p.RelOverhead})
+	}
+	return r, nil
+}
+
+// Tables exposes the scatter points.
+func (r *ScatterResult) Tables() []*Table {
+	t := NewTable(r.Title, "workload", "footprint", "WCPI", "rel AT overhead")
+	for _, p := range r.Points {
+		t.Row(p.Workload, arch.FormatBytes(p.Footprint), f(p.WCPI, 4), pct(p.Overhead))
+	}
+	return []*Table{t}
+}
+
+// Render emits the scatter as a table.
+func (r *ScatterResult) Render() string { return RenderTables(r.Tables(), "") }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/workloads"
+)
+
+// This file drives the second extension experiment the paper's discussion
+// motivates: "alternative page table data structures that do not
+// introduce a log M overhead are deserving of further study". We compare
+// the x86-64 radix organization against a hashed page table across a
+// footprint sweep: the radix walk lengthens with footprint (more levels
+// missing in the PSCs, colder PTEs); the hashed walk stays ~one load.
+
+// HashedPTRow compares the organizations at one footprint.
+type HashedPTRow struct {
+	Footprint uint64
+
+	CPIRadix, CPIHashed float64
+	// WCPI under each organization.
+	WCPIRadix, WCPIHashed float64
+	// WalkCyclesRadix/Hashed are mean walk latencies.
+	WalkCyclesRadix, WalkCyclesHashed float64
+	// LoadsPerWalkRadix/Hashed are mean memory accesses per walk.
+	LoadsPerWalkRadix, LoadsPerWalkHashed float64
+}
+
+// HashedPTResult is the comparison dataset.
+type HashedPTResult struct {
+	Workload string
+	Rows     []HashedPTRow
+}
+
+// HashedPTStudy sweeps one workload under both organizations (4 KB heap;
+// the hashed table holds base pages only).
+func HashedPTStudy(s *Session, workload string) (*HashedPTResult, error) {
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	radix := *s.Config()
+	hashed := radix
+	hashed.System.PageTable = "hashed"
+
+	r := &HashedPTResult{Workload: workload}
+	for _, param := range spec.Sizes(radix.Preset) {
+		rr, err := Run(&radix, spec, param, arch.Page4K)
+		if err != nil {
+			return nil, err
+		}
+		rh, err := Run(&hashed, spec, param, arch.Page4K)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, HashedPTRow{
+			Footprint:          rr.Footprint,
+			CPIRadix:           rr.Metrics.CPI,
+			CPIHashed:          rh.Metrics.CPI,
+			WCPIRadix:          rr.Metrics.WCPI,
+			WCPIHashed:         rh.Metrics.WCPI,
+			WalkCyclesRadix:    rr.Metrics.AvgWalkCycles,
+			WalkCyclesHashed:   rh.Metrics.AvgWalkCycles,
+			LoadsPerWalkRadix:  rr.Metrics.Eq1.WalkerLoadsPerWalk,
+			LoadsPerWalkHashed: rh.Metrics.Eq1.WalkerLoadsPerWalk,
+		})
+	}
+	return r, nil
+}
+
+// HashedPTExperiment runs the study on gups-rand, the purest
+// translation-bound kernel in the suite.
+func HashedPTExperiment(s *Session) (*HashedPTResult, error) {
+	return HashedPTStudy(s, "gups-rand")
+}
+
+// Tables exposes the per-footprint comparison.
+func (r *HashedPTResult) Tables() []*Table {
+	t := NewTable("Extension: radix vs hashed page table on "+r.Workload+" (4KB pages)",
+		"footprint", "CPI radix", "CPI hashed", "WCPI radix", "WCPI hashed",
+		"walk-lat radix", "walk-lat hashed", "loads/walk radix", "loads/walk hashed")
+	for _, row := range r.Rows {
+		t.Row(arch.FormatBytes(row.Footprint),
+			f(row.CPIRadix, 3), f(row.CPIHashed, 3),
+			f(row.WCPIRadix, 4), f(row.WCPIHashed, 4),
+			f(row.WalkCyclesRadix, 1), f(row.WalkCyclesHashed, 1),
+			f(row.LoadsPerWalkRadix, 2), f(row.LoadsPerWalkHashed, 2))
+	}
+	return []*Table{t}
+}
+
+// Render emits the comparison table.
+func (r *HashedPTResult) Render() string { return RenderTables(r.Tables(), "") }

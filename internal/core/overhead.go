@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+)
+
+// OverheadPoint is one input size of one workload, measured under all
+// three page-size policies and reduced per the paper's §III methodology.
+type OverheadPoint struct {
+	// Workload is the program-generator name.
+	Workload string
+	// Param is the input-size parameter.
+	Param uint64
+	// Footprint is the memory footprint (identical across policies; the
+	// paper indexes by the 4 KB configuration's footprint).
+	Footprint uint64
+
+	// CPI4K, CPI2M, CPI1G are the per-policy cycles per instruction.
+	// The workloads retire identical instruction streams under every
+	// policy, so CPI ratios equal runtime ratios.
+	CPI4K, CPI2M, CPI1G float64
+
+	// RelOverhead is (t_4K - baseline) / baseline with
+	// baseline = min(t_2MB, t_1GB) — the paper's relative AT overhead.
+	RelOverhead float64
+
+	// M4K, M2M, M1G are the full derived metrics per policy.
+	M4K, M2M, M1G perf.Metrics
+}
+
+// Log10Footprint returns log10 of the footprint in bytes (the regression
+// abscissa of Table IV).
+func (p OverheadPoint) Log10Footprint() float64 { return math.Log10(float64(p.Footprint)) }
+
+// MeasureOverhead runs one (workload, size) under 4 KB, 2 MB and 1 GB
+// policies and reduces to an OverheadPoint.
+func MeasureOverhead(cfg *RunConfig, spec *workloads.Spec, param uint64) (OverheadPoint, error) {
+	var rr [3]RunResult
+	for _, ps := range []arch.PageSize{arch.Page4K, arch.Page2M, arch.Page1G} {
+		r, err := Run(cfg, spec, param, ps)
+		if err != nil {
+			return OverheadPoint{}, err
+		}
+		rr[ps] = r
+	}
+	p := OverheadPoint{
+		Workload:  spec.Name(),
+		Param:     param,
+		Footprint: rr[arch.Page4K].Footprint,
+		CPI4K:     rr[arch.Page4K].Metrics.CPI,
+		CPI2M:     rr[arch.Page2M].Metrics.CPI,
+		CPI1G:     rr[arch.Page1G].Metrics.CPI,
+		M4K:       rr[arch.Page4K].Metrics,
+		M2M:       rr[arch.Page2M].Metrics,
+		M1G:       rr[arch.Page1G].Metrics,
+	}
+	baseline := math.Min(p.CPI2M, p.CPI1G)
+	if baseline > 0 {
+		p.RelOverhead = (p.CPI4K - baseline) / baseline
+	}
+	return p, nil
+}
+
+// SweepOverhead measures every ladder rung the preset selects.
+func SweepOverhead(cfg *RunConfig, spec *workloads.Spec) ([]OverheadPoint, error) {
+	var out []OverheadPoint
+	for _, param := range spec.Sizes(cfg.Preset) {
+		p, err := MeasureOverhead(cfg, spec, param)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Session memoizes per-workload sweeps so the experiments that share data
+// (Figures 1-10, Tables IV-V) measure each workload once.
+type Session struct {
+	cfg    *RunConfig
+	sweeps map[string][]OverheadPoint
+}
+
+// NewSession creates a measurement session with the given configuration.
+func NewSession(cfg RunConfig) *Session {
+	return &Session{cfg: &cfg, sweeps: make(map[string][]OverheadPoint)}
+}
+
+// Config returns the session's run configuration.
+func (s *Session) Config() *RunConfig { return s.cfg }
+
+// Sweep returns the (memoized) overhead sweep of the named workload.
+func (s *Session) Sweep(name string) ([]OverheadPoint, error) {
+	if pts, ok := s.sweeps[name]; ok {
+		return pts, nil
+	}
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.logf("sweeping %s (%s preset)", name, s.cfg.Preset)
+	pts, err := SweepOverhead(s.cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.sweeps[name] = pts
+	return pts, nil
+}
+
+// SweepAll sweeps every Table I workload and returns points grouped by
+// workload name.
+func (s *Session) SweepAll() (map[string][]OverheadPoint, error) {
+	out := make(map[string][]OverheadPoint)
+	for _, spec := range PaperWorkloads() {
+		pts, err := s.Sweep(spec.Name())
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Name()] = pts
+	}
+	return out, nil
+}

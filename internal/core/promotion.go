@@ -1,0 +1,98 @@
+package core
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+)
+
+// This file drives the extension experiment the paper's discussion
+// proposes (§VI, "Walk cycles per instruction is a good proxy"): using
+// WCPI as the online heuristic for OS hugepage promotion. For each
+// footprint we compare untreated 4 KB backing, 4 KB backing with the
+// WCPI-guided promoter, and static 2 MB backing (the upper bound).
+
+// PromotionRow compares the three configurations at one footprint.
+type PromotionRow struct {
+	Footprint uint64
+
+	CPI4K, CPIPromo, CPI2M    float64
+	WCPI4K, WCPIPromo, WCPI2M float64
+	// Promotions is how many 2 MB blocks the policy collapsed.
+	Promotions uint64
+	// Recovered is the fraction of the static-2MB CPI improvement the
+	// online policy achieved (1.0 = as good as 2 MB backing).
+	Recovered float64
+}
+
+// PromotionResult is the extension study's dataset.
+type PromotionResult struct {
+	Workload string
+	Rows     []PromotionRow
+}
+
+// PromotionStudy measures the WCPI-guided promotion policy on one
+// workload's ladder.
+func PromotionStudy(s *Session, workload string) (*PromotionResult, error) {
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	base := *s.Config()
+	promo := base
+	promo.EnablePromotion = true
+
+	r := &PromotionResult{Workload: workload}
+	for _, param := range spec.Sizes(base.Preset) {
+		r4, err := Run(&base, spec, param, arch.Page4K)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := Run(&promo, spec, param, arch.Page4K)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := Run(&base, spec, param, arch.Page2M)
+		if err != nil {
+			return nil, err
+		}
+		row := PromotionRow{
+			Footprint:  r4.Footprint,
+			CPI4K:      r4.Metrics.CPI,
+			CPIPromo:   rp.Metrics.CPI,
+			CPI2M:      r2.Metrics.CPI,
+			WCPI4K:     r4.Metrics.WCPI,
+			WCPIPromo:  rp.Metrics.WCPI,
+			WCPI2M:     r2.Metrics.WCPI,
+			Promotions: rp.Counters.Get(perf.THPPromotions),
+		}
+		if gap := row.CPI4K - row.CPI2M; gap > 0 {
+			row.Recovered = (row.CPI4K - row.CPIPromo) / gap
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// PromoExperiment runs the study on mcf-rand, the most
+// translation-intensive workload in the suite.
+func PromoExperiment(s *Session) (*PromotionResult, error) {
+	return PromotionStudy(s, "mcf-rand")
+}
+
+// Tables exposes the three-way comparison per footprint.
+func (r *PromotionResult) Tables() []*Table {
+	t := NewTable("Extension: WCPI-guided hugepage promotion on "+r.Workload,
+		"footprint", "CPI 4K", "CPI promo", "CPI 2M", "WCPI 4K", "WCPI promo", "WCPI 2M",
+		"promotions", "gap recovered")
+	for _, row := range r.Rows {
+		t.Row(arch.FormatBytes(row.Footprint),
+			f(row.CPI4K, 3), f(row.CPIPromo, 3), f(row.CPI2M, 3),
+			f(row.WCPI4K, 4), f(row.WCPIPromo, 4), f(row.WCPI2M, 4),
+			f(float64(row.Promotions), 0), pct(row.Recovered))
+	}
+	return []*Table{t}
+}
+
+// Render emits the comparison table.
+func (r *PromotionResult) Render() string { return RenderTables(r.Tables(), "") }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a small text-table builder used by every experiment's Render.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with a title line and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// Row appends one row; cell counts beyond the header are allowed (they
+// simply widen the table).
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	line := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows), for
+// plotting outside the tool.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	write := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteString("\n")
+	}
+	write(t.header)
+	for _, r := range t.rows {
+		write(r)
+	}
+	return b.String()
+}
+
+// f formats a float at the given precision (render helper).
+func f(x float64, prec int) string { return fmt.Sprintf("%.*f", prec, x) }
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,126 @@
+// Package core implements the paper's contribution: the address
+// translation overhead methodology of §III (superpage-baseline overhead
+// estimation, walk cycles per instruction and its Equation 1
+// decomposition) and a driver for every experiment in the evaluation —
+// each figure and table of §V maps to one function here.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+)
+
+// RunConfig parameterizes a measurement campaign.
+type RunConfig struct {
+	// System is the simulated machine description.
+	System arch.SystemConfig
+	// Preset selects how much of each workload's size ladder to sweep.
+	Preset workloads.SizePreset
+	// Budget is the retired-access budget of one measured region.
+	Budget uint64
+	// Seed fixes the machine's randomized model decisions.
+	Seed int64
+	// EnablePromotion switches on the WCPI-guided hugepage promotion
+	// policy (extension experiments only; the paper's machines run
+	// without it).
+	EnablePromotion bool
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultRunConfig returns the standard campaign configuration: the
+// Table III machine, the medium ladder, and a two-million-access measured
+// region per run.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		System: arch.DefaultSystem(),
+		Preset: workloads.Medium,
+		Budget: 2_000_000,
+		Seed:   2024,
+	}
+}
+
+func (c *RunConfig) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// RunResult is one (workload, input size, page size) measurement.
+type RunResult struct {
+	// Workload is the program-generator name.
+	Workload string
+	// Param is the input-size parameter.
+	Param uint64
+	// PageSize is the heap backing policy of this run.
+	PageSize arch.PageSize
+	// Footprint is the program's memory footprint in bytes.
+	Footprint uint64
+	// Counters is the measured region's counter delta.
+	Counters perf.Counters
+	// Metrics is derived from Counters.
+	Metrics perf.Metrics
+}
+
+// Run executes one measurement: build the instance on a fresh machine
+// backed with the given page size, then run the measured region.
+func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (RunResult, error) {
+	sys := cfg.System
+	// Synthetic sweeps reach virtual footprints beyond the default
+	// physical memory; give the simulated machine DRAM headroom (it is
+	// sparse — untouched memory costs nothing).
+	if sys.PhysMemBytes < 256*arch.GB {
+		sys.PhysMemBytes = 256 * arch.GB
+	}
+	m, err := machine.New(sys, ps, cfg.Seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if cfg.EnablePromotion && ps == arch.Page4K {
+		m.EnablePromotion(machine.DefaultPromotionConfig())
+	}
+	inst, err := spec.Build(m, param)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("core: building %s param %d: %w", spec.Name(), param, err)
+	}
+	start := m.Counters()
+	inst.Run(cfg.Budget)
+	delta := perf.Delta(start, m.Counters())
+	r := RunResult{
+		Workload:  spec.Name(),
+		Param:     param,
+		PageSize:  ps,
+		Footprint: m.Footprint(),
+		Counters:  delta,
+		Metrics:   perf.Compute(delta),
+	}
+	cfg.logf("  run %-22s param=%-8d %-4s footprint=%-9s cpi=%.3f wcpi=%.4f",
+		r.Workload, r.Param, ps, arch.FormatBytes(r.Footprint), r.Metrics.CPI, r.Metrics.WCPI)
+	return r, nil
+}
+
+// paperSuites are the benchmark suites of the paper's Table I.
+var paperSuites = map[string]bool{
+	"gapbs":    true,
+	"ycsb":     true,
+	"spec2006": true,
+	"parsec":   true,
+}
+
+// PaperWorkloads returns the Table I workload set (the extension suites —
+// synthetic streams and the micro kernels — are excluded from the paper's
+// sweeps but available to custom campaigns).
+func PaperWorkloads() []*workloads.Spec {
+	var out []*workloads.Spec
+	for _, s := range workloads.All() {
+		if paperSuites[s.Suite] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/stats"
+	"atscale/internal/workloads"
+)
+
+// This file drives the measurement-stability experiment. The paper's
+// methodology (§IV) goes to lengths against noise and systematic error
+// (pinned machines, disabled DVFS/ASLR, warmup runs); the simulator's
+// analogue of run-to-run noise is its seeded speculation model. This
+// study quantifies how much the headline metrics move across seeds — the
+// error bars for every other experiment.
+
+// stabilitySeeds is how many seeds the study samples.
+const stabilitySeeds = 7
+
+// StabilityRow summarizes one metric across seeds.
+type StabilityRow struct {
+	Metric  string
+	Summary stats.Summary
+	// RelSpread is (max-min)/mean, the quick error-bar figure.
+	RelSpread float64
+}
+
+// StabilityResult is the study's dataset.
+type StabilityResult struct {
+	Workload  string
+	Param     uint64
+	Footprint uint64
+	Seeds     int
+	Rows      []StabilityRow
+}
+
+// StabilityStudy runs one (workload, size) under several seeds and
+// summarizes metric dispersion.
+func StabilityStudy(s *Session, workload string, param uint64) (*StabilityResult, error) {
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	if param == 0 {
+		sizes := spec.Sizes(s.Config().Preset)
+		param = sizes[len(sizes)/2]
+	}
+	var cpi, wcpi, nonRetired, clears []float64
+	r := &StabilityResult{Workload: workload, Param: param, Seeds: stabilitySeeds}
+	for seed := int64(1); seed <= stabilitySeeds; seed++ {
+		cfg := *s.Config()
+		cfg.Seed = seed
+		rr, err := Run(&cfg, spec, param, arch.Page4K)
+		if err != nil {
+			return nil, err
+		}
+		r.Footprint = rr.Footprint
+		m := rr.Metrics
+		_, wp, ab := m.Outcomes.Fractions()
+		cpi = append(cpi, m.CPI)
+		wcpi = append(wcpi, m.WCPI)
+		nonRetired = append(nonRetired, wp+ab)
+		clears = append(clears, m.MachineClearsPerKiloInstruction)
+	}
+	for _, mr := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"CPI", cpi},
+		{"WCPI", wcpi},
+		{"non-retired walk fraction", nonRetired},
+		{"machine clears / kinst", clears},
+	} {
+		sum := stats.Summarize(mr.xs)
+		row := StabilityRow{Metric: mr.name, Summary: sum}
+		if sum.Mean != 0 {
+			row.RelSpread = (sum.Max - sum.Min) / sum.Mean
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// StabilityExperiment runs the study on mcf-rand's middle rung.
+func StabilityExperiment(s *Session) (*StabilityResult, error) {
+	return StabilityStudy(s, "mcf-rand", 0)
+}
+
+// Tables exposes per-metric dispersion.
+func (r *StabilityResult) Tables() []*Table {
+	t := NewTable("Measurement stability across seeds: "+r.Workload+
+		" @ "+arch.FormatBytes(r.Footprint)+" ("+f(float64(r.Seeds), 0)+" seeds, 4KB pages)",
+		"metric", "mean", "stddev", "min", "max", "rel spread")
+	for _, row := range r.Rows {
+		t.Row(row.Metric, f(row.Summary.Mean, 4), f(row.Summary.Stddev, 4),
+			f(row.Summary.Min, 4), f(row.Summary.Max, 4), pct(row.RelSpread))
+	}
+	return []*Table{t}
+}
+
+// Render emits the dispersion table.
+func (r *StabilityResult) Render() string { return RenderTables(r.Tables(), "") }

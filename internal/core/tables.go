@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"atscale/internal/arch"
+	"atscale/internal/workloads"
+)
+
+// InventoryResult renders the paper's setup tables: Table I (workloads),
+// Table II (input generators) and Table III (the system — here, the
+// simulated system standing in for the authors' Haswell-EP testbed).
+type InventoryResult struct {
+	Specs  []*workloads.Spec
+	System arch.SystemConfig
+}
+
+// Tables collects the inventories from the live registry and session
+// configuration, so the rendered tables always match what the code runs.
+func Tables(s *Session) (*InventoryResult, error) {
+	return &InventoryResult{Specs: workloads.All(), System: s.Config().System}, nil
+}
+
+// Tables exposes all three inventory tables.
+func (r *InventoryResult) Tables() []*Table {
+	t1 := NewTable("Table I: workloads", "suite", "program", "generator", "type", "ladder rungs")
+	for _, s := range r.Specs {
+		t1.Row(s.Suite, s.Program, s.Generator, s.Kind, fmt.Sprint(len(s.Ladder)))
+	}
+
+	t2 := NewTable("Table II: input generators", "generator", "description")
+	t2.Row("urand", "uniform random graph (Erdos-Renyi style), degree 16")
+	t2.Row("kron", "Kronecker/R-MAT scale-free graph (A=0.57 B=0.19 C=0.19), degree 16")
+	t2.Row("uniform", "YCSB-style uniform keys over a fixed key space")
+	t2.Row("rand (mcf)", "random min-cost-flow network, 8 arcs/node")
+	t2.Row("rand (streamcluster)", "uniform random points, 16-dim")
+	t2.Row("synth", "raw address streams: uniform, zipf(0.99), stride")
+
+	sys := r.System
+	t3 := NewTable("Table III: simulated system ("+sys.Name+")", "component", "description")
+	t3.Row("TLB-L1D", fmt.Sprintf("%dx4KB, %dx2MB, %dx1GB",
+		sys.L1TLB[arch.Page4K].Entries, sys.L1TLB[arch.Page2M].Entries, sys.L1TLB[arch.Page1G].Entries))
+	t3.Row("TLB-L2", fmt.Sprintf("%dx shared 4KB/2MB pages", sys.STLB.Entries))
+	t3.Row("MMU caches", fmt.Sprintf("PML4E:%d PDPTE:%d PDE:%d entries",
+		sys.PSC.PML4Entries, sys.PSC.PDPTEntries, sys.PSC.PDEntries))
+	t3.Row("L1D", fmt.Sprintf("%s, %d-way, %d cycles", arch.FormatBytes(uint64(sys.L1D.SizeBytes)), sys.L1D.Ways, sys.L1D.Latency))
+	t3.Row("L2", fmt.Sprintf("%s, %d-way, %d cycles", arch.FormatBytes(uint64(sys.L2.SizeBytes)), sys.L2.Ways, sys.L2.Latency))
+	t3.Row("L3", fmt.Sprintf("%s, %d-way, %d cycles", arch.FormatBytes(uint64(sys.L3.SizeBytes)), sys.L3.Ways, sys.L3.Latency))
+	t3.Row("DRAM", fmt.Sprintf("%d cycles", sys.DRAMLatency))
+	t3.Row("Page table walker", "1 walker, PTE loads through the cache hierarchy")
+	return []*Table{t1, t2, t3}
+}
+
+// Render emits all three inventory tables.
+func (r *InventoryResult) Render() string { return RenderTables(r.Tables(), "") }

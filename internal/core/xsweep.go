@@ -1,0 +1,82 @@
+package core
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/workloads"
+)
+
+// This file drives the extended-sweep experiment: the paper's largest
+// footprints (hundreds of gigabytes) are out of reach for the
+// data-backed workloads, so the synthetic address streams carry the
+// TLB/walker-side sweeps into the tens-of-gigabytes of *virtual*
+// footprint, under both 4 KB and 2 MB backing. This is where the §V-E
+// claim — 2 MB benefits eroding at very large footprints — becomes
+// visible: the 2 MB TLB miss rate turns upward once the footprint
+// outgrows 2 MB-page STLB reach (2 GB on the Table III machine).
+
+// xsweepWorkloads are the synthetic streams swept.
+var xsweepWorkloads = []string{"uniform-synth", "zipf-synth", "stride-synth"}
+
+// XSweepRow is one (stream, footprint) sample.
+type XSweepRow struct {
+	Workload  string
+	Footprint uint64
+
+	WCPI4K, WCPI2M                               float64
+	MissesPerKiloAccess4K, MissesPerKiloAccess2M float64
+	AvgWalkCycles4K                              float64
+}
+
+// XSweepResult is the extended sweep's dataset.
+type XSweepResult struct {
+	Rows []XSweepRow
+}
+
+// XSweep measures the synthetic streams across their full virtual
+// ladders under 4 KB and 2 MB backing.
+func XSweep(s *Session) (*XSweepResult, error) {
+	r := &XSweepResult{}
+	cfg := *s.Config()
+	for _, name := range xsweepWorkloads {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, param := range spec.Sizes(cfg.Preset) {
+			r4, err := Run(&cfg, spec, param, arch.Page4K)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := Run(&cfg, spec, param, arch.Page2M)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, XSweepRow{
+				Workload:              name,
+				Footprint:             r4.Footprint,
+				WCPI4K:                r4.Metrics.WCPI,
+				WCPI2M:                r2.Metrics.WCPI,
+				MissesPerKiloAccess4K: r4.Metrics.TLBMissesPerKiloAccess,
+				MissesPerKiloAccess2M: r2.Metrics.TLBMissesPerKiloAccess,
+				AvgWalkCycles4K:       r4.Metrics.AvgWalkCycles,
+			})
+		}
+	}
+	return r, nil
+}
+
+// Tables exposes the sweep rows.
+func (r *XSweepResult) Tables() []*Table {
+	t := NewTable("Extended sweep: synthetic streams to tens-of-GB virtual footprints",
+		"workload", "footprint", "WCPI 4K", "WCPI 2M", "misses/kacc 4K", "misses/kacc 2M", "walk-lat 4K")
+	for _, row := range r.Rows {
+		t.Row(row.Workload, arch.FormatBytes(row.Footprint),
+			f(row.WCPI4K, 4), f(row.WCPI2M, 4),
+			f(row.MissesPerKiloAccess4K, 2), f(row.MissesPerKiloAccess2M, 2),
+			f(row.AvgWalkCycles4K, 1))
+	}
+	return []*Table{t}
+}
+
+// Render emits the sweep table.
+func (r *XSweepResult) Render() string { return RenderTables(r.Tables(), "") }

@@ -1,0 +1,514 @@
+// Package cpu models the core: instruction and cycle accounting, the
+// translation datapath (TLBs, walker), demand data accesses through the
+// cache hierarchy, and — critically for the paper's §V-D — speculation.
+//
+// The model is direct-execution: workloads call Load/Store/Ops/Branch with
+// their real addresses and branch outcomes. Timing is first-order (a base
+// CPI plus partially-hidden memory and walk latencies), but the
+// *translation microarchitecture* is simulated faithfully, so every
+// counter the paper derives metrics from has a mechanistic origin:
+//
+//   - Retired walks come from demand accesses that miss both TLB levels.
+//   - Wrong-path walks come from mispredicted branches (real outcomes
+//     through a gshare predictor) opening a speculation window sized by
+//     the resolve latency; wrong-path addresses near the recent working
+//     set look up the TLB and may walk.
+//   - Aborted walks are speculative walks that outlive their window: the
+//     colder the PTEs, the longer the walk, the likelier the abort.
+//   - Machine clears come from 4 KB-aliasing/memory-ordering conflicts
+//     against a recent-store window, and flush like mispredicts.
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/perf"
+	"atscale/internal/tlb"
+	"atscale/internal/walker"
+)
+
+// osFaultCycles is the cycle cost charged for a demand page fault (kernel
+// entry, allocation, map, return).
+const osFaultCycles = 1400
+
+// FaultHandler is the OS upcall invoked on a demand page fault. It must
+// map the page containing va and return the mapped size.
+type FaultHandler func(va arch.VAddr) (arch.PageSize, error)
+
+type aliasEntry struct {
+	va  arch.VAddr
+	seq uint64
+}
+
+// Core is one simulated CPU core.
+type Core struct {
+	cfg    *arch.SystemConfig
+	tlbs   *tlb.Hierarchy
+	caches *cache.Hierarchy
+	walker walker.Engine
+	ctr    perf.Counters
+
+	cr3   arch.PAddr
+	fault FaultHandler
+
+	pred *gshare
+	rng  *rand.Rand
+
+	// cycleFrac carries sub-cycle remainders so the Cycles counter stays
+	// integer and monotonic.
+	cycleFrac float64
+
+	// recentLat is an EWMA of demand-access latencies, used as the
+	// data-dependent part of branch-resolve latency.
+	recentLat float64
+
+	// ring holds recent demand VAs for wrong-path address synthesis.
+	ring    [64]arch.VAddr
+	ringLen int
+	ringPos int
+
+	// reservoir holds a long-horizon sample of demand VAs: stale pointer
+	// values wrong-path micro-ops dereference. Unlike ring entries these
+	// are usually no longer TLB-resident once the footprint outgrows the
+	// TLB — the mechanism that makes wrong-path walks scale with
+	// footprint (§V-D).
+	reservoir    [8192]arch.VAddr
+	reservoirLen int
+
+	// vaMin/vaMax bound the touched virtual range.
+	vaMin, vaMax arch.VAddr
+
+	// aliases tracks recent stores by page offset for 4K-aliasing clears.
+	aliases  map[uint64]aliasEntry
+	storeSeq uint64
+
+	// heat, when non-nil, counts demand walks per 2 MB block — the
+	// OS-visible signal behind WCPI-guided hugepage promotion.
+	heat map[arch.VAddr]uint32
+}
+
+// New builds a core on top of the given translation and cache hardware.
+// seed fixes the speculation model's random choices, making runs
+// reproducible.
+func New(cfg *arch.SystemConfig, tlbs *tlb.Hierarchy, caches *cache.Hierarchy, w walker.Engine, seed int64) *Core {
+	return &Core{
+		cfg:     cfg,
+		tlbs:    tlbs,
+		caches:  caches,
+		walker:  w,
+		pred:    newGshare(cfg.CPU.GsharePCBits),
+		rng:     rand.New(rand.NewSource(seed)),
+		vaMin:   ^arch.VAddr(0),
+		aliases: make(map[uint64]aliasEntry),
+	}
+}
+
+// SetAddressSpace points the core at a page table root and the OS fault
+// handler (the simulated CR3 write at process start).
+func (c *Core) SetAddressSpace(cr3 arch.PAddr, fault FaultHandler) {
+	c.cr3 = cr3
+	c.fault = fault
+	c.tlbs.Flush()
+	c.walker.Flush()
+}
+
+// Counters returns a snapshot of the core's PMU.
+func (c *Core) Counters() perf.Counters { return c.ctr.Snapshot() }
+
+// Accesses returns retired loads+stores so far (cheap progress gauge).
+func (c *Core) Accesses() uint64 {
+	return c.ctr.Get(perf.AllLoads) + c.ctr.Get(perf.AllStores)
+}
+
+// EnableWalkHeat starts per-2MB-block demand-walk counting (the promotion
+// policy's hotness signal).
+func (c *Core) EnableWalkHeat() {
+	if c.heat == nil {
+		c.heat = make(map[arch.VAddr]uint32)
+	}
+}
+
+// DrainWalkHeat returns up to k blocks ordered by walk count, hottest
+// first, and resets the counts for the next epoch.
+func (c *Core) DrainWalkHeat(k int) []arch.VAddr {
+	if len(c.heat) == 0 {
+		return nil
+	}
+	type hb struct {
+		block arch.VAddr
+		n     uint32
+	}
+	all := make([]hb, 0, len(c.heat))
+	for b, n := range c.heat {
+		all = append(all, hb{b, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].block < all[j].block
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]arch.VAddr, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].block
+	}
+	clear(c.heat)
+	return out
+}
+
+// InvalidateTranslation drops any cached translation of va at the given
+// size from every TLB level (the OS's INVLPG).
+func (c *Core) InvalidateTranslation(va arch.VAddr, ps arch.PageSize) {
+	c.tlbs.InvalidatePage(va, ps)
+}
+
+// InvalidatePDE drops the paging-structure-cache entry covering va's 2 MB
+// block — mandatory after a hugepage promotion replaces the PDE.
+func (c *Core) InvalidatePDE(va arch.VAddr) {
+	c.walker.InvalidateBlock(va)
+}
+
+// Stall charges visible cycles for OS work performed on the program's
+// behalf (promotion copies, for instance).
+func (c *Core) Stall(cycles uint64) { c.charge(float64(cycles)) }
+
+// CountSoftware books a software event (OS-level occurrences such as
+// hugepage promotions) into the PMU alongside the hardware events.
+func (c *Core) CountSoftware(e perf.Event, n uint64) { c.ctr.Add(e, n) }
+
+// charge accrues fractional cycles into the integer cycle counter.
+func (c *Core) charge(cy float64) {
+	c.cycleFrac += cy
+	whole := uint64(c.cycleFrac)
+	if whole > 0 {
+		c.ctr.Add(perf.Cycles, whole)
+		c.cycleFrac -= float64(whole)
+	}
+}
+
+// Ops retires n non-memory instructions.
+func (c *Core) Ops(n uint64) {
+	c.ctr.Add(perf.InstRetired, n)
+	c.charge(float64(n) * c.cfg.CPU.BaseCPI)
+}
+
+// Load retires one load of va and returns the physical address accessed.
+func (c *Core) Load(va arch.VAddr) arch.PAddr {
+	c.ctr.Inc(perf.InstRetired)
+	c.ctr.Inc(perf.AllLoads)
+	c.checkAlias(va)
+	return c.access(va, false)
+}
+
+// Store retires one store to va and returns the physical address accessed.
+func (c *Core) Store(va arch.VAddr) arch.PAddr {
+	c.ctr.Inc(perf.InstRetired)
+	c.ctr.Inc(perf.AllStores)
+	c.recordStore(va)
+	return c.access(va, true)
+}
+
+// access translates va (walking and faulting as needed), performs the data
+// access, charges visible latency, and returns the physical address.
+func (c *Core) access(va arch.VAddr, isStore bool) arch.PAddr {
+	c.charge(c.cfg.CPU.BaseCPI)
+	c.noteVA(va)
+
+	var frame arch.PAddr
+	var size arch.PageSize
+	switch r := c.tlbs.Lookup(va); r.Level {
+	case tlb.HitL1:
+		frame, size = r.Entry.Frame, r.Entry.Size
+	case tlb.HitSTLB:
+		c.countSTLBHit(isStore)
+		c.charge(float64(c.cfg.CPU.STLBHitLatency) * c.cfg.CPU.STLBHitVisibility)
+		frame, size = r.Entry.Frame, r.Entry.Size
+		// An STLB hit still signals first-level pressure; chaining the
+		// prefetcher here lets it keep pace with streams (a hit on a
+		// prefetched page prefetches the next one).
+		if c.cfg.TLBPrefetchNextPage {
+			c.prefetchNextPage(va, size)
+		}
+	default:
+		frame, size = c.demandWalk(va, isStore)
+	}
+
+	pa := frame + arch.PAddr(uint64(va)&size.Mask())
+	lat, _ := c.caches.Access(pa)
+	l1 := c.cfg.L1D.Latency
+	if lat > l1 {
+		c.charge(float64(lat-l1) * c.cfg.CPU.MemVisibility)
+	}
+	c.recentLat = 0.9*c.recentLat + 0.1*float64(lat)
+	return pa
+}
+
+// demandWalk performs the page walk for a retired access, taking a fault
+// and retrying once if the page is not yet mapped.
+func (c *Core) demandWalk(va arch.VAddr, isStore bool) (arch.PAddr, arch.PageSize) {
+	c.countSTLBMissRetired(isStore)
+	c.countWalkInitiated(isStore)
+	if c.heat != nil {
+		c.heat[arch.PageBase(va, arch.Page2M)]++
+	}
+	wr := c.walker.Walk(va, c.cr3, walker.NoBudget)
+	c.accountWalk(isStore, wr)
+	c.charge(float64(wr.Cycles) * c.cfg.CPU.WalkVisibility)
+	if !wr.OK {
+		// Demand page fault: the OS maps the page and the access
+		// re-walks. The fault and retry count as one walk (one
+		// initiated, one completed) so outcome accounting stays tied to
+		// speculation rather than first-touch behaviour; the retry's
+		// loads and cycles are still accrued.
+		c.ctr.Inc(perf.PageFaults)
+		if c.fault == nil {
+			panic(fmt.Sprintf("cpu: fault at %#x with no handler", uint64(va)))
+		}
+		if _, err := c.fault(va); err != nil {
+			panic(fmt.Sprintf("cpu: unhandled fault: %v", err))
+		}
+		c.charge(osFaultCycles)
+		wr = c.walker.Walk(va, c.cr3, walker.NoBudget)
+		c.accountWalk(isStore, wr)
+		c.charge(float64(wr.Cycles) * c.cfg.CPU.WalkVisibility)
+		if !wr.OK {
+			panic(fmt.Sprintf("cpu: fault handler did not map %#x", uint64(va)))
+		}
+	}
+	c.countWalkCompleted(isStore)
+	c.tlbs.Fill(va, wr.Frame, wr.Size)
+	if c.cfg.TLBPrefetchNextPage {
+		c.prefetchNextPage(va, wr.Size)
+	}
+	return wr.Frame, wr.Size
+}
+
+// prefetchNextPage walks the page following the one just demanded and
+// installs the translation into the STLB. Prefetch walks run off the
+// critical path (no visible cycle charge) but consume walker bandwidth
+// and cache capacity like real walks; they are accounted in the
+// tlb_prefetch.* event domain so the architectural dtlb_* events — and
+// the Table VI outcome formulae on top of them — stay undistorted.
+func (c *Core) prefetchNextPage(va arch.VAddr, ps arch.PageSize) {
+	next := arch.PageBase(va, ps) + arch.VAddr(ps.Bytes())
+	if _, hit := c.tlbs.STLB().Lookup(next); hit {
+		return
+	}
+	c.ctr.Inc(perf.TLBPrefetchWalks)
+	wr := c.walker.Walk(next, c.cr3, walker.NoBudget)
+	c.ctr.Add(perf.TLBPrefetchCycles, wr.Cycles)
+	if wr.OK {
+		c.tlbs.FillSTLB(next, wr.Frame, wr.Size)
+		c.ctr.Inc(perf.TLBPrefetchFills)
+	}
+}
+
+// Branch retires one branch instruction with the given program counter and
+// real outcome. A misprediction opens a wrong-path speculation window.
+func (c *Core) Branch(pc uint64, taken bool) {
+	c.ctr.Inc(perf.InstRetired)
+	c.ctr.Inc(perf.Branches)
+	c.charge(c.cfg.CPU.BaseCPI)
+	predicted := c.pred.predict(pc)
+	c.pred.update(pc, taken)
+	if predicted == taken {
+		return
+	}
+	c.ctr.Inc(perf.BranchMispredicts)
+	c.flushEpisode()
+}
+
+// flushEpisode models one pipeline flush (mispredict or machine clear):
+// the resolve window is charged, and the wrong-path micro-ops that issued
+// inside it perform speculative TLB lookups, walks, and cache accesses.
+func (c *Core) flushEpisode() {
+	// The resolve window stretches with the latency of the data feeding
+	// the mispredicted branch; the 1.5 factor reflects short dependent
+	// chains (load -> compare -> branch) beyond the single load.
+	window := float64(c.cfg.CPU.PipelineDepth) + 1.5*c.recentLat
+	c.charge(window)
+	if c.ringLen == 0 || c.cfg.CPU.MaxWrongPathAccesses <= 0 {
+		return
+	}
+	n := int(window * c.cfg.CPU.IssueWidth * c.accessesPerInstruction())
+	if n < 1 {
+		n = 1
+	}
+	if n > c.cfg.CPU.MaxWrongPathAccesses {
+		n = c.cfg.CPU.MaxWrongPathAccesses
+	}
+	for i := 0; i < n; i++ {
+		tstart := window * float64(i) / float64(n)
+		c.wrongPathAccess(uint64(window - tstart))
+	}
+}
+
+// wrongPathAccess issues one speculative access with the given cycle
+// budget before the flush squashes it.
+func (c *Core) wrongPathAccess(budget uint64) {
+	va := c.wrongPathVA()
+	var frame arch.PAddr
+	var size arch.PageSize
+	switch r := c.tlbs.Lookup(va); r.Level {
+	case tlb.HitL1:
+		frame, size = r.Entry.Frame, r.Entry.Size
+	case tlb.HitSTLB:
+		c.countSTLBHit(false)
+		frame, size = r.Entry.Frame, r.Entry.Size
+	default:
+		// Speculative walk; counts as a load-side walk (stores do not
+		// translate speculatively on the modelled machine).
+		c.countWalkInitiated(false)
+		wr := c.walker.Walk(va, c.cr3, budget)
+		c.accountWalk(false, wr)
+		if !wr.Completed {
+			return // aborted: initiated but never completed
+		}
+		c.countWalkCompleted(false)
+		if !wr.OK {
+			return // speculative fault is suppressed, no fill
+		}
+		c.tlbs.Fill(va, wr.Frame, wr.Size)
+		frame, size = wr.Frame, wr.Size
+	}
+	// The wrong-path data access pollutes the caches but costs no
+	// visible time (it executes under the flush window).
+	c.caches.Access(frame + arch.PAddr(uint64(va)&size.Mask()))
+}
+
+// wrongPathVA synthesizes a plausible wrong-path address. Wrong-path
+// micro-ops consume stale or mispredicted register values, so most of
+// their addresses are valid heap pointers: a stride off a recent access
+// or a revisit of one; only a small tail is wild garbage (which walks,
+// faults, and is suppressed — as on hardware).
+func (c *Core) wrongPathVA() arch.VAddr {
+	r := c.rng.Float64()
+	switch {
+	case r < c.cfg.CPU.WrongPathNearFraction:
+		base := c.ring[c.rng.Intn(c.ringLen)]
+		stride := c.rng.Int63n(int64(c.cfg.CPU.WrongPathMaxStride)*2+1) - int64(c.cfg.CPU.WrongPathMaxStride)
+		va := int64(base) + stride
+		if va < int64(c.vaMin) {
+			va = int64(c.vaMin)
+		}
+		if va > int64(c.vaMax) {
+			va = int64(c.vaMax)
+		}
+		return arch.VAddr(va) &^ 7
+	case r < 1-c.cfg.CPU.WrongPathWildFraction:
+		// Stale pointer: an older working-set address (mapped, but only
+		// TLB-resident while the footprint fits the TLB).
+		return c.reservoir[c.rng.Intn(c.reservoirLen)]
+	default:
+		span := uint64(c.vaMax - c.vaMin)
+		if span == 0 {
+			return c.vaMin
+		}
+		return (c.vaMin + arch.VAddr(c.rng.Uint64()%span)) &^ 7
+	}
+}
+
+// checkAlias models 4K-aliasing / memory-ordering machine clears: a load
+// whose page offset matches a recent store to a *different* address may
+// force a pipeline clear.
+func (c *Core) checkAlias(va arch.VAddr) {
+	key := uint64(va) & 0xFF8
+	e, ok := c.aliases[key]
+	if !ok || e.va == va {
+		return
+	}
+	if c.storeSeq-e.seq > uint64(c.cfg.CPU.StoreBufferSize) {
+		return
+	}
+	if c.rng.Float64() >= c.cfg.CPU.ClearProbability {
+		return
+	}
+	c.ctr.Inc(perf.MachineClears)
+	c.ctr.Inc(perf.MachineClearsMemOrder)
+	c.flushEpisode()
+}
+
+func (c *Core) recordStore(va arch.VAddr) {
+	c.storeSeq++
+	c.aliases[uint64(va)&0xFF8] = aliasEntry{va: va, seq: c.storeSeq}
+}
+
+func (c *Core) noteVA(va arch.VAddr) {
+	c.ring[c.ringPos] = va
+	c.ringPos = (c.ringPos + 1) % len(c.ring)
+	if c.ringLen < len(c.ring) {
+		c.ringLen++
+	}
+	if c.reservoirLen < len(c.reservoir) {
+		c.reservoir[c.reservoirLen] = va
+		c.reservoirLen++
+	} else if c.rng.Intn(8) == 0 {
+		c.reservoir[c.rng.Intn(c.reservoirLen)] = va
+	}
+	if va < c.vaMin {
+		c.vaMin = va
+	}
+	if va > c.vaMax {
+		c.vaMax = va
+	}
+}
+
+func (c *Core) accessesPerInstruction() float64 {
+	inst := c.ctr.Get(perf.InstRetired)
+	if inst == 0 {
+		return 0.3
+	}
+	return float64(c.ctr.Get(perf.AllLoads)+c.ctr.Get(perf.AllStores)) / float64(inst)
+}
+
+// accountWalk books a walk's cycles and PTE-load locations.
+func (c *Core) accountWalk(isStore bool, wr walker.Result) {
+	if isStore {
+		c.ctr.Add(perf.DTLBStoreWalkDuration, wr.Cycles)
+	} else {
+		c.ctr.Add(perf.DTLBLoadWalkDuration, wr.Cycles)
+	}
+	c.ctr.Add(perf.WalkerLoadsL1, uint64(wr.Locs[cache.HitL1]))
+	c.ctr.Add(perf.WalkerLoadsL2, uint64(wr.Locs[cache.HitL2]))
+	c.ctr.Add(perf.WalkerLoadsL3, uint64(wr.Locs[cache.HitL3]))
+	c.ctr.Add(perf.WalkerLoadsMem, uint64(wr.Locs[cache.HitMem]))
+}
+
+func (c *Core) countWalkInitiated(isStore bool) {
+	if isStore {
+		c.ctr.Inc(perf.DTLBStoreMissWalk)
+	} else {
+		c.ctr.Inc(perf.DTLBLoadMissWalk)
+	}
+}
+
+func (c *Core) countWalkCompleted(isStore bool) {
+	if isStore {
+		c.ctr.Inc(perf.DTLBStoreWalkCompleted)
+	} else {
+		c.ctr.Inc(perf.DTLBLoadWalkCompleted)
+	}
+}
+
+func (c *Core) countSTLBHit(isStore bool) {
+	if isStore {
+		c.ctr.Inc(perf.DTLBStoreSTLBHit)
+	} else {
+		c.ctr.Inc(perf.DTLBLoadSTLBHit)
+	}
+}
+
+func (c *Core) countSTLBMissRetired(isStore bool) {
+	if isStore {
+		c.ctr.Inc(perf.STLBMissStores)
+	} else {
+		c.ctr.Inc(perf.STLBMissLoads)
+	}
+}

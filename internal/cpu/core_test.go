@@ -1,0 +1,282 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+)
+
+func newMachine(t *testing.T, policy arch.PageSize) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(arch.DefaultSystem(), policy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOpsAccounting(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	m.Ops(1000)
+	c := m.Counters()
+	if got := c.Get(perf.InstRetired); got != 1000 {
+		t.Errorf("instructions = %d, want 1000", got)
+	}
+	cfg := m.Config()
+	want := uint64(1000 * cfg.CPU.BaseCPI)
+	if got := c.Get(perf.Cycles); got < want-1 || got > want+1 {
+		t.Errorf("cycles = %d, want ~%d", got, want)
+	}
+}
+
+func TestFirstTouchFaultsThenHits(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	va := m.MustMalloc(4096)
+	m.Store64(va, 42)
+	c := m.Counters()
+	if c.Get(perf.PageFaults) != 1 {
+		t.Fatalf("faults = %d, want 1", c.Get(perf.PageFaults))
+	}
+	// Second access to the same page: TLB hit, no walk, no fault.
+	before := c.Get(perf.DTLBLoadMissWalk) + c.Get(perf.DTLBStoreMissWalk)
+	if got := m.Load64(va); got != 42 {
+		t.Fatalf("Load64 = %d, want 42", got)
+	}
+	c = m.Counters()
+	after := c.Get(perf.DTLBLoadMissWalk) + c.Get(perf.DTLBStoreMissWalk)
+	if after != before {
+		t.Errorf("warm access walked (%d -> %d)", before, after)
+	}
+	if c.Get(perf.PageFaults) != 1 {
+		t.Errorf("faults = %d after warm access", c.Get(perf.PageFaults))
+	}
+}
+
+func TestLoadStoreCounters(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	va := m.MustMalloc(4096)
+	for i := 0; i < 10; i++ {
+		m.Store64(va+arch.VAddr(i*8), uint64(i))
+	}
+	for i := 0; i < 20; i++ {
+		m.Load64(va + arch.VAddr(i%10*8))
+	}
+	c := m.Counters()
+	if c.Get(perf.AllStores) != 10 || c.Get(perf.AllLoads) != 20 {
+		t.Errorf("loads/stores = %d/%d, want 20/10",
+			c.Get(perf.AllLoads), c.Get(perf.AllStores))
+	}
+	if c.Get(perf.InstRetired) != 30 {
+		t.Errorf("instructions = %d, want 30", c.Get(perf.InstRetired))
+	}
+}
+
+func TestWalkCounterInvariants(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	// Touch enough pages to overflow both TLB levels, with branches to
+	// trigger speculation.
+	const pages = 4096
+	va := m.MustMalloc(pages * 4096)
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < pages; p++ {
+			addr := va + arch.VAddr(p*4096)
+			m.Load64(addr)
+			m.Branch(uint64(p%37), p%3 == 0)
+		}
+	}
+	c := m.Counters()
+	o := perf.Outcomes(c)
+	if o.Initiated == 0 {
+		t.Fatal("no walks initiated")
+	}
+	if o.Completed > o.Initiated {
+		t.Errorf("completed %d > initiated %d", o.Completed, o.Initiated)
+	}
+	if o.Retired > o.Completed {
+		t.Errorf("retired %d > completed %d", o.Retired, o.Completed)
+	}
+	if o.Retired+o.WrongPath+o.Aborted != o.Initiated {
+		t.Errorf("outcome conservation broken: %+v", o)
+	}
+	loads := c.Get(perf.WalkerLoadsL1) + c.Get(perf.WalkerLoadsL2) +
+		c.Get(perf.WalkerLoadsL3) + c.Get(perf.WalkerLoadsMem)
+	if loads < o.Initiated {
+		t.Errorf("walker loads %d < initiated walks %d", loads, o.Initiated)
+	}
+	if loads > 4*o.Initiated {
+		t.Errorf("walker loads %d > 4x initiated walks %d", loads, o.Initiated)
+	}
+	dur := c.Get(perf.DTLBLoadWalkDuration) + c.Get(perf.DTLBStoreWalkDuration)
+	if dur == 0 {
+		t.Error("walks accrued no duration")
+	}
+	if dur >= c.Get(perf.Cycles)*10 {
+		t.Errorf("walk duration %d implausible vs cycles %d", dur, c.Get(perf.Cycles))
+	}
+}
+
+func TestSTLBHitCounted(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	// 512 pages overflow the 64-entry L1 TLB but fit the 1024-entry STLB.
+	const pages = 512
+	va := m.MustMalloc(pages * 4096)
+	for pass := 0; pass < 3; pass++ {
+		for p := 0; p < pages; p++ {
+			m.Load64(va + arch.VAddr(p*4096))
+		}
+	}
+	c := m.Counters()
+	if c.Get(perf.DTLBLoadSTLBHit) == 0 {
+		t.Error("no STLB hits recorded for an STLB-sized working set")
+	}
+	// STLB-resident pages should rarely walk after warmup.
+	o := perf.Outcomes(c)
+	if o.Retired > pages*2 {
+		t.Errorf("retired walks %d for a %d-page STLB-resident set", o.Retired, pages)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	for i := 0; i < 10000; i++ {
+		m.Branch(0x400, true) // always-taken loop branch
+	}
+	c := m.Counters()
+	if c.Get(perf.Branches) != 10000 {
+		t.Fatalf("branches = %d", c.Get(perf.Branches))
+	}
+	// gshare trains one table entry per history state, so allow the
+	// cold-start transient.
+	if misp := c.Get(perf.BranchMispredicts); misp > 50 {
+		t.Errorf("mispredicts = %d on an always-taken branch", misp)
+	}
+}
+
+func TestBranchPredictorMissesRandom(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	// A pseudo-random data-dependent branch defeats gshare.
+	x := uint64(0x123456789)
+	for i := 0; i < 8000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Branch(0x500, x&1 == 0)
+	}
+	c := m.Counters()
+	rate := float64(c.Get(perf.BranchMispredicts)) / float64(c.Get(perf.Branches))
+	if rate < 0.2 {
+		t.Errorf("mispredict rate %.3f on random branch, want >= 0.2", rate)
+	}
+}
+
+func TestWrongPathWalksNeedMispredicts(t *testing.T) {
+	// Without any branches there can be no wrong-path or aborted walks.
+	m := newMachine(t, arch.Page4K)
+	const pages = 2048
+	va := m.MustMalloc(pages * 4096)
+	for p := 0; p < pages; p++ {
+		m.Load64(va + arch.VAddr(p*4096))
+	}
+	o := perf.Outcomes(m.Counters())
+	if o.WrongPath != 0 || o.Aborted != 0 {
+		t.Errorf("speculative walks without branches: %+v", o)
+	}
+}
+
+func TestWrongPathWalksAppearWithMispredicts(t *testing.T) {
+	m := newMachine(t, arch.Page4K)
+	const pages = 8192 // 32 MB: beyond STLB reach
+	va := m.MustMalloc(pages * 4096)
+	x := uint64(0xdeadbeef)
+	for i := 0; i < 3*pages; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Load64(va + arch.VAddr(x%pages*4096))
+		m.Branch(0x600, x&1 == 0)
+	}
+	o := perf.Outcomes(m.Counters())
+	if o.WrongPath+o.Aborted == 0 {
+		t.Error("no speculative walks despite mispredicts on a TLB-thrashing footprint")
+	}
+}
+
+func TestMachineClearsFromAliasing(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.CPU.ClearProbability = 1.0 // make the conflict deterministic
+	m, err := machine.New(cfg, arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := m.MustMalloc(2 * 4096)
+	m.Store64(va+0x100, 1)      // store at offset 0x100 of page 0
+	m.Load64(va + 4096 + 0x100) // load same offset, different page
+	c := m.Counters()
+	if c.Get(perf.MachineClears) != 1 {
+		t.Errorf("machine clears = %d, want 1", c.Get(perf.MachineClears))
+	}
+	if c.Get(perf.MachineClearsMemOrder) != 1 {
+		t.Errorf("memory-ordering clears = %d, want 1", c.Get(perf.MachineClearsMemOrder))
+	}
+}
+
+func TestNoClearOnTrueDependence(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.CPU.ClearProbability = 1.0
+	m, err := machine.New(cfg, arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := m.MustMalloc(4096)
+	m.Store64(va+0x100, 1)
+	m.Load64(va + 0x100) // same address: forwarding, not a clear
+	if got := m.Counters().Get(perf.MachineClears); got != 0 {
+		t.Errorf("machine clears = %d on a true dependence", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() perf.Counters {
+		m := newMachine(t, arch.Page4K)
+		va := m.MustMalloc(1024 * 4096)
+		x := uint64(7)
+		for i := 0; i < 20000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			m.Load64(va + arch.VAddr(x%1024*4096))
+			if i%3 == 0 {
+				m.Store64(va+arch.VAddr(x%1024*4096), x)
+			}
+			m.Branch(uint64(i%11), x&3 == 0)
+			m.Ops(2)
+		}
+		return m.Counters()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Error("identical runs produced different counters")
+	}
+}
+
+func TestSuperpagesReduceWalks(t *testing.T) {
+	walks := func(policy arch.PageSize) uint64 {
+		m := newMachine(t, policy)
+		const pages = 4096 // 16MB
+		va := m.MustMalloc(pages * 4096)
+		x := uint64(3)
+		for i := 0; i < 4*pages; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			m.Load64(va + arch.VAddr(x%(pages*512)*8))
+		}
+		return perf.Outcomes(m.Counters()).Initiated
+	}
+	w4k, w2m := walks(arch.Page4K), walks(arch.Page2M)
+	if w2m*4 > w4k {
+		t.Errorf("2MB pages walked %d vs 4KB %d; expected >=4x reduction", w2m, w4k)
+	}
+}

@@ -1,0 +1,40 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+)
+
+// TestWalkHeatRanksHotBlocks hammers one 2 MB block with TLB-missing
+// accesses (interleaved with a scattered stream that keeps evicting its
+// translations) and checks the walk-heat signal steers promotion to that
+// block.
+func TestWalkHeatRanksHotBlocks(t *testing.T) {
+	m2, err := machine.New(arch.DefaultSystem(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultPromotionConfig()
+	cfg.Epoch = 64 * 1024
+	cfg.MaxPerEpoch = 1
+	m2.EnablePromotion(cfg)
+	va2 := m2.MustMalloc(256 * arch.MB)
+	hot2 := arch.VAddr(arch.AlignUp(uint64(va2), arch.Page2M.Bytes()))
+	y := uint64(7)
+	for i := 0; i < 400_000; i++ {
+		y ^= y << 13
+		y ^= y >> 7
+		y ^= y << 17
+		m2.Load64(va2 + arch.VAddr(y%(256*arch.MB/8)*8))
+		m2.Load64(hot2 + arch.VAddr(y%(arch.Page2M.Bytes()/8)*8))
+	}
+	if m2.Promotions() == 0 {
+		t.Fatal("no promotions")
+	}
+	// The hot block must be among the promoted (mapped as 2MB now).
+	if _, ps, ok := m2.AddressSpace().PageTable().Lookup(hot2); !ok || ps != arch.Page2M {
+		t.Errorf("hot block not promoted: mapped=%v size=%v", ok, ps)
+	}
+}

@@ -1,0 +1,50 @@
+package cpu
+
+// gshare is a global-history branch predictor with 2-bit saturating
+// counters. The workloads report their real branch outcomes, so mispredict
+// rates emerge from actual control flow rather than a fixed probability —
+// which is what lets wrong-path walk behaviour vary by workload as in the
+// paper's §V-D.
+type gshare struct {
+	table   []uint8
+	history uint64
+	mask    uint64
+}
+
+func newGshare(bits uint) *gshare {
+	size := uint64(1) << bits
+	g := &gshare{table: make([]uint8, size), mask: size - 1}
+	for i := range g.table {
+		g.table[i] = 1 // weakly not-taken
+	}
+	return g
+}
+
+func (g *gshare) index(pc uint64) uint64 {
+	return (pc ^ g.history) & g.mask
+}
+
+// predict returns the predicted direction without updating state.
+func (g *gshare) predict(pc uint64) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// update trains the counter and shifts the outcome into global history.
+func (g *gshare) update(pc uint64, taken bool) {
+	i := g.index(pc)
+	if taken {
+		if g.table[i] < 3 {
+			g.table[i]++
+		}
+	} else if g.table[i] > 0 {
+		g.table[i]--
+	}
+	g.history = g.history<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

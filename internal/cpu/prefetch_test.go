@@ -1,0 +1,67 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+)
+
+// strideWalkCounts runs a page-strided scan and returns (retired walks,
+// prefetch walks).
+func strideWalkCounts(t *testing.T, prefetch bool) (uint64, uint64) {
+	t.Helper()
+	cfg := arch.DefaultSystem()
+	cfg.TLBPrefetchNextPage = prefetch
+	m, err := machine.New(cfg, arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 8192 // 32MB: far beyond STLB reach
+	va := m.MustMalloc(pages * 4096)
+	for p := uint64(0); p < pages; p++ {
+		m.Poke64(va+arch.VAddr(p*4096), p) // pre-fault
+	}
+	start := m.Counters()
+	for p := uint64(0); p < pages; p++ {
+		m.Load64(va + arch.VAddr(p*4096))
+	}
+	d := perf.Delta(start, m.Counters())
+	return d.Get(perf.STLBMissLoads), d.Get(perf.TLBPrefetchWalks)
+}
+
+func TestNextPagePrefetchEliminatesStrideMisses(t *testing.T) {
+	base, basePf := strideWalkCounts(t, false)
+	pref, prefPf := strideWalkCounts(t, true)
+	if basePf != 0 {
+		t.Errorf("prefetch walks counted with prefetcher off: %d", basePf)
+	}
+	if prefPf == 0 {
+		t.Error("prefetcher issued no walks")
+	}
+	// A page-strided scan is the prefetcher's best case: nearly every
+	// demand miss should be converted into an STLB hit.
+	if pref*10 > base {
+		t.Errorf("retired walks %d with prefetch vs %d without; want >=10x reduction", pref, base)
+	}
+}
+
+func TestPrefetchDoesNotDistortOutcomeFormulae(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.TLBPrefetchNextPage = true
+	m, err := machine.New(cfg, arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := m.MustMalloc(4 * arch.MB)
+	for off := uint64(0); off < 4*arch.MB; off += 4096 {
+		m.Load64(va + arch.VAddr(off))
+	}
+	o := perf.Outcomes(m.Counters())
+	// With no speculation (no branches), every architectural walk must
+	// be retired: prefetch walks live in their own counter domain.
+	if o.WrongPath != 0 || o.Aborted != 0 {
+		t.Errorf("prefetch walks leaked into architectural outcomes: %+v", o)
+	}
+}

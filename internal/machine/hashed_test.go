@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+func hashedConfig() arch.SystemConfig {
+	cfg := arch.DefaultSystem()
+	cfg.PageTable = "hashed"
+	return cfg
+}
+
+func TestHashedMachineConsistencyOracle(t *testing.T) {
+	m, err := New(hashedConfig(), arch.Page4K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	va := m.MustMalloc(32 * arch.MB)
+	oracle := map[arch.VAddr]uint64{}
+	for i := 0; i < 30_000; i++ {
+		a := va + arch.VAddr(rng.Uint64()%(32*arch.MB/8)*8)
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			m.Store64(a, v)
+			oracle[a] = v
+		} else if got := m.Load64(a); got != oracle[a] {
+			t.Fatalf("Load64(%#x) = %#x, want %#x", uint64(a), got, oracle[a])
+		}
+	}
+}
+
+func TestHashedRejectsSuperpagePolicies(t *testing.T) {
+	if _, err := New(hashedConfig(), arch.Page2M, 1); err == nil {
+		t.Error("hashed machine accepted a 2MB policy")
+	}
+	if _, err := New(hashedConfig(), arch.Page1G, 1); err == nil {
+		t.Error("hashed machine accepted a 1GB policy")
+	}
+}
+
+func TestHashedConfigValidation(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.PageTable = "cuckoo"
+	if _, err := New(cfg, arch.Page4K, 1); err == nil {
+		t.Error("unknown page-table organization accepted")
+	}
+	cfg = hashedConfig()
+	cfg.PagingLevels = 5
+	if _, err := New(cfg, arch.Page4K, 1); err == nil {
+		t.Error("hashed + LA57 accepted")
+	}
+}
+
+// TestHashedWalksStayShortAtScale is the headline property of the
+// alternative structure: at a footprint where radix walks need multiple
+// loads, hashed walks still need ~1.
+func TestHashedWalksStayShortAtScale(t *testing.T) {
+	loadsPerWalk := func(cfg arch.SystemConfig) float64 {
+		m, err := New(cfg, arch.Page4K, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const bytes = uint64(256 * arch.MB)
+		va := m.MustMalloc(bytes)
+		for off := uint64(0); off < bytes; off += 4096 {
+			m.Poke64(va+arch.VAddr(off), 1)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 250_000; i++ {
+			m.Load64(va + arch.VAddr(rng.Uint64()%(bytes/8)*8))
+		}
+		met := perf.Compute(m.Counters())
+		if met.Walks == 0 {
+			t.Fatal("no walks")
+		}
+		return met.Eq1.WalkerLoadsPerWalk
+	}
+	radixCfg := arch.DefaultSystem()
+	radixCfg.PSC = arch.PSCGeometry{} // strip the PSCs: raw radix depth
+	radix := loadsPerWalk(radixCfg)
+	hashed := loadsPerWalk(hashedConfig())
+	if radix < 3.5 {
+		t.Fatalf("PSC-less radix walks used %.2f loads; expected ~4", radix)
+	}
+	if hashed > 1.5 {
+		t.Errorf("hashed walks used %.2f loads; expected ~1", hashed)
+	}
+}
+
+func TestHashedPromotionDisabled(t *testing.T) {
+	m, err := New(hashedConfig(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnablePromotion(DefaultPromotionConfig())
+	va := m.MustMalloc(64 * arch.MB)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300_000; i++ {
+		m.Load64(va + arch.VAddr(rng.Uint64()%(64*arch.MB/8)*8))
+	}
+	if m.Promotions() != 0 {
+		t.Errorf("%d promotions on a hashed table", m.Promotions())
+	}
+}

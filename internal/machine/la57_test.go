@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+func la57Config() arch.SystemConfig {
+	cfg := arch.DefaultSystem()
+	cfg.PagingLevels = 5
+	return cfg
+}
+
+func TestLA57MachineRoundTrip(t *testing.T) {
+	m, err := New(la57Config(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := m.MustMalloc(arch.MB)
+	m.Store64(va+64, 99)
+	if m.Load64(va+64) != 99 {
+		t.Error("LA57 machine lost data")
+	}
+}
+
+func TestLA57WalksAreLonger(t *testing.T) {
+	loads := func(levels int) uint64 {
+		cfg := arch.DefaultSystem()
+		cfg.PagingLevels = levels
+		// Disable the PSCs so every walk runs full depth.
+		cfg.PSC = arch.PSCGeometry{}
+		m, err := New(cfg, arch.Page4K, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := m.MustMalloc(64 * arch.MB)
+		// Touch pages quietly, then walk them all once (each access is a
+		// TLB miss: 16K pages >> STLB).
+		for off := uint64(0); off < 64*arch.MB; off += 4096 {
+			m.Poke64(va+arch.VAddr(off), 1)
+		}
+		start := m.Counters()
+		for off := uint64(0); off < 64*arch.MB; off += 4096 {
+			m.Load64(va + arch.VAddr(off))
+		}
+		d := perf.Delta(start, m.Counters())
+		return d.Get(perf.WalkerLoadsL1) + d.Get(perf.WalkerLoadsL2) +
+			d.Get(perf.WalkerLoadsL3) + d.Get(perf.WalkerLoadsMem)
+	}
+	l4, l5 := loads(4), loads(5)
+	// 5-level walks do 5/4 the loads of 4-level walks.
+	lo, hi := l4*115/100, l4*135/100
+	if l5 < lo || l5 > hi {
+		t.Errorf("walker loads: 4-level %d, 5-level %d; want ~%d", l4, l5, l4*125/100)
+	}
+}
+
+func TestInvalidDepthRejected(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.PagingLevels = 6
+	if _, err := New(cfg, arch.Page4K, 1); err == nil {
+		t.Error("6-level paging accepted")
+	}
+	cfg.PagingLevels = 0
+	if _, err := New(cfg, arch.Page4K, 1); err == nil {
+		t.Error("0-level paging accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Package machine assembles the full simulated system — physical memory,
+// page tables, TLBs, paging-structure caches, walker, caches, core, and
+// the guest OS — behind the small API workloads program against: Malloc,
+// Load64/Store64, Ops, and Branch.
+//
+// Data really lives in simulated physical memory: a Load64 translates the
+// virtual address through the simulated MMU (faulting the page in on first
+// touch) and reads the word from the translated physical location. The
+// workloads are therefore genuinely data-dependent on the simulated memory
+// system, which is what lets access-pattern effects (filtering, PTE
+// hotness) emerge rather than being scripted.
+package machine
+
+import (
+	"fmt"
+
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/cpu"
+	"atscale/internal/mem"
+	"atscale/internal/mmucache"
+	"atscale/internal/pagetable"
+	"atscale/internal/perf"
+	"atscale/internal/tlb"
+	"atscale/internal/vm"
+	"atscale/internal/walker"
+)
+
+// Machine is one simulated single-core system running one process.
+type Machine struct {
+	cfg  arch.SystemConfig
+	phys *mem.Phys
+	as   *vm.AddrSpace
+	core *cpu.Core
+
+	// quiet-access translation cache (setup-phase fast path).
+	quietValid bool
+	quietPage  arch.VAddr
+	quietFrame arch.PAddr
+
+	// promo, when non-nil, is the WCPI-guided hugepage promotion policy.
+	promo *promoState
+
+	// tracer, when non-nil, observes the workload-visible event stream.
+	tracer Tracer
+}
+
+// Tracer observes every workload-level event the machine executes, in
+// order — the capture side of trace record/replay. Implementations must
+// not call back into the machine.
+type Tracer interface {
+	// Load observes a retired load of va.
+	Load(va arch.VAddr)
+	// Store observes a retired store to va.
+	Store(va arch.VAddr)
+	// Ops observes n non-memory instructions.
+	Ops(n uint64)
+	// Branch observes a branch at pc with its outcome.
+	Branch(pc uint64, taken bool)
+	// Malloc observes an allocation and the address it returned.
+	Malloc(va arch.VAddr, n uint64)
+	// Prefault observes a page quietly materialized during setup.
+	Prefault(page arch.VAddr)
+}
+
+// SetTracer installs (or, with nil, removes) the event tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// Prefault quietly maps the page containing va (replay of a recorded
+// setup-phase materialization).
+func (m *Machine) Prefault(va arch.VAddr) { m.quietTranslate(va) }
+
+// New builds a machine from cfg whose heap is backed with the given page
+// size policy. seed fixes all randomized model decisions.
+func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	m := &Machine{cfg: cfg}
+	m.phys = mem.NewPhys(cfg.PhysMemBytes)
+	caches := cache.NewHierarchy(&m.cfg)
+
+	var as *vm.AddrSpace
+	var engine walker.Engine
+	var err error
+	if cfg.PageTable == "hashed" {
+		if policy != arch.Page4K {
+			return nil, fmt.Errorf("machine: hashed page tables support the 4KB policy only, got %s", policy)
+		}
+		ht, herr := pagetable.NewHashed(m.phys, 1<<17)
+		if herr != nil {
+			return nil, fmt.Errorf("machine: %w", herr)
+		}
+		as, err = vm.NewAddrSpaceTables(m.phys, policy, ht)
+		engine = walker.NewHashed(m.phys, caches, ht)
+	} else {
+		as, err = vm.NewAddrSpaceDepth(m.phys, policy, cfg.PagingLevels)
+		engine = walker.New(m.phys, mmucache.NewWithDepth(m.cfg.PSC, m.cfg.PagingLevels), caches)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	m.as = as
+	tlbs := tlb.NewHierarchy(&m.cfg)
+	m.core = cpu.New(&m.cfg, tlbs, caches, engine, seed)
+	m.core.SetAddressSpace(as.PageTable().Root(), as.HandleFault)
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() *arch.SystemConfig { return &m.cfg }
+
+// Policy returns the heap backing page size.
+func (m *Machine) Policy() arch.PageSize { return m.as.Policy() }
+
+// Malloc allocates n bytes of guest memory.
+func (m *Machine) Malloc(n uint64) (arch.VAddr, error) {
+	va, err := m.as.Malloc(n)
+	if err == nil && m.tracer != nil {
+		m.tracer.Malloc(va, n)
+	}
+	return va, err
+}
+
+// MustMalloc allocates or panics; workload setup code uses it.
+func (m *Machine) MustMalloc(n uint64) arch.VAddr {
+	va, err := m.as.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return va
+}
+
+// Load64 retires a load instruction reading the 8-byte word at va.
+func (m *Machine) Load64(va arch.VAddr) uint64 {
+	if m.tracer != nil {
+		m.tracer.Load(va)
+	}
+	m.maybePromote()
+	pa := m.core.Load(va)
+	return m.phys.Read64(pa)
+}
+
+// Store64 retires a store instruction writing the 8-byte word at va.
+func (m *Machine) Store64(va arch.VAddr, v uint64) {
+	if m.tracer != nil {
+		m.tracer.Store(va)
+	}
+	m.maybePromote()
+	pa := m.core.Store(va)
+	m.phys.Write64(pa, v)
+}
+
+// Ops retires n non-memory instructions (address arithmetic, compares,
+// ALU work between memory accesses).
+func (m *Machine) Ops(n uint64) {
+	if m.tracer != nil {
+		m.tracer.Ops(n)
+	}
+	m.core.Ops(n)
+}
+
+// Branch retires a branch instruction at program counter pc with the given
+// real outcome.
+func (m *Machine) Branch(pc uint64, taken bool) {
+	if m.tracer != nil {
+		m.tracer.Branch(pc, taken)
+	}
+	m.core.Branch(pc, taken)
+}
+
+// Counters snapshots the PMU.
+func (m *Machine) Counters() perf.Counters { return m.core.Counters() }
+
+// Accesses returns the retired loads+stores so far — a cheap progress
+// gauge workloads use to honour their operation budget.
+func (m *Machine) Accesses() uint64 { return m.core.Accesses() }
+
+// Poke64 writes the word at va without simulating the access: no
+// instructions, cycles, TLB or cache state change. The page is mapped
+// quietly if needed. Workload *setup* (input generation) uses Poke/Peek;
+// it corresponds to the paper's untimed warmup run, keeping input
+// construction out of the measured region.
+func (m *Machine) Poke64(va arch.VAddr, v uint64) {
+	m.phys.Write64(m.quietTranslate(va), v)
+}
+
+// Peek64 reads the word at va without simulating the access.
+func (m *Machine) Peek64(va arch.VAddr) uint64 {
+	return m.phys.Read64(m.quietTranslate(va))
+}
+
+func (m *Machine) quietTranslate(va arch.VAddr) arch.PAddr {
+	// One-entry translation cache at 4 KB granularity: setup code pokes
+	// sequentially, so this removes the software walk from almost every
+	// quiet access.
+	page := arch.PageBase(va, arch.Page4K)
+	if m.quietPage == page && m.quietValid {
+		return m.quietFrame + arch.PAddr(va-page)
+	}
+	pa, _, ok := m.as.PageTable().Lookup(va)
+	if !ok {
+		if _, err := m.as.HandleFault(va); err != nil {
+			panic(fmt.Sprintf("machine: quiet access to unmapped %#x: %v", uint64(va), err))
+		}
+		if m.tracer != nil {
+			m.tracer.Prefault(page)
+		}
+		pa, _, ok = m.as.PageTable().Lookup(va)
+		if !ok {
+			panic("machine: fault handler did not map page")
+		}
+	}
+	m.quietPage = page
+	m.quietFrame = pa - arch.PAddr(va-page)
+	m.quietValid = true
+	return pa
+}
+
+// Footprint is the program's memory footprint (malloc'd bytes, 4 KB
+// rounded), the quantity the paper indexes every plot by.
+func (m *Machine) Footprint() uint64 { return m.as.AllocatedBytes() }
+
+// MappedBytes is the demand-mapped guest memory.
+func (m *Machine) MappedBytes() uint64 { return m.as.MappedBytes() }
+
+// PageTableBytes is the guest physical memory spent on page-table pages.
+func (m *Machine) PageTableBytes() uint64 { return m.as.PageTable().TableBytes() }
+
+// AddressSpace exposes the guest OS memory manager (tests, tools).
+func (m *Machine) AddressSpace() *vm.AddrSpace { return m.as }

@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+func benchMachine(b *testing.B, policy arch.PageSize, bytes uint64) (*Machine, arch.VAddr) {
+	b.Helper()
+	m, err := New(arch.DefaultSystem(), policy, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	va := m.MustMalloc(bytes)
+	// Pre-fault so the measured loop is steady state.
+	for off := uint64(0); off < bytes; off += 4096 {
+		m.Poke64(va+arch.VAddr(off), off)
+	}
+	return m, va
+}
+
+// BenchmarkLoadSequential is the simulator's per-access cost with a
+// TLB/cache-friendly stream.
+func BenchmarkLoadSequential(b *testing.B) {
+	m, va := benchMachine(b, arch.Page4K, 4*arch.MB)
+	words := uint64(4 * arch.MB / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Load64(va + arch.VAddr(uint64(i)%words*8))
+	}
+}
+
+// BenchmarkLoadRandom4K is the worst case: every access TLB-misses and
+// walks.
+func BenchmarkLoadRandom4K(b *testing.B) {
+	m, va := benchMachine(b, arch.Page4K, 256*arch.MB)
+	words := uint64(256 * arch.MB / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Load64(va + arch.VAddr(uint64(i)*0x9E3779B97F4A7C15%words&^7*8))
+	}
+}
+
+// BenchmarkLoadRandom2M is the same pattern under superpages.
+func BenchmarkLoadRandom2M(b *testing.B) {
+	m, va := benchMachine(b, arch.Page2M, 256*arch.MB)
+	words := uint64(256 * arch.MB / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Load64(va + arch.VAddr(uint64(i)*0x9E3779B97F4A7C15%words&^7*8))
+	}
+}
+
+// BenchmarkPoke is the untimed setup path.
+func BenchmarkPoke(b *testing.B) {
+	m, va := benchMachine(b, arch.Page4K, 4*arch.MB)
+	words := uint64(4 * arch.MB / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Poke64(va+arch.VAddr(uint64(i)%words*8), uint64(i))
+	}
+}

@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+func newM(t *testing.T, policy arch.PageSize) *Machine {
+	t.Helper()
+	m, err := New(arch.DefaultSystem(), policy, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.DRAMLatency = 0
+	if _, err := New(cfg, arch.Page4K, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := newM(t, arch.Page4K)
+	va := m.MustMalloc(64 * arch.KB)
+	m.Store64(va+8, 0xfeedface)
+	if got := m.Load64(va + 8); got != 0xfeedface {
+		t.Errorf("Load64 = %#x", got)
+	}
+	if got := m.Load64(va + 16); got != 0 {
+		t.Errorf("untouched word = %#x, want 0", got)
+	}
+}
+
+// TestMemoryConsistencyOracle drives random loads/stores through the whole
+// translation stack and checks the data against a Go map, for every page
+// size policy. This is the end-to-end correctness property of the
+// simulator: translation must never scramble or alias data.
+func TestMemoryConsistencyOracle(t *testing.T) {
+	for _, policy := range []arch.PageSize{arch.Page4K, arch.Page2M, arch.Page1G} {
+		t.Run(policy.String(), func(t *testing.T) {
+			m := newM(t, policy)
+			rng := rand.New(rand.NewSource(int64(policy) + 5))
+			// Several allocations of varying sizes.
+			var bases []arch.VAddr
+			var sizes []uint64
+			for _, n := range []uint64{4 * arch.KB, 300, 2 * arch.MB, 10 * arch.MB} {
+				bases = append(bases, m.MustMalloc(n))
+				sizes = append(sizes, n)
+			}
+			oracle := map[arch.VAddr]uint64{}
+			for i := 0; i < 20000; i++ {
+				r := rng.Intn(len(bases))
+				off := rng.Uint64() % (sizes[r] / 8) * 8
+				va := bases[r] + arch.VAddr(off)
+				if rng.Intn(2) == 0 {
+					v := rng.Uint64()
+					m.Store64(va, v)
+					oracle[va] = v
+				} else {
+					want := oracle[va]
+					if got := m.Load64(va); got != want {
+						t.Fatalf("policy %v: Load64(%#x) = %#x, want %#x",
+							policy, uint64(va), got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDataIdenticalAcrossPolicies(t *testing.T) {
+	// The same program must compute the same data under any page size —
+	// only the timing changes.
+	sum := func(policy arch.PageSize) uint64 {
+		m := newM(t, policy)
+		va := m.MustMalloc(arch.MB)
+		for i := uint64(0); i < arch.MB/8; i++ {
+			m.Store64(va+arch.VAddr(i*8), i*i)
+		}
+		var s uint64
+		for i := uint64(0); i < arch.MB/8; i++ {
+			s += m.Load64(va + arch.VAddr(i*8))
+		}
+		return s
+	}
+	s4, s2, s1 := sum(arch.Page4K), sum(arch.Page2M), sum(arch.Page1G)
+	if s4 != s2 || s2 != s1 {
+		t.Errorf("sums differ: %d %d %d", s4, s2, s1)
+	}
+}
+
+func TestFootprintIndependentOfPolicy(t *testing.T) {
+	var fp [3]uint64
+	for _, policy := range []arch.PageSize{arch.Page4K, arch.Page2M, arch.Page1G} {
+		m := newM(t, policy)
+		m.MustMalloc(3 * arch.MB)
+		m.MustMalloc(100)
+		fp[policy] = m.Footprint()
+	}
+	if fp[0] != fp[1] || fp[1] != fp[2] {
+		t.Errorf("footprints differ across policies: %v", fp)
+	}
+}
+
+func TestPageTableBytesSmallerWithSuperpages(t *testing.T) {
+	touch := func(policy arch.PageSize) uint64 {
+		m := newM(t, policy)
+		va := m.MustMalloc(64 * arch.MB)
+		for off := uint64(0); off < 64*arch.MB; off += 4096 {
+			m.Store64(va+arch.VAddr(off), 1)
+		}
+		return m.PageTableBytes()
+	}
+	if t4, t2 := touch(arch.Page4K), touch(arch.Page2M); t2 >= t4 {
+		t.Errorf("2MB page tables (%d) not smaller than 4KB (%d)", t2, t4)
+	}
+}
+
+func TestCyclesAdvance(t *testing.T) {
+	m := newM(t, arch.Page4K)
+	va := m.MustMalloc(arch.MB)
+	for i := 0; i < 1000; i++ {
+		m.Load64(va + arch.VAddr(i*8))
+	}
+	c := m.Counters()
+	if c.Get(perf.Cycles) == 0 || c.Get(perf.InstRetired) != 1000 {
+		t.Errorf("cycles=%d inst=%d", c.Get(perf.Cycles), c.Get(perf.InstRetired))
+	}
+	cpi := float64(c.Get(perf.Cycles)) / float64(c.Get(perf.InstRetired))
+	if cpi < 0.3 || cpi > 30 {
+		t.Errorf("implausible CPI %.2f", cpi)
+	}
+}
+
+func TestMappedBytesTracksTouch(t *testing.T) {
+	m := newM(t, arch.Page4K)
+	va := m.MustMalloc(arch.MB)
+	if m.MappedBytes() != 0 {
+		t.Fatal("pages mapped before touch")
+	}
+	m.Load64(va)
+	if m.MappedBytes() != 4096 {
+		t.Errorf("mapped = %d after one touch", m.MappedBytes())
+	}
+}

@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+// This file implements the WCPI-guided hugepage promotion policy the
+// paper's discussion proposes ("using WCPI as a heuristic to guide huge
+// page allocation ... in the operating system would be worthy of further
+// investigation"): a khugepaged analogue that watches walk cycles per
+// instruction online and collapses the walk-hottest 2 MB blocks to
+// superpages when translation pressure is high.
+
+// PromotionConfig parameterizes the policy.
+type PromotionConfig struct {
+	// Epoch is the decision interval in retired accesses.
+	Epoch uint64
+	// WCPIThreshold gates promotion: blocks are only collapsed while the
+	// epoch's walk cycles per instruction exceed it.
+	WCPIThreshold float64
+	// MaxPerEpoch bounds promotions per decision (copy-bandwidth cap).
+	MaxPerEpoch int
+	// CostCycles is the visible stall charged per promotion (page copy
+	// plus TLB shootdown; most of khugepaged's work is off-core, so this
+	// is far below the full copy time).
+	CostCycles uint64
+}
+
+// DefaultPromotionConfig returns a policy tuned like a conservative
+// khugepaged: check every 32K accesses, act above 0.02 WCPI, at most four
+// collapses per epoch.
+func DefaultPromotionConfig() PromotionConfig {
+	return PromotionConfig{
+		Epoch:         32 * 1024,
+		WCPIThreshold: 0.02,
+		MaxPerEpoch:   4,
+		CostCycles:    12_000,
+	}
+}
+
+// promoState is the live policy state.
+type promoState struct {
+	cfg      PromotionConfig
+	last     perf.Counters
+	sinceAcc uint64
+}
+
+// EnablePromotion switches the WCPI-guided promotion policy on. Only
+// meaningful for machines with a 4 KB heap policy (superpage-backed heaps
+// have nothing to promote).
+func (m *Machine) EnablePromotion(cfg PromotionConfig) {
+	if cfg.Epoch == 0 {
+		cfg = DefaultPromotionConfig()
+	}
+	m.core.EnableWalkHeat()
+	m.promo = &promoState{cfg: cfg, last: m.core.Counters()}
+}
+
+// Promotions returns how many 2 MB blocks the policy has collapsed.
+func (m *Machine) Promotions() uint64 { return m.as.Promotions() }
+
+// promoTick runs once per epoch: measure the epoch's WCPI and, if
+// translation pressure is high, collapse the walk-hottest blocks.
+func (m *Machine) promoTick() {
+	p := m.promo
+	cur := m.core.Counters()
+	delta := perf.Delta(p.last, cur)
+	p.last = cur
+
+	inst := delta.Get(perf.InstRetired)
+	if inst == 0 {
+		return
+	}
+	walkCycles := delta.Get(perf.DTLBLoadWalkDuration) + delta.Get(perf.DTLBStoreWalkDuration)
+	wcpi := float64(walkCycles) / float64(inst)
+
+	// Drain the heat map every epoch (stale heat should not trigger
+	// promotions many epochs later).
+	hot := m.core.DrainWalkHeat(p.cfg.MaxPerEpoch)
+	if wcpi < p.cfg.WCPIThreshold {
+		return
+	}
+	for _, block := range hot {
+		if !m.as.CanPromote(block) {
+			continue
+		}
+		if err := m.as.Promote(block); err != nil {
+			continue // e.g. out of 2MB frames: skip, try again later
+		}
+		// TLB shootdown for the collapsed range plus the stale PDE
+		// pointer in the paging-structure caches.
+		for off := uint64(0); off < arch.Page2M.Bytes(); off += arch.Page4K.Bytes() {
+			m.core.InvalidateTranslation(block+arch.VAddr(off), arch.Page4K)
+		}
+		m.core.InvalidatePDE(block)
+		m.core.Stall(p.cfg.CostCycles)
+		m.core.CountSoftware(perf.THPPromotions, 1)
+		// The promoted translation will be reloaded by the next access's
+		// walk; quiet-access translations must not go stale either.
+		m.quietValid = false
+	}
+}
+
+// maybePromote is called from the hot access path; it is two compares in
+// the common case.
+func (m *Machine) maybePromote() {
+	p := m.promo
+	if p == nil {
+		return
+	}
+	p.sinceAcc++
+	if p.sinceAcc >= p.cfg.Epoch {
+		p.sinceAcc = 0
+		m.promoTick()
+	}
+}

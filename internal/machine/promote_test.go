@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+// promoMachine builds a 4K machine with promotion enabled and a hot
+// random working set.
+func promoMachine(t *testing.T) (*Machine, arch.VAddr, uint64) {
+	t.Helper()
+	m, err := New(arch.DefaultSystem(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnablePromotion(DefaultPromotionConfig())
+	const bytes = 64 * arch.MB // way beyond STLB reach
+	va := m.MustMalloc(bytes)
+	return m, va, bytes
+}
+
+func TestPromotionTriggersUnderPressure(t *testing.T) {
+	m, va, bytes := promoMachine(t)
+	words := bytes / 8
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 800_000; i++ {
+		m.Load64(va + arch.VAddr(rng.Uint64()%words*8))
+	}
+	if m.Promotions() == 0 {
+		t.Fatal("no promotions under heavy translation pressure")
+	}
+	if got := m.Counters().Get(perf.THPPromotions); got != m.Promotions() {
+		t.Errorf("counter %d != vm promotions %d", got, m.Promotions())
+	}
+}
+
+func TestPromotionPreservesData(t *testing.T) {
+	m, va, bytes := promoMachine(t)
+	words := bytes / 8
+	rng := rand.New(rand.NewSource(3))
+	oracle := map[arch.VAddr]uint64{}
+	for i := 0; i < 400_000; i++ {
+		a := va + arch.VAddr(rng.Uint64()%words*8)
+		if rng.Intn(3) == 0 {
+			v := rng.Uint64()
+			m.Store64(a, v)
+			oracle[a] = v
+		} else {
+			want := oracle[a]
+			if got := m.Load64(a); got != want {
+				t.Fatalf("Load64(%#x) = %#x, want %#x (promotions so far: %d)",
+					uint64(a), got, want, m.Promotions())
+			}
+		}
+	}
+	if m.Promotions() == 0 {
+		t.Skip("no promotion happened; data check vacuous")
+	}
+	// Every oracle entry must still read back correctly after all the
+	// collapses.
+	for a, want := range oracle {
+		if got := m.Peek64(a); got != want {
+			t.Fatalf("Peek64(%#x) = %#x, want %#x after promotions", uint64(a), got, want)
+		}
+	}
+}
+
+func TestPromotionReducesWalkPressure(t *testing.T) {
+	run := func(promote bool) float64 {
+		m, err := New(arch.DefaultSystem(), arch.Page4K, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if promote {
+			m.EnablePromotion(DefaultPromotionConfig())
+		}
+		const bytes = uint64(64 * arch.MB)
+		va := m.MustMalloc(bytes)
+		words := bytes / 8
+		rng := rand.New(rand.NewSource(4))
+		// Warm phase lets the policy converge, then measure.
+		for i := 0; i < 600_000; i++ {
+			m.Load64(va + arch.VAddr(rng.Uint64()%words*8))
+		}
+		start := m.Counters()
+		for i := 0; i < 200_000; i++ {
+			m.Load64(va + arch.VAddr(rng.Uint64()%words*8))
+		}
+		return perf.Compute(perf.Delta(start, m.Counters())).WCPI
+	}
+	base, promoted := run(false), run(true)
+	if promoted > base/2 {
+		t.Errorf("promotion left WCPI at %.4f vs baseline %.4f; want >=2x reduction", promoted, base)
+	}
+}
+
+func TestPromotionIdleWhenPressureLow(t *testing.T) {
+	m, err := New(arch.DefaultSystem(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnablePromotion(DefaultPromotionConfig())
+	va := m.MustMalloc(256 * arch.KB) // TLB-resident working set
+	for i := 0; i < 300_000; i++ {
+		m.Load64(va + arch.VAddr(i%(256*1024/8)*8))
+	}
+	if m.Promotions() != 0 {
+		t.Errorf("%d promotions despite negligible walk pressure", m.Promotions())
+	}
+}
+
+func TestVMPromoteMechanics(t *testing.T) {
+	m, err := New(arch.DefaultSystem(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := m.AddressSpace()
+	va := m.MustMalloc(8 * arch.MB)
+	block := arch.VAddr(arch.AlignUp(uint64(va), arch.Page2M.Bytes()))
+	// Touch a few pages inside the block.
+	m.Poke64(block+0x1000, 0xAA)
+	m.Poke64(block+1*arch.MB, 0xBB)
+	if !as.CanPromote(block) {
+		t.Fatal("block not promotable")
+	}
+	if err := as.Promote(block); err != nil {
+		t.Fatal(err)
+	}
+	if as.CanPromote(block) {
+		t.Error("block still promotable after promotion")
+	}
+	if err := as.Promote(block); err == nil {
+		t.Error("double promotion succeeded")
+	}
+	// Mapping must now be a single 2MB page, with data intact and holes
+	// still zero.
+	_, ps, ok := as.PageTable().Lookup(block + 0x1000)
+	if !ok || ps != arch.Page2M {
+		t.Fatalf("post-promotion mapping = %v, %v", ps, ok)
+	}
+	if m.Peek64(block+0x1000) != 0xAA || m.Peek64(block+1*arch.MB) != 0xBB {
+		t.Error("promotion lost data")
+	}
+	if m.Peek64(block+0x3000) != 0 {
+		t.Error("untouched hole not zero after promotion")
+	}
+}
+
+func TestPromoteRejectsIneligible(t *testing.T) {
+	m, err := New(arch.DefaultSystem(), arch.Page2M, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := m.AddressSpace()
+	va := m.MustMalloc(8 * arch.MB) // 2MB-backed: nothing to promote
+	if as.CanPromote(va) {
+		t.Error("2MB-backed region promotable")
+	}
+	if err := as.Promote(va); err == nil {
+		t.Error("promotion of 2MB-backed region succeeded")
+	}
+}

@@ -1,0 +1,201 @@
+// Package mem implements the simulated machine's physical memory: a frame
+// allocator for all three x86-64 page sizes and a sparsely backed byte
+// store. Backing chunks are materialized lazily on first touch, so a guest
+// may reserve far more physical memory than the host process ever commits
+// (a 1 GB guest superpage costs host memory only for the 4 KB chunks the
+// workload actually writes).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"atscale/internal/arch"
+)
+
+// chunkShift sizes the lazily allocated backing chunks (4 KB, matching the
+// base page size so chunk boundaries never split a frame).
+const chunkShift = arch.PageShift4K
+
+// physBase is the first physical address handed out. Leaving page zero
+// unused catches null-physical-address bugs in the page-table code.
+const physBase = 1 << arch.PageShift4K
+
+// Phys is the simulated physical memory. It is not safe for concurrent use;
+// the machine model is single-core (the paper's per-core counters are what
+// we reproduce).
+type Phys struct {
+	limit    uint64 // total physical bytes available
+	reserved uint64 // bytes handed out to allocations
+	next     uint64 // bump pointer for fresh frames
+
+	// free holds returned frames per page size.
+	free [arch.NumPageSizes][]arch.PAddr
+
+	// chunks maps chunk number -> backing bytes, allocated on first use.
+	chunks map[uint64][]byte
+
+	// slab is the current host allocation chunks are carved from;
+	// slab-carving keeps the Go allocator out of the per-chunk path.
+	slab []byte
+
+	// lastCN/lastChunk cache the most recent chunk lookup (accesses
+	// cluster heavily within lines and pages); lastChunk is nil when the
+	// cache is invalid.
+	lastCN    uint64
+	lastChunk []byte
+
+	// touched counts backing chunks materialized (host-memory telemetry).
+	touched uint64
+}
+
+// slabSize is the host allocation granularity backing chunks are carved
+// from (256 chunks per slab).
+const slabSize = 256 << chunkShift
+
+// NewPhys returns a physical memory of the given capacity in bytes.
+func NewPhys(limitBytes uint64) *Phys {
+	return &Phys{
+		limit:  limitBytes,
+		next:   physBase,
+		chunks: make(map[uint64][]byte),
+	}
+}
+
+// AllocPage allocates one naturally aligned physical frame of the given
+// page size and returns its base address. The frame's contents are zero.
+func (p *Phys) AllocPage(ps arch.PageSize) (arch.PAddr, error) {
+	if n := len(p.free[ps]); n > 0 {
+		pa := p.free[ps][n-1]
+		p.free[ps] = p.free[ps][:n-1]
+		p.zeroRange(pa, ps.Bytes())
+		return pa, nil
+	}
+	size := ps.Bytes()
+	base := arch.AlignUp(p.next, size)
+	if base+size-physBase > p.limit {
+		return 0, fmt.Errorf("mem: out of physical memory (limit %s, requested %s frame)",
+			arch.FormatBytes(p.limit), ps)
+	}
+	p.next = base + size
+	p.reserved += size
+	return arch.PAddr(base), nil
+}
+
+// FreePage returns a frame to the allocator. The caller must pass the same
+// base address and page size that AllocPage returned.
+func (p *Phys) FreePage(pa arch.PAddr, ps arch.PageSize) {
+	if !arch.IsAligned(uint64(pa), ps.Bytes()) {
+		panic(fmt.Sprintf("mem: FreePage(%#x) misaligned for %s", uint64(pa), ps))
+	}
+	p.free[ps] = append(p.free[ps], pa)
+	// Drop backing for large frames so freed guest memory returns host
+	// memory too.
+	if ps != arch.Page4K {
+		p.dropRange(pa, ps.Bytes())
+	}
+}
+
+// ReservedBytes returns how many physical bytes are currently handed out
+// (including frames on free lists, which remain reserved to their size
+// class).
+func (p *Phys) ReservedBytes() uint64 { return p.reserved }
+
+// TouchedBytes returns how much backing store has been materialized.
+func (p *Phys) TouchedBytes() uint64 { return p.touched << chunkShift }
+
+// chunk returns the backing slice for pa, materializing it if needed.
+func (p *Phys) chunk(pa arch.PAddr) []byte {
+	cn := uint64(pa) >> chunkShift
+	if p.lastChunk != nil && p.lastCN == cn {
+		return p.lastChunk
+	}
+	c := p.chunks[cn]
+	if c == nil {
+		if len(p.slab) < 1<<chunkShift {
+			p.slab = make([]byte, slabSize)
+		}
+		c = p.slab[: 1<<chunkShift : 1<<chunkShift]
+		p.slab = p.slab[1<<chunkShift:]
+		p.chunks[cn] = c
+		p.touched++
+	}
+	p.lastCN, p.lastChunk = cn, c
+	return c
+}
+
+// peek returns the backing slice for pa without materializing it (nil if
+// the chunk was never touched).
+func (p *Phys) peek(pa arch.PAddr) []byte {
+	cn := uint64(pa) >> chunkShift
+	if p.lastChunk != nil && p.lastCN == cn {
+		return p.lastChunk
+	}
+	c := p.chunks[cn]
+	if c != nil {
+		p.lastCN, p.lastChunk = cn, c
+	}
+	return c
+}
+
+// Read64 loads the 8-byte word at pa, which must be 8-byte aligned.
+func (p *Phys) Read64(pa arch.PAddr) uint64 {
+	if pa&7 != 0 {
+		panic(fmt.Sprintf("mem: unaligned Read64(%#x)", uint64(pa)))
+	}
+	c := p.peek(pa)
+	if c == nil {
+		return 0 // untouched memory reads as zero
+	}
+	off := uint64(pa) & ((1 << chunkShift) - 1)
+	return binary.LittleEndian.Uint64(c[off : off+8])
+}
+
+// Write64 stores an 8-byte word at pa, which must be 8-byte aligned.
+func (p *Phys) Write64(pa arch.PAddr, v uint64) {
+	if pa&7 != 0 {
+		panic(fmt.Sprintf("mem: unaligned Write64(%#x)", uint64(pa)))
+	}
+	c := p.chunk(pa)
+	off := uint64(pa) & ((1 << chunkShift) - 1)
+	binary.LittleEndian.PutUint64(c[off:off+8], v)
+}
+
+// CopyRange copies n bytes from src to dst (both chunk-aligned, n a
+// multiple of the chunk size). Untouched source chunks are skipped — the
+// destination reads as zero there anyway.
+func (p *Phys) CopyRange(dst, src arch.PAddr, n uint64) {
+	if !arch.IsAligned(uint64(dst), 1<<chunkShift) || !arch.IsAligned(uint64(src), 1<<chunkShift) ||
+		!arch.IsAligned(n, 1<<chunkShift) {
+		panic(fmt.Sprintf("mem: misaligned CopyRange(%#x, %#x, %d)", uint64(dst), uint64(src), n))
+	}
+	for off := uint64(0); off < n; off += 1 << chunkShift {
+		s := p.peek(src + arch.PAddr(off))
+		if s == nil {
+			continue
+		}
+		copy(p.chunk(dst+arch.PAddr(off)), s)
+	}
+}
+
+// zeroRange clears [pa, pa+n) without materializing untouched chunks.
+func (p *Phys) zeroRange(pa arch.PAddr, n uint64) {
+	for off := uint64(0); off < n; off += 1 << chunkShift {
+		cn := (uint64(pa) + off) >> chunkShift
+		if c, ok := p.chunks[cn]; ok {
+			clear(c)
+		}
+	}
+}
+
+// dropRange releases backing chunks in [pa, pa+n).
+func (p *Phys) dropRange(pa arch.PAddr, n uint64) {
+	p.lastChunk = nil // chunk identities change; drop the lookup cache
+	for off := uint64(0); off < n; off += 1 << chunkShift {
+		cn := (uint64(pa) + off) >> chunkShift
+		if _, ok := p.chunks[cn]; ok {
+			delete(p.chunks, cn)
+			p.touched--
+		}
+	}
+}

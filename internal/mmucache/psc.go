@@ -1,0 +1,173 @@
+// Package mmucache models Intel's paging-structure caches (PSCs): small
+// fully-associative caches that let the page-table walker skip loads at or
+// near the top of the radix tree ("skip, don't walk", Barr et al.). One
+// cache exists per non-leaf entry kind:
+//
+//   - the PML4E cache maps VA[47:39] to the PDPT page that PML4E points at,
+//   - the PDPTE cache maps VA[47:30] to the PD page,
+//   - the PDE cache maps VA[47:21] to the PT page.
+//
+// On a TLB miss the walker starts from the deepest hit, so a PDE-cache hit
+// turns a 4-load walk into a single PTE load.
+//
+// Because these caches are tiny and see only the TLB-miss residual stream,
+// they are the locus of the paper's TLB filtering effect (§V-C): the
+// observations reaching them are sparser — and less local — the better the
+// TLB performs.
+package mmucache
+
+import (
+	"math"
+
+	"atscale/internal/arch"
+)
+
+type entry struct {
+	prefix uint64
+	base   arch.PAddr
+	stamp  uint64
+}
+
+// levelCache is one fully-associative PSC array.
+type levelCache struct {
+	entries []entry
+	clock   uint64
+}
+
+func newLevelCache(n int) *levelCache {
+	c := &levelCache{entries: make([]entry, n)}
+	for i := range c.entries {
+		c.entries[i].prefix = math.MaxUint64
+	}
+	return c
+}
+
+func (c *levelCache) lookup(prefix uint64) (arch.PAddr, bool) {
+	c.clock++
+	for i := range c.entries {
+		if c.entries[i].prefix == prefix {
+			c.entries[i].stamp = c.clock
+			return c.entries[i].base, true
+		}
+	}
+	return 0, false
+}
+
+func (c *levelCache) insert(prefix uint64, base arch.PAddr) {
+	if len(c.entries) == 0 {
+		return
+	}
+	c.clock++
+	victim := 0
+	oldest := uint64(math.MaxUint64)
+	for i := range c.entries {
+		if c.entries[i].prefix == prefix {
+			c.entries[i].base = base
+			c.entries[i].stamp = c.clock
+			return
+		}
+		if c.entries[i].prefix == math.MaxUint64 {
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if c.entries[i].stamp < oldest {
+			victim, oldest = i, c.entries[i].stamp
+		}
+	}
+	c.entries[victim] = entry{prefix: prefix, base: base, stamp: c.clock}
+}
+
+func (c *levelCache) flush() {
+	for i := range c.entries {
+		c.entries[i] = entry{prefix: math.MaxUint64}
+	}
+}
+
+func (c *levelCache) live() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].prefix != math.MaxUint64 {
+			n++
+		}
+	}
+	return n
+}
+
+// PSC is the set of paging-structure caches, one per non-leaf level.
+type PSC struct {
+	// byLevel[l] caches entries *read at* level l, i.e. pointers to the
+	// level l-1 table. Indexed by arch.Level (2..top used).
+	byLevel [arch.LevelPML5 + 1]*levelCache
+	// top is the radix root level (PML4 or PML5).
+	top arch.Level
+}
+
+// New builds the PSCs of a 4-level machine with the configured entry
+// counts.
+func New(g arch.PSCGeometry) *PSC { return NewWithDepth(g, 4) }
+
+// NewWithDepth builds the PSCs for a machine with the given paging depth.
+func NewWithDepth(g arch.PSCGeometry, levels int) *PSC {
+	p := &PSC{top: arch.RootLevel(levels)}
+	p.byLevel[arch.LevelPD] = newLevelCache(g.PDEntries)
+	p.byLevel[arch.LevelPDPT] = newLevelCache(g.PDPTEntries)
+	p.byLevel[arch.LevelPML4] = newLevelCache(g.PML4Entries)
+	if p.top == arch.LevelPML5 {
+		p.byLevel[arch.LevelPML5] = newLevelCache(g.PML5Entries)
+	}
+	return p
+}
+
+// LookupDeepest finds the deepest cached partial walk for va, considering
+// only caches at or above minEntryLevel (the walk's leaf entry level: PSCs
+// cache non-leaf entries only, so a 2 MB walk cannot use the PDE cache).
+//
+// It returns the level of the next entry the walker must load and the
+// physical base of the table page holding it. With no hit, that is
+// (LevelPML4, cr3).
+func (p *PSC) LookupDeepest(va arch.VAddr, leafLevel arch.Level, cr3 arch.PAddr) (arch.Level, arch.PAddr) {
+	// A hit in the cache of level l entries supplies the level l-1 table,
+	// so search upward starting from the cache of (leafLevel+1) entries.
+	for l := leafLevel + 1; l <= p.top; l++ {
+		if base, ok := p.byLevel[l].lookup(l.Prefix(va)); ok {
+			return l - 1, base
+		}
+	}
+	return p.top, cr3
+}
+
+// Insert caches a non-leaf entry the walker just read: the entry at the
+// given level for va pointed at the table page nextBase.
+func (p *PSC) Insert(level arch.Level, va arch.VAddr, nextBase arch.PAddr) {
+	if level < arch.LevelPD || level > p.top {
+		return
+	}
+	p.byLevel[level].insert(level.Prefix(va), nextBase)
+}
+
+// InvalidatePrefix removes any cached entry covering va at the given level.
+func (p *PSC) InvalidatePrefix(level arch.Level, va arch.VAddr) {
+	if level < arch.LevelPD || level > p.top {
+		return
+	}
+	c := p.byLevel[level]
+	prefix := level.Prefix(va)
+	for i := range c.entries {
+		if c.entries[i].prefix == prefix {
+			c.entries[i] = entry{prefix: math.MaxUint64}
+		}
+	}
+}
+
+// Flush empties every cache.
+func (p *PSC) Flush() {
+	for l := arch.LevelPD; l <= p.top; l++ {
+		p.byLevel[l].flush()
+	}
+}
+
+// Live returns the number of valid entries in the cache of level-l entries
+// (test/debug helper).
+func (p *PSC) Live(l arch.Level) int { return p.byLevel[l].live() }

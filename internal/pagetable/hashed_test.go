@@ -1,0 +1,168 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/mem"
+)
+
+func newHashed(t *testing.T) (*HashedTable, *mem.Phys) {
+	t.Helper()
+	phys := mem.NewPhys(64 * arch.GB)
+	ht, err := NewHashed(phys, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ht, phys
+}
+
+func TestHashedMapLookupUnmap(t *testing.T) {
+	ht, phys := newHashed(t)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	va := arch.VAddr(0x7f00_1234_5000)
+	if err := ht.Map(va, frame, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	pa, ps, ok := ht.Lookup(va + 0x123)
+	if !ok || ps != arch.Page4K || pa != frame+0x123 {
+		t.Fatalf("Lookup = %#x,%v,%v", uint64(pa), ps, ok)
+	}
+	if err := ht.Unmap(va, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ht.Lookup(va); ok {
+		t.Error("lookup after unmap hit")
+	}
+	// The tombstoned slot must be reusable.
+	if err := ht.Map(va, frame, arch.Page4K); err != nil {
+		t.Errorf("remap after unmap: %v", err)
+	}
+}
+
+func TestHashedRejectsSuperpagesAndMisalignment(t *testing.T) {
+	ht, phys := newHashed(t)
+	f2m, _ := phys.AllocPage(arch.Page2M)
+	if err := ht.Map(0x200000, f2m, arch.Page2M); err == nil {
+		t.Error("2MB map accepted")
+	}
+	f4k, _ := phys.AllocPage(arch.Page4K)
+	if err := ht.Map(0x1001, f4k, arch.Page4K); err == nil {
+		t.Error("misaligned map accepted")
+	}
+	if err := ht.Map(arch.VAddr(1<<50), f4k, arch.Page4K); err == nil {
+		t.Error("non-canonical map accepted")
+	}
+}
+
+func TestHashedDoubleMapFails(t *testing.T) {
+	ht, phys := newHashed(t)
+	f, _ := phys.AllocPage(arch.Page4K)
+	if err := ht.Map(0x1000, f, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Map(0x1000, f, arch.Page4K); err == nil {
+		t.Error("double map accepted")
+	}
+}
+
+func TestHashedUnmapMissingFails(t *testing.T) {
+	ht, _ := newHashed(t)
+	if err := ht.Unmap(0x4000, arch.Page4K); err == nil {
+		t.Error("unmap of absent page accepted")
+	}
+}
+
+// TestHashedGrowthPreservesMappings inserts far more pages than the
+// initial capacity, forcing several rehashes, and verifies every mapping
+// against a host oracle.
+func TestHashedGrowthPreservesMappings(t *testing.T) {
+	ht, phys := newHashed(t) // starts at one-segment capacity
+	rng := rand.New(rand.NewSource(15))
+	oracle := map[arch.VAddr]arch.PAddr{}
+	startBytes := ht.TableBytes()
+	for i := 0; i < 300_000; i++ {
+		vpn := uint64(rng.Int63n(1 << 30))
+		va := arch.VAddr(vpn << 12)
+		if _, dup := oracle[va]; dup {
+			continue
+		}
+		frame, err := phys.AllocPage(arch.Page4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ht.Map(va, frame, arch.Page4K); err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+		oracle[va] = frame
+	}
+	if ht.TableBytes() <= startBytes {
+		t.Error("table never grew")
+	}
+	if ht.Mappings(arch.Page4K) != uint64(len(oracle)) {
+		t.Errorf("live = %d, oracle %d", ht.Mappings(arch.Page4K), len(oracle))
+	}
+	for va, frame := range oracle {
+		pa, _, ok := ht.Lookup(va)
+		if !ok || pa != frame {
+			t.Fatalf("Lookup(%#x) = %#x,%v; want %#x", uint64(va), uint64(pa), ok, uint64(frame))
+		}
+	}
+}
+
+func TestHashedChurnWithTombstones(t *testing.T) {
+	ht, phys := newHashed(t)
+	rng := rand.New(rand.NewSource(16))
+	oracle := map[arch.VAddr]arch.PAddr{}
+	var keys []arch.VAddr
+	for i := 0; i < 60_000; i++ {
+		if len(keys) > 0 && rng.Intn(3) == 0 {
+			// Unmap a random live page.
+			j := rng.Intn(len(keys))
+			va := keys[j]
+			if err := ht.Unmap(va, arch.Page4K); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, va)
+			keys[j] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			continue
+		}
+		va := arch.VAddr(uint64(rng.Int63n(1<<24)) << 12)
+		if _, dup := oracle[va]; dup {
+			continue
+		}
+		frame, err := phys.AllocPage(arch.Page4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ht.Map(va, frame, arch.Page4K); err != nil {
+			t.Fatal(err)
+		}
+		oracle[va] = frame
+		keys = append(keys, va)
+	}
+	for va, frame := range oracle {
+		pa, _, ok := ht.Lookup(va)
+		if !ok || pa != frame {
+			t.Fatalf("post-churn Lookup(%#x) = %#x,%v; want %#x", uint64(va), uint64(pa), ok, uint64(frame))
+		}
+	}
+}
+
+func TestHashedInterfaceContract(t *testing.T) {
+	ht, _ := newHashed(t)
+	if ht.Superpages() {
+		t.Error("hashed table claims superpages")
+	}
+	if err := ht.Collapse(0x200000); err == nil {
+		t.Error("collapse accepted")
+	}
+	if !ht.Canonical(arch.VAddr(1<<47)) || ht.Canonical(arch.VAddr(1<<48)) {
+		t.Error("canonicality wrong")
+	}
+	if ht.TableBytes() == 0 || ht.Root() == 0 {
+		t.Error("table accessors degenerate")
+	}
+}

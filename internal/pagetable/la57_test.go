@@ -1,0 +1,93 @@
+package pagetable
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/mem"
+)
+
+func newTable5(t *testing.T) (*Table, *mem.Phys) {
+	t.Helper()
+	phys := mem.NewPhys(64 * arch.GB)
+	pt, err := NewWithDepth(phys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt, phys
+}
+
+func TestLA57MapLookupHighVA(t *testing.T) {
+	pt, phys := newTable5(t)
+	// A VA above the 48-bit boundary: only reachable with 5 levels.
+	va := arch.VAddr(uint64(3)<<52 | 0x1234_5000)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	if err := pt.Map(va, frame, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	pa, ps, ok := pt.Lookup(va + 0x42)
+	if !ok || ps != arch.Page4K || pa != frame+0x42 {
+		t.Fatalf("LA57 lookup = %#x,%v,%v", uint64(pa), ps, ok)
+	}
+}
+
+func TestLA57RejectsAbove57Bits(t *testing.T) {
+	pt, phys := newTable5(t)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	if err := pt.Map(arch.VAddr(1<<57), frame, arch.Page4K); err == nil {
+		t.Error("non-canonical 57-bit VA accepted")
+	}
+}
+
+func TestFourLevelRejectsHighVA(t *testing.T) {
+	phys := mem.NewPhys(64 * arch.GB)
+	pt, err := New(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := phys.AllocPage(arch.Page4K)
+	if err := pt.Map(arch.VAddr(1<<50), frame, arch.Page4K); err == nil {
+		t.Error("4-level table accepted a 50-bit VA")
+	}
+}
+
+func TestLA57TableOverheadOneExtraLevel(t *testing.T) {
+	pt4, phys4 := newTable(t)
+	pt5, phys5 := newTable5(t)
+	f4, _ := phys4.AllocPage(arch.Page4K)
+	f5, _ := phys5.AllocPage(arch.Page4K)
+	if err := pt4.Map(0x1000, f4, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt5.Map(0x1000, f5, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if pt5.TableBytes() != pt4.TableBytes()+4096 {
+		t.Errorf("5-level table bytes %d, want 4-level %d + 4096",
+			pt5.TableBytes(), pt4.TableBytes())
+	}
+}
+
+func TestLA57SuperpagesStillWork(t *testing.T) {
+	pt, phys := newTable5(t)
+	frame, _ := phys.AllocPage(arch.Page1G)
+	va := arch.VAddr(uint64(7) << 50)
+	if err := pt.Map(va, frame, arch.Page1G); err != nil {
+		t.Fatal(err)
+	}
+	pa, ps, ok := pt.Lookup(va + 12345*8)
+	if !ok || ps != arch.Page1G || pa != frame+12345*8 {
+		t.Fatalf("LA57 1GB lookup = %#x,%v,%v", uint64(pa), ps, ok)
+	}
+}
+
+func TestDepthAccessors(t *testing.T) {
+	pt4, _ := newTable(t)
+	pt5, _ := newTable5(t)
+	if pt4.Depth() != 4 || pt4.Top() != arch.LevelPML4 {
+		t.Error("4-level accessors wrong")
+	}
+	if pt5.Depth() != 5 || pt5.Top() != arch.LevelPML5 {
+		t.Error("5-level accessors wrong")
+	}
+}

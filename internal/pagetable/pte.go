@@ -1,0 +1,52 @@
+// Package pagetable implements the x86-64 4-level radix page table inside
+// the simulated physical memory. Table pages are real frames and entries are
+// real 8-byte words, so the hardware walker model reads the same bytes the
+// OS wrote, and PTE loads occupy real cache lines in the simulated cache
+// hierarchy — the property the paper's Figure 8 (PTE hit location) and the
+// TLB filtering effect depend on.
+package pagetable
+
+import "atscale/internal/arch"
+
+// PTE is one page-table entry in x86-64 long-mode format.
+type PTE uint64
+
+// Architectural PTE flag bits (subset the simulator uses).
+const (
+	// FlagPresent marks the entry valid.
+	FlagPresent PTE = 1 << 0
+	// FlagWrite permits stores through the mapping.
+	FlagWrite PTE = 1 << 1
+	// FlagUser permits user-mode access.
+	FlagUser PTE = 1 << 2
+	// FlagAccessed is set by the walker on use.
+	FlagAccessed PTE = 1 << 5
+	// FlagDirty is set by the walker on store.
+	FlagDirty PTE = 1 << 6
+	// FlagPS marks a PD or PDPT entry as a superpage leaf.
+	FlagPS PTE = 1 << 7
+)
+
+// frameMask selects the physical-frame bits of an entry (bits 12..51).
+const frameMask PTE = 0x000F_FFFF_FFFF_F000
+
+// Present reports whether the entry is valid.
+func (e PTE) Present() bool { return e&FlagPresent != 0 }
+
+// Superpage reports whether the entry is a 2 MB/1 GB leaf (only meaningful
+// at the PD and PDPT levels).
+func (e PTE) Superpage() bool { return e&FlagPS != 0 }
+
+// IsLeaf reports whether the entry terminates a walk at the given level.
+func (e PTE) IsLeaf(level arch.Level) bool {
+	return level == arch.LevelPT || e.Superpage()
+}
+
+// Frame returns the physical address the entry points at: the mapped frame
+// for a leaf, the next-level table page otherwise.
+func (e PTE) Frame() arch.PAddr { return arch.PAddr(e & frameMask) }
+
+// makePTE builds an entry pointing at pa with the given flags.
+func makePTE(pa arch.PAddr, flags PTE) PTE {
+	return PTE(pa)&frameMask | flags | FlagPresent
+}

@@ -1,0 +1,202 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"atscale/internal/arch"
+	"atscale/internal/mem"
+)
+
+// Table is one address space's radix page table. The OS layer calls Map and
+// Unmap; the hardware walker reads entries through EntryAddr + the physical
+// memory, exactly as a real MMU reads the tables the OS maintains.
+type Table struct {
+	phys   *mem.Phys
+	root   arch.PAddr
+	top    arch.Level // radix root level (PML4 or PML5)
+	levels int
+
+	tablePages uint64 // number of table pages allocated (all levels)
+	mappings   [arch.NumPageSizes]uint64
+}
+
+// New allocates an empty 4-level page table (just the PML4 root page).
+func New(phys *mem.Phys) (*Table, error) { return NewWithDepth(phys, 4) }
+
+// NewWithDepth allocates an empty page table with the given radix depth
+// (4 for classic x86-64, 5 for LA57).
+func NewWithDepth(phys *mem.Phys, levels int) (*Table, error) {
+	top := arch.RootLevel(levels) // panics on unsupported depth
+	root, err := phys.AllocPage(arch.Page4K)
+	if err != nil {
+		return nil, fmt.Errorf("pagetable: allocating root: %w", err)
+	}
+	return &Table{phys: phys, root: root, top: top, levels: levels, tablePages: 1}, nil
+}
+
+// Depth returns the radix depth (4 or 5).
+func (t *Table) Depth() int { return t.levels }
+
+// Canonical reports whether va is representable at this table's depth.
+func (t *Table) Canonical(va arch.VAddr) bool { return arch.CanonicalAt(va, t.levels) }
+
+// Superpages reports that radix tables support 2 MB/1 GB leaves.
+func (t *Table) Superpages() bool { return true }
+
+// Top returns the root level (PML4 or PML5).
+func (t *Table) Top() arch.Level { return t.top }
+
+// Root returns the physical address of the PML4 page (the CR3 value).
+func (t *Table) Root() arch.PAddr { return t.root }
+
+// TableBytes returns the physical memory consumed by table pages. The
+// paper's §V-E argues 2 MB mappings of terabyte heaps still accumulate
+// megabytes of PTEs; this accessor exposes that quantity.
+func (t *Table) TableBytes() uint64 { return t.tablePages * arch.Page4K.Bytes() }
+
+// Mappings returns the number of live leaf mappings of the given size.
+func (t *Table) Mappings(ps arch.PageSize) uint64 { return t.mappings[ps] }
+
+// EntryAddr computes the physical address of the entry consulted at the
+// given level of a walk for va, inside the table page at base.
+func EntryAddr(base arch.PAddr, level arch.Level, va arch.VAddr) arch.PAddr {
+	return base + arch.PAddr(level.Index(va)*arch.PTESize)
+}
+
+// entry reads the PTE for va at the given level of the table page at base.
+func (t *Table) entry(base arch.PAddr, level arch.Level, va arch.VAddr) PTE {
+	return PTE(t.phys.Read64(EntryAddr(base, level, va)))
+}
+
+func (t *Table) setEntry(base arch.PAddr, level arch.Level, va arch.VAddr, e PTE) {
+	t.phys.Write64(EntryAddr(base, level, va), uint64(e))
+}
+
+// Map installs a translation va -> pa of the given page size. Both
+// addresses must be aligned to the page size. Mapping over an existing
+// translation (of any size) is an error.
+func (t *Table) Map(va arch.VAddr, pa arch.PAddr, ps arch.PageSize) error {
+	if !arch.CanonicalAt(va, t.levels) {
+		return fmt.Errorf("pagetable: non-canonical va %#x", uint64(va))
+	}
+	if !arch.IsAligned(uint64(va), ps.Bytes()) || !arch.IsAligned(uint64(pa), ps.Bytes()) {
+		return fmt.Errorf("pagetable: Map(%#x -> %#x) misaligned for %s", uint64(va), uint64(pa), ps)
+	}
+	leaf := ps.LeafLevel()
+	base := t.root
+	for level := t.top; level > leaf; level-- {
+		e := t.entry(base, level, va)
+		switch {
+		case !e.Present():
+			page, err := t.phys.AllocPage(arch.Page4K)
+			if err != nil {
+				return fmt.Errorf("pagetable: allocating level-%v table: %w", level-1, err)
+			}
+			t.tablePages++
+			e = makePTE(page, FlagWrite|FlagUser)
+			t.setEntry(base, level, va, e)
+		case e.Superpage():
+			return fmt.Errorf("pagetable: Map(%#x, %s) conflicts with existing %v superpage", uint64(va), ps, level)
+		}
+		base = e.Frame()
+	}
+	e := t.entry(base, leaf, va)
+	if e.Present() {
+		return fmt.Errorf("pagetable: va %#x already mapped", uint64(va))
+	}
+	flags := FlagWrite | FlagUser
+	if leaf != arch.LevelPT {
+		flags |= FlagPS
+	}
+	t.setEntry(base, leaf, va, makePTE(pa, flags))
+	t.mappings[ps]++
+	return nil
+}
+
+// Unmap removes the translation for va, which must have been mapped with
+// the same page size. Intermediate table pages are retained (as mainstream
+// OS kernels do), so unmap does not shrink TableBytes.
+func (t *Table) Unmap(va arch.VAddr, ps arch.PageSize) error {
+	leaf := ps.LeafLevel()
+	base := t.root
+	for level := t.top; level > leaf; level-- {
+		e := t.entry(base, level, va)
+		if !e.Present() || e.Superpage() {
+			return fmt.Errorf("pagetable: Unmap(%#x, %s): no %s-level table", uint64(va), ps, level-1)
+		}
+		base = e.Frame()
+	}
+	e := t.entry(base, leaf, va)
+	if !e.Present() || e.IsLeaf(leaf) != true {
+		return fmt.Errorf("pagetable: Unmap(%#x, %s): not mapped", uint64(va), ps)
+	}
+	if leaf != arch.LevelPT && !e.Superpage() {
+		return fmt.Errorf("pagetable: Unmap(%#x, %s): entry is a table pointer", uint64(va), ps)
+	}
+	t.setEntry(base, leaf, va, 0)
+	t.mappings[ps]--
+	return nil
+}
+
+// Collapse removes the empty page-table page covering va's 2 MB block and
+// clears the PDE pointing at it, freeing the table page. It is the final
+// page-table step of hugepage promotion: the caller must have unmapped
+// all 512 base pages first (Collapse verifies this).
+func (t *Table) Collapse(va arch.VAddr) error {
+	base := t.root
+	for level := t.top; level > arch.LevelPD; level-- {
+		e := t.entry(base, level, va)
+		if !e.Present() || e.Superpage() {
+			return fmt.Errorf("pagetable: Collapse(%#x): no PD reached", uint64(va))
+		}
+		base = e.Frame()
+	}
+	pde := t.entry(base, arch.LevelPD, va)
+	if !pde.Present() {
+		return fmt.Errorf("pagetable: Collapse(%#x): PDE not present", uint64(va))
+	}
+	if pde.Superpage() {
+		return fmt.Errorf("pagetable: Collapse(%#x): already a superpage", uint64(va))
+	}
+	ptPage := pde.Frame()
+	for i := 0; i < arch.EntriesPerTable; i++ {
+		if t.phys.Read64(ptPage+arch.PAddr(i*arch.PTESize)) != 0 {
+			return fmt.Errorf("pagetable: Collapse(%#x): PT entry %d still live", uint64(va), i)
+		}
+	}
+	t.setEntry(base, arch.LevelPD, va, 0)
+	t.phys.FreePage(ptPage, arch.Page4K)
+	t.tablePages--
+	return nil
+}
+
+// Lookup performs a software reference walk and returns the physical
+// address va translates to plus the mapping's page size. ok is false if va
+// is unmapped. This is the correctness oracle the hardware walker model is
+// property-tested against.
+func (t *Table) Lookup(va arch.VAddr) (pa arch.PAddr, ps arch.PageSize, ok bool) {
+	if !arch.CanonicalAt(va, t.levels) {
+		return 0, 0, false
+	}
+	base := t.root
+	for level := t.top; ; level-- {
+		e := t.entry(base, level, va)
+		if !e.Present() {
+			return 0, 0, false
+		}
+		if e.IsLeaf(level) {
+			switch level {
+			case arch.LevelPT:
+				ps = arch.Page4K
+			case arch.LevelPD:
+				ps = arch.Page2M
+			case arch.LevelPDPT:
+				ps = arch.Page1G
+			default:
+				return 0, 0, false // 512GB leaves do not exist on x86-64
+			}
+			return e.Frame() + arch.PAddr(uint64(va)&ps.Mask()), ps, true
+		}
+		base = e.Frame()
+	}
+}

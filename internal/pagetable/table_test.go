@@ -1,0 +1,248 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atscale/internal/arch"
+	"atscale/internal/mem"
+)
+
+func newTable(t *testing.T) (*Table, *mem.Phys) {
+	t.Helper()
+	phys := mem.NewPhys(64 * arch.GB)
+	pt, err := New(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt, phys
+}
+
+func TestMapLookup4K(t *testing.T) {
+	pt, phys := newTable(t)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	va := arch.VAddr(0x7f12_3456_7000)
+	if err := pt.Map(va, frame, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	pa, ps, ok := pt.Lookup(va + 0x123)
+	if !ok || ps != arch.Page4K || pa != frame+0x123 {
+		t.Fatalf("Lookup = %#x, %v, %v; want %#x, 4KB, true", uint64(pa), ps, ok, uint64(frame+0x123))
+	}
+}
+
+func TestMapLookupSuperpages(t *testing.T) {
+	pt, phys := newTable(t)
+	for _, ps := range []arch.PageSize{arch.Page2M, arch.Page1G} {
+		frame, err := phys.AllocPage(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := arch.VAddr(uint64(0x40) << 30 * uint64(ps+1))
+		va = arch.VAddr(arch.AlignUp(uint64(va), ps.Bytes()))
+		if err := pt.Map(va, frame, ps); err != nil {
+			t.Fatalf("Map %s: %v", ps, err)
+		}
+		off := ps.Bytes()/2 + 8
+		pa, gotPS, ok := pt.Lookup(va + arch.VAddr(off))
+		if !ok || gotPS != ps || pa != frame+arch.PAddr(off) {
+			t.Fatalf("%s Lookup = %#x, %v, %v", ps, uint64(pa), gotPS, ok)
+		}
+	}
+}
+
+func TestLookupUnmapped(t *testing.T) {
+	pt, _ := newTable(t)
+	if _, _, ok := pt.Lookup(0x1000); ok {
+		t.Error("Lookup of unmapped va succeeded")
+	}
+	if _, _, ok := pt.Lookup(arch.VAddr(1 << 50)); ok {
+		t.Error("Lookup of non-canonical va succeeded")
+	}
+}
+
+func TestDoubleMapFails(t *testing.T) {
+	pt, phys := newTable(t)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	va := arch.VAddr(0x1000)
+	if err := pt.Map(va, frame, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map(va, frame, arch.Page4K); err == nil {
+		t.Error("double map succeeded")
+	}
+}
+
+func TestMapMisalignedFails(t *testing.T) {
+	pt, phys := newTable(t)
+	frame, _ := phys.AllocPage(arch.Page2M)
+	if err := pt.Map(0x1000, frame, arch.Page2M); err == nil {
+		t.Error("misaligned 2MB map succeeded")
+	}
+	if err := pt.Map(0x200000, frame+4096, arch.Page2M); err == nil {
+		t.Error("misaligned 2MB frame map succeeded")
+	}
+}
+
+func TestMapUnderSuperpageFails(t *testing.T) {
+	pt, phys := newTable(t)
+	big, _ := phys.AllocPage(arch.Page2M)
+	va := arch.VAddr(0x4000_0000)
+	if err := pt.Map(va, big, arch.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	small, _ := phys.AllocPage(arch.Page4K)
+	if err := pt.Map(va+4096, small, arch.Page4K); err == nil {
+		t.Error("4K map under live 2MB superpage succeeded")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pt, phys := newTable(t)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	va := arch.VAddr(0x5000)
+	if err := pt.Map(va, frame, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Unmap(va, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pt.Lookup(va); ok {
+		t.Error("Lookup succeeded after Unmap")
+	}
+	if err := pt.Unmap(va, arch.Page4K); err == nil {
+		t.Error("double unmap succeeded")
+	}
+	// The slot must be remappable.
+	if err := pt.Map(va, frame, arch.Page4K); err != nil {
+		t.Errorf("remap after unmap: %v", err)
+	}
+}
+
+func TestMappingsCount(t *testing.T) {
+	pt, phys := newTable(t)
+	for i := 0; i < 10; i++ {
+		f, _ := phys.AllocPage(arch.Page4K)
+		if err := pt.Map(arch.VAddr(0x10000+i*4096), f, arch.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pt.Mappings(arch.Page4K); got != 10 {
+		t.Errorf("Mappings(4K) = %d, want 10", got)
+	}
+	if err := pt.Unmap(0x10000, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Mappings(arch.Page4K); got != 9 {
+		t.Errorf("Mappings(4K) after unmap = %d, want 9", got)
+	}
+}
+
+func TestTableBytesGrowth(t *testing.T) {
+	pt, phys := newTable(t)
+	base := pt.TableBytes()
+	if base != 4096 {
+		t.Fatalf("fresh table bytes = %d, want 4096", base)
+	}
+	f, _ := phys.AllocPage(arch.Page4K)
+	if err := pt.Map(0x1000, f, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// One 4K mapping needs PDPT+PD+PT pages on top of the root.
+	if got := pt.TableBytes(); got != 4*4096 {
+		t.Errorf("table bytes after first 4K map = %d, want %d", got, 4*4096)
+	}
+	// A second mapping in the same 2MB region shares all table pages.
+	f2, _ := phys.AllocPage(arch.Page4K)
+	if err := pt.Map(0x2000, f2, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.TableBytes(); got != 4*4096 {
+		t.Errorf("table bytes after neighbour map = %d, want %d", got, 4*4096)
+	}
+}
+
+// TestRandomMapLookupProperty maps random pages of random sizes at disjoint
+// VAs and checks Lookup agrees exactly, including offsets.
+func TestRandomMapLookupProperty(t *testing.T) {
+	pt, phys := newTable(t)
+	rng := rand.New(rand.NewSource(42))
+	type mapping struct {
+		va arch.VAddr
+		pa arch.PAddr
+		ps arch.PageSize
+	}
+	var maps []mapping
+	// Give every mapping its own 1GB-aligned slot so sizes never collide.
+	for slot := 0; slot < 40; slot++ {
+		ps := arch.PageSize(rng.Intn(3))
+		frame, err := phys.AllocPage(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := arch.VAddr(uint64(slot+1) << arch.PageShift1G)
+		if err := pt.Map(va, frame, ps); err != nil {
+			t.Fatalf("Map slot %d (%v): %v", slot, ps, err)
+		}
+		maps = append(maps, mapping{va, frame, ps})
+	}
+	for _, m := range maps {
+		for trial := 0; trial < 16; trial++ {
+			off := rng.Uint64() % m.ps.Bytes()
+			pa, ps, ok := pt.Lookup(m.va + arch.VAddr(off))
+			if !ok || ps != m.ps || pa != m.pa+arch.PAddr(off) {
+				t.Fatalf("Lookup(%#x+%#x) = %#x,%v,%v; want %#x,%v",
+					uint64(m.va), off, uint64(pa), ps, ok, uint64(m.pa)+off, m.ps)
+			}
+		}
+		// Just past the page must not resolve unless another mapping
+		// legitimately covers that VA (the next 1GB slot does for 1GB
+		// mappings).
+		past := m.va + arch.VAddr(m.ps.Bytes())
+		if _, _, ok := pt.Lookup(past); ok {
+			covered := false
+			for _, o := range maps {
+				if past >= o.va && uint64(past) < uint64(o.va)+o.ps.Bytes() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("mapping %#x leaks past its size", uint64(m.va))
+			}
+		}
+	}
+}
+
+// TestEntryAddrWithinTablePage checks the walker-visible entry addresses
+// stay inside one 4K table page and are 8-byte aligned.
+func TestEntryAddrWithinTablePage(t *testing.T) {
+	base := arch.PAddr(0x1234000)
+	check := func(raw uint64, lvl uint8) bool {
+		va := arch.VAddr(raw & ((1 << arch.VABits) - 1))
+		level := arch.Level(lvl%4 + 1)
+		ea := EntryAddr(base, level, va)
+		return ea >= base && ea < base+4096 && ea&7 == 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPTEFlags(t *testing.T) {
+	e := makePTE(0x200000, FlagWrite|FlagPS)
+	if !e.Present() || !e.Superpage() || e.Frame() != 0x200000 {
+		t.Errorf("PTE round-trip broken: %#x", uint64(e))
+	}
+	if !e.IsLeaf(arch.LevelPD) {
+		t.Error("PS entry at PD not a leaf")
+	}
+	plain := makePTE(0x3000, FlagWrite)
+	if plain.IsLeaf(arch.LevelPD) {
+		t.Error("non-PS entry at PD is a leaf")
+	}
+	if !plain.IsLeaf(arch.LevelPT) {
+		t.Error("PT entry not a leaf")
+	}
+}

@@ -1,0 +1,76 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is one PMU's worth of event counts. The zero value is ready to
+// use. Counters is a value type: Snapshot copies are cheap and Delta works
+// on values, mirroring how one programs and reads real counter groups.
+type Counters struct {
+	c [NumEvents]uint64
+}
+
+// Inc adds one to the event.
+func (cs *Counters) Inc(e Event) { cs.c[e]++ }
+
+// Add adds n to the event.
+func (cs *Counters) Add(e Event, n uint64) { cs.c[e] += n }
+
+// Get returns the event's count.
+func (cs Counters) Get(e Event) uint64 { return cs.c[e] }
+
+// Snapshot returns a copy of the current counts.
+func (cs *Counters) Snapshot() Counters { return *cs }
+
+// Reset zeroes every counter.
+func (cs *Counters) Reset() { cs.c = [NumEvents]uint64{} }
+
+// Delta returns end - start per event. It panics if any counter went
+// backwards, which would indicate a simulator bug (counters are
+// monotonic, like real PMU counters between resets).
+func Delta(start, end Counters) Counters {
+	var d Counters
+	for e := Event(0); e < NumEvents; e++ {
+		if end.c[e] < start.c[e] {
+			panic(fmt.Sprintf("perf: counter %v went backwards (%d -> %d)",
+				e, start.c[e], end.c[e]))
+		}
+		d.c[e] = end.c[e] - start.c[e]
+	}
+	return d
+}
+
+// Format renders the counters in `perf stat` style, one event per line,
+// sorted by event definition order. Zero counters are included so runs are
+// diffable.
+func (cs Counters) Format() string {
+	var b strings.Builder
+	for e := Event(0); e < NumEvents; e++ {
+		fmt.Fprintf(&b, "%20d  %s\n", cs.c[e], e)
+	}
+	return b.String()
+}
+
+// FormatNonZero renders only events with non-zero counts, sorted by count
+// descending — convenient for quick inspection.
+func (cs Counters) FormatNonZero() string {
+	type row struct {
+		e Event
+		n uint64
+	}
+	var rows []row
+	for e := Event(0); e < NumEvents; e++ {
+		if cs.c[e] != 0 {
+			rows = append(rows, row{e, cs.c[e]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%20d  %s\n", r.n, r.e)
+	}
+	return b.String()
+}

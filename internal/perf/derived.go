@@ -1,0 +1,174 @@
+package perf
+
+// This file implements the paper's derived metrics: the Table VI walk
+// outcome formulae, the Equation 1 WCPI decomposition, and the five
+// address-translation pressure metrics compared in Table V.
+
+// WalkOutcomes classifies initiated page table walks, computed exactly as
+// the paper's Table VI prescribes.
+type WalkOutcomes struct {
+	// Initiated = dtlb_load_misses.miss_causes_a_walk
+	//           + dtlb_store_misses.miss_causes_a_walk.
+	Initiated uint64
+	// Completed = dtlb_load_misses.walk_completed
+	//           + dtlb_store_misses.walk_completed.
+	Completed uint64
+	// Retired = mem_uops_retired.stlb_miss_loads
+	//         + mem_uops_retired.stlb_miss_stores.
+	Retired uint64
+	// Aborted = Initiated - Completed.
+	Aborted uint64
+	// WrongPath = Completed - Retired.
+	WrongPath uint64
+}
+
+// Outcomes derives the walk outcome distribution from raw counters.
+func Outcomes(c Counters) WalkOutcomes {
+	o := WalkOutcomes{
+		Initiated: c.Get(DTLBLoadMissWalk) + c.Get(DTLBStoreMissWalk),
+		Completed: c.Get(DTLBLoadWalkCompleted) + c.Get(DTLBStoreWalkCompleted),
+		Retired:   c.Get(STLBMissLoads) + c.Get(STLBMissStores),
+	}
+	o.Aborted = o.Initiated - o.Completed
+	o.WrongPath = o.Completed - o.Retired
+	return o
+}
+
+// Fractions returns the retired / wrong-path / aborted shares of initiated
+// walks (the band widths of the paper's Figure 7). All zeros when no walk
+// was initiated.
+func (o WalkOutcomes) Fractions() (retired, wrongPath, aborted float64) {
+	if o.Initiated == 0 {
+		return 0, 0, 0
+	}
+	n := float64(o.Initiated)
+	return float64(o.Retired) / n, float64(o.WrongPath) / n, float64(o.Aborted) / n
+}
+
+// Equation1 is the multiplicative decomposition of WCPI (the paper's
+// Equation 1):
+//
+//	walk cycles   accesses   TLB misses   PTW accesses   walk cycles
+//	----------- = -------- x ---------- x ------------ x -----------
+//	instruction   instr.     access       PT walk        PTW access
+//
+// Each factor is attributed to one component: the program, the TLB, the
+// MMU caches, and the cache hierarchy respectively.
+type Equation1 struct {
+	// AccessesPerInstruction is the program term.
+	AccessesPerInstruction float64
+	// TLBMissesPerAccess is the TLB term (walks per retired access).
+	TLBMissesPerAccess float64
+	// WalkerLoadsPerWalk is the MMU-cache term (PTW accesses per walk).
+	WalkerLoadsPerWalk float64
+	// CyclesPerWalkerLoad is the cache-hierarchy term (PTE hotness).
+	CyclesPerWalkerLoad float64
+	// WCPI is the product, computed directly from counters.
+	WCPI float64
+}
+
+// Product multiplies the four factors; it equals WCPI exactly whenever all
+// intermediate denominators are non-zero (property-tested).
+func (e Equation1) Product() float64 {
+	return e.AccessesPerInstruction * e.TLBMissesPerAccess *
+		e.WalkerLoadsPerWalk * e.CyclesPerWalkerLoad
+}
+
+// Metrics bundles every derived quantity the paper plots.
+type Metrics struct {
+	// Instructions, Cycles, Accesses are the run denominators.
+	Instructions uint64
+	Cycles       uint64
+	Accesses     uint64
+
+	// CPI is cycles per retired instruction.
+	CPI float64
+
+	// WCPI is walk cycles per instruction — the paper's headline metric.
+	WCPI float64
+	// WalkCyclesPerAccess is walk cycles over retired accesses.
+	WalkCyclesPerAccess float64
+	// WalkCycleFraction is walk cycles over total cycles.
+	WalkCycleFraction float64
+	// TLBMissesPerKiloAccess is initiated walks per 1000 retired accesses.
+	TLBMissesPerKiloAccess float64
+	// TLBMissesPerKiloInstruction is initiated walks per 1000 instructions.
+	TLBMissesPerKiloInstruction float64
+
+	// Eq1 is the WCPI decomposition.
+	Eq1 Equation1
+
+	// WalkCycles is total cycles with a walk active.
+	WalkCycles uint64
+	// Walks is the number of initiated walks.
+	Walks uint64
+	// WalkerLoads is the number of PTE loads across all walks.
+	WalkerLoads uint64
+	// AvgWalkCycles is walk cycles per completed-or-aborted walk.
+	AvgWalkCycles float64
+
+	// STLBHitRate is the fraction of L1-TLB misses the STLB caught.
+	STLBHitRate float64
+
+	// PTELocation is the fraction of walker loads satisfied by each
+	// cache level: L1, L2, L3, memory (Figure 8's bands).
+	PTELocation [4]float64
+
+	// Outcomes is the walk outcome distribution (Figure 7's bands).
+	Outcomes WalkOutcomes
+
+	// MachineClearsPerKiloInstruction feeds Figure 9.
+	MachineClearsPerKiloInstruction float64
+	// BranchMispredictRate is mispredicts over retired branches.
+	BranchMispredictRate float64
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Compute derives all metrics from a counter snapshot (typically a Delta
+// over the measured region).
+func Compute(c Counters) Metrics {
+	var m Metrics
+	m.Instructions = c.Get(InstRetired)
+	m.Cycles = c.Get(Cycles)
+	m.Accesses = c.Get(AllLoads) + c.Get(AllStores)
+	m.WalkCycles = c.Get(DTLBLoadWalkDuration) + c.Get(DTLBStoreWalkDuration)
+	m.Outcomes = Outcomes(c)
+	m.Walks = m.Outcomes.Initiated
+	m.WalkerLoads = c.Get(WalkerLoadsL1) + c.Get(WalkerLoadsL2) +
+		c.Get(WalkerLoadsL3) + c.Get(WalkerLoadsMem)
+
+	m.CPI = ratio(m.Cycles, m.Instructions)
+	m.WCPI = ratio(m.WalkCycles, m.Instructions)
+	m.WalkCyclesPerAccess = ratio(m.WalkCycles, m.Accesses)
+	m.WalkCycleFraction = ratio(m.WalkCycles, m.Cycles)
+	m.TLBMissesPerKiloAccess = 1000 * ratio(m.Walks, m.Accesses)
+	m.TLBMissesPerKiloInstruction = 1000 * ratio(m.Walks, m.Instructions)
+	m.AvgWalkCycles = ratio(m.WalkCycles, m.Walks)
+
+	stlbHits := c.Get(DTLBLoadSTLBHit) + c.Get(DTLBStoreSTLBHit)
+	m.STLBHitRate = ratio(stlbHits, stlbHits+m.Walks)
+
+	m.Eq1 = Equation1{
+		AccessesPerInstruction: ratio(m.Accesses, m.Instructions),
+		TLBMissesPerAccess:     ratio(m.Walks, m.Accesses),
+		WalkerLoadsPerWalk:     ratio(m.WalkerLoads, m.Walks),
+		CyclesPerWalkerLoad:    ratio(m.WalkCycles, m.WalkerLoads),
+		WCPI:                   m.WCPI,
+	}
+
+	if m.WalkerLoads > 0 {
+		for i, e := range []Event{WalkerLoadsL1, WalkerLoadsL2, WalkerLoadsL3, WalkerLoadsMem} {
+			m.PTELocation[i] = ratio(c.Get(e), m.WalkerLoads)
+		}
+	}
+
+	m.MachineClearsPerKiloInstruction = 1000 * ratio(c.Get(MachineClears), m.Instructions)
+	m.BranchMispredictRate = ratio(c.Get(BranchMispredicts), c.Get(Branches))
+	return m
+}

@@ -1,0 +1,159 @@
+// Package perf implements the simulated machine's performance-monitoring
+// unit. Events carry the Intel Haswell names the paper's methodology is
+// written in (Table VI), so the derived-metric code reads like the paper:
+// walk outcomes come from dtlb_*_misses.miss_causes_a_walk minus
+// walk_completed, WCPI from walk_duration over inst_retired.any, and the
+// PTE-location distribution from page_walker_loads.dtlb_*.
+package perf
+
+import "fmt"
+
+// Event is one hardware event the simulated PMU can count.
+type Event uint8
+
+// The counted events. Names (see String) follow the Linux perf spellings
+// of the Haswell PMU events the paper uses.
+const (
+	// InstRetired counts retired instructions (inst_retired.any).
+	InstRetired Event = iota
+	// Cycles counts unhalted core cycles (cpu_clk_unhalted.thread).
+	Cycles
+
+	// AllLoads counts retired load uops (mem_uops_retired.all_loads).
+	AllLoads
+	// AllStores counts retired store uops (mem_uops_retired.all_stores).
+	AllStores
+	// STLBMissLoads counts retired loads that missed in the STLB
+	// (mem_uops_retired.stlb_miss_loads).
+	STLBMissLoads
+	// STLBMissStores counts retired stores that missed in the STLB
+	// (mem_uops_retired.stlb_miss_stores).
+	STLBMissStores
+
+	// DTLBLoadMissWalk counts load translations, speculative included,
+	// that missed every TLB level and started a page walk
+	// (dtlb_load_misses.miss_causes_a_walk).
+	DTLBLoadMissWalk
+	// DTLBStoreMissWalk is the store counterpart
+	// (dtlb_store_misses.miss_causes_a_walk).
+	DTLBStoreMissWalk
+	// DTLBLoadWalkCompleted counts load walks that ran to completion
+	// (dtlb_load_misses.walk_completed).
+	DTLBLoadWalkCompleted
+	// DTLBStoreWalkCompleted is the store counterpart
+	// (dtlb_store_misses.walk_completed).
+	DTLBStoreWalkCompleted
+	// DTLBLoadWalkDuration accumulates cycles with a load walk active
+	// (dtlb_load_misses.walk_duration).
+	DTLBLoadWalkDuration
+	// DTLBStoreWalkDuration is the store counterpart
+	// (dtlb_store_misses.walk_duration).
+	DTLBStoreWalkDuration
+	// DTLBLoadSTLBHit counts load translations that missed the first
+	// level TLB but hit the STLB (dtlb_load_misses.stlb_hit).
+	DTLBLoadSTLBHit
+	// DTLBStoreSTLBHit is the store counterpart
+	// (dtlb_store_misses.stlb_hit).
+	DTLBStoreSTLBHit
+
+	// WalkerLoadsL1 counts page-walker PTE loads satisfied by the L1
+	// data cache (page_walker_loads.dtlb_l1).
+	WalkerLoadsL1
+	// WalkerLoadsL2 is the L2 counterpart (page_walker_loads.dtlb_l2).
+	WalkerLoadsL2
+	// WalkerLoadsL3 is the L3 counterpart (page_walker_loads.dtlb_l3).
+	WalkerLoadsL3
+	// WalkerLoadsMem counts walker loads that went to DRAM
+	// (page_walker_loads.dtlb_memory).
+	WalkerLoadsMem
+
+	// Branches counts retired branches (br_inst_retired.all_branches).
+	Branches
+	// BranchMispredicts counts retired mispredicted branches
+	// (br_misp_retired.all_branches).
+	BranchMispredicts
+	// MachineClears counts pipeline clears of all causes
+	// (machine_clears.count).
+	MachineClears
+	// MachineClearsMemOrder counts memory-ordering clears
+	// (machine_clears.memory_ordering).
+	MachineClearsMemOrder
+
+	// PageFaults counts demand page faults taken (sw event faults).
+	PageFaults
+
+	// TLBPrefetchWalks counts walks issued by the (research-extension)
+	// next-page TLB prefetcher. Prefetch walks are accounted in their
+	// own domain so the Table VI outcome formulae stay faithful to the
+	// dtlb_* architectural events.
+	TLBPrefetchWalks
+	// TLBPrefetchFills counts prefetched translations inserted into the
+	// STLB.
+	TLBPrefetchFills
+	// TLBPrefetchCycles accumulates walker cycles spent on prefetches.
+	TLBPrefetchCycles
+
+	// THPPromotions counts 2 MB hugepage promotions performed by the
+	// WCPI-guided promotion policy (sw event, khugepaged analogue).
+	THPPromotions
+
+	// NumEvents is the number of defined events.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	InstRetired:            "inst_retired.any",
+	Cycles:                 "cpu_clk_unhalted.thread",
+	AllLoads:               "mem_uops_retired.all_loads",
+	AllStores:              "mem_uops_retired.all_stores",
+	STLBMissLoads:          "mem_uops_retired.stlb_miss_loads",
+	STLBMissStores:         "mem_uops_retired.stlb_miss_stores",
+	DTLBLoadMissWalk:       "dtlb_load_misses.miss_causes_a_walk",
+	DTLBStoreMissWalk:      "dtlb_store_misses.miss_causes_a_walk",
+	DTLBLoadWalkCompleted:  "dtlb_load_misses.walk_completed",
+	DTLBStoreWalkCompleted: "dtlb_store_misses.walk_completed",
+	DTLBLoadWalkDuration:   "dtlb_load_misses.walk_duration",
+	DTLBStoreWalkDuration:  "dtlb_store_misses.walk_duration",
+	DTLBLoadSTLBHit:        "dtlb_load_misses.stlb_hit",
+	DTLBStoreSTLBHit:       "dtlb_store_misses.stlb_hit",
+	WalkerLoadsL1:          "page_walker_loads.dtlb_l1",
+	WalkerLoadsL2:          "page_walker_loads.dtlb_l2",
+	WalkerLoadsL3:          "page_walker_loads.dtlb_l3",
+	WalkerLoadsMem:         "page_walker_loads.dtlb_memory",
+	Branches:               "br_inst_retired.all_branches",
+	BranchMispredicts:      "br_misp_retired.all_branches",
+	MachineClears:          "machine_clears.count",
+	MachineClearsMemOrder:  "machine_clears.memory_ordering",
+	PageFaults:             "faults",
+	TLBPrefetchWalks:       "tlb_prefetch.walks",
+	TLBPrefetchFills:       "tlb_prefetch.fills",
+	TLBPrefetchCycles:      "tlb_prefetch.walk_duration",
+	THPPromotions:          "thp.promotions",
+}
+
+// String returns the perf-tool spelling of the event name.
+func (e Event) String() string {
+	if e < NumEvents {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// ByName resolves a perf-tool event name back to an Event.
+func ByName(name string) (Event, error) {
+	for e := Event(0); e < NumEvents; e++ {
+		if eventNames[e] == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("perf: unknown event %q", name)
+}
+
+// Events returns all defined events in definition order.
+func Events() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package perf
+
+import "testing"
+
+// FuzzComputeNeverPanicsOrNaNs drives the metric derivations with
+// arbitrary counter values: Compute must never panic, and ratios with
+// zero denominators must come out as 0, not NaN/Inf.
+func FuzzComputeNeverPanicsOrNaNs(f *testing.F) {
+	f.Add(uint64(1000), uint64(2500), uint64(300), uint64(40), uint64(35), uint64(800), uint64(90))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, inst, cyc, loads, walks, completed, dur, wl uint64) {
+		var c Counters
+		c.Add(InstRetired, inst)
+		c.Add(Cycles, cyc)
+		c.Add(AllLoads, loads)
+		c.Add(DTLBLoadMissWalk, walks)
+		if completed > walks {
+			completed = walks
+		}
+		c.Add(DTLBLoadWalkCompleted, completed)
+		c.Add(STLBMissLoads, completed/2)
+		c.Add(DTLBLoadWalkDuration, dur)
+		c.Add(WalkerLoadsL1, wl)
+		m := Compute(c)
+		for name, v := range map[string]float64{
+			"CPI": m.CPI, "WCPI": m.WCPI, "WalkCycleFraction": m.WalkCycleFraction,
+			"TLBMissesPerKiloAccess": m.TLBMissesPerKiloAccess,
+			"AvgWalkCycles":          m.AvgWalkCycles,
+			"STLBHitRate":            m.STLBHitRate,
+			"Eq1Product":             m.Eq1.Product(),
+		} {
+			if v != v || v > 1e300 || v < -1e300 { // NaN or runaway
+				t.Fatalf("%s = %v for counters inst=%d cyc=%d", name, v, inst, cyc)
+			}
+		}
+		o := m.Outcomes
+		if o.Retired+o.WrongPath+o.Aborted != o.Initiated {
+			t.Fatalf("outcome conservation broken: %+v", o)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package perf
+
+import "fmt"
+
+// Group is a perf_event-style counter group: a set of events enabled and
+// disabled together, accumulating only while enabled. It supports
+// multi-window measurement (enable around each region of interest, read
+// once at the end) — the way one programs real PMU groups around phases.
+type Group struct {
+	read    func() Counters
+	events  []Event
+	acc     [NumEvents]uint64
+	start   Counters
+	enabled bool
+}
+
+// NewGroup builds a group over a live counter source (typically
+// Machine.Counters passed as a method value).
+func NewGroup(read func() Counters, events ...Event) (*Group, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("perf: empty event group")
+	}
+	for _, e := range events {
+		if e >= NumEvents {
+			return nil, fmt.Errorf("perf: unknown event %d", e)
+		}
+	}
+	return &Group{read: read, events: events}, nil
+}
+
+// Enable starts (or resumes) counting. Enabling an enabled group is a
+// no-op, as with PERF_EVENT_IOC_ENABLE.
+func (g *Group) Enable() {
+	if g.enabled {
+		return
+	}
+	g.start = g.read()
+	g.enabled = true
+}
+
+// Disable stops counting and folds the window into the accumulators.
+func (g *Group) Disable() {
+	if !g.enabled {
+		return
+	}
+	d := Delta(g.start, g.read())
+	for _, e := range g.events {
+		g.acc[e] += d.Get(e)
+	}
+	g.enabled = false
+}
+
+// Enabled reports whether the group is currently counting.
+func (g *Group) Enabled() bool { return g.enabled }
+
+// Count returns an event's accumulated value (including the live window
+// if the group is enabled). Events outside the group read as 0.
+func (g *Group) Count(e Event) uint64 {
+	v := g.acc[e]
+	if g.enabled {
+		live := Delta(g.start, g.read())
+		for _, ge := range g.events {
+			if ge == e {
+				return v + live.Get(e)
+			}
+		}
+	}
+	return v
+}
+
+// Read returns all group events in declaration order.
+func (g *Group) Read() []uint64 {
+	out := make([]uint64, len(g.events))
+	for i, e := range g.events {
+		out[i] = g.Count(e)
+	}
+	return out
+}
+
+// Reset zeroes the accumulators (and restarts the live window if
+// enabled).
+func (g *Group) Reset() {
+	g.acc = [NumEvents]uint64{}
+	if g.enabled {
+		g.start = g.read()
+	}
+}

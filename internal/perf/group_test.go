@@ -1,0 +1,80 @@
+package perf
+
+import "testing"
+
+// fakeSource simulates a live PMU the test advances by hand.
+type fakeSource struct{ c Counters }
+
+func (f *fakeSource) read() Counters { return f.c.Snapshot() }
+
+func TestGroupWindows(t *testing.T) {
+	src := &fakeSource{}
+	g, err := NewGroup(src.read, InstRetired, Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counting outside any window must not accumulate.
+	src.c.Add(InstRetired, 100)
+	g.Enable()
+	src.c.Add(InstRetired, 10)
+	src.c.Add(Cycles, 20)
+	g.Disable()
+	src.c.Add(InstRetired, 1000) // outside the window
+	g.Enable()
+	src.c.Add(InstRetired, 5)
+	g.Disable()
+	if got := g.Count(InstRetired); got != 15 {
+		t.Errorf("instructions = %d, want 15", got)
+	}
+	if got := g.Count(Cycles); got != 20 {
+		t.Errorf("cycles = %d, want 20", got)
+	}
+}
+
+func TestGroupLiveRead(t *testing.T) {
+	src := &fakeSource{}
+	g, _ := NewGroup(src.read, AllLoads)
+	g.Enable()
+	src.c.Add(AllLoads, 7)
+	if got := g.Count(AllLoads); got != 7 {
+		t.Errorf("live count = %d, want 7", got)
+	}
+	if got := g.Count(AllStores); got != 0 {
+		t.Errorf("non-group event = %d, want 0", got)
+	}
+}
+
+func TestGroupIdempotentEnableDisable(t *testing.T) {
+	src := &fakeSource{}
+	g, _ := NewGroup(src.read, Cycles)
+	g.Enable()
+	g.Enable() // must not reset the window start
+	src.c.Add(Cycles, 5)
+	g.Disable()
+	g.Disable()
+	if got := g.Count(Cycles); got != 5 {
+		t.Errorf("cycles = %d, want 5", got)
+	}
+}
+
+func TestGroupResetAndRead(t *testing.T) {
+	src := &fakeSource{}
+	g, _ := NewGroup(src.read, InstRetired, Cycles)
+	g.Enable()
+	src.c.Add(InstRetired, 3)
+	g.Disable()
+	g.Reset()
+	if got := g.Read(); got[0] != 0 || got[1] != 0 {
+		t.Errorf("after reset: %v", got)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	src := &fakeSource{}
+	if _, err := NewGroup(src.read); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewGroup(src.read, NumEvents); err == nil {
+		t.Error("unknown event accepted")
+	}
+}

@@ -1,0 +1,246 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventNamesRoundTrip(t *testing.T) {
+	for _, e := range Events() {
+		got, err := ByName(e.String())
+		if err != nil || got != e {
+			t.Errorf("ByName(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ByName("bogus.event"); err == nil {
+		t.Error("ByName(bogus) succeeded")
+	}
+}
+
+func TestEventNamesUniqueAndNonEmpty(t *testing.T) {
+	seen := map[string]Event{}
+	for _, e := range Events() {
+		name := e.String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Errorf("event %d has no name", e)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("events %v and %v share name %q", prev, e, name)
+		}
+		seen[name] = e
+	}
+}
+
+func TestCountersIncAddGet(t *testing.T) {
+	var c Counters
+	c.Inc(InstRetired)
+	c.Add(InstRetired, 9)
+	c.Add(Cycles, 25)
+	if c.Get(InstRetired) != 10 || c.Get(Cycles) != 25 {
+		t.Errorf("counts wrong: %d %d", c.Get(InstRetired), c.Get(Cycles))
+	}
+	c.Reset()
+	if c.Get(InstRetired) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var c Counters
+	c.Add(Cycles, 5)
+	s := c.Snapshot()
+	c.Add(Cycles, 5)
+	if s.Get(Cycles) != 5 {
+		t.Error("snapshot mutated by later counting")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	var c Counters
+	c.Add(Cycles, 100)
+	start := c.Snapshot()
+	c.Add(Cycles, 50)
+	c.Add(InstRetired, 20)
+	d := Delta(start, c.Snapshot())
+	if d.Get(Cycles) != 50 || d.Get(InstRetired) != 20 {
+		t.Errorf("delta = %d cycles, %d inst", d.Get(Cycles), d.Get(InstRetired))
+	}
+}
+
+func TestDeltaBackwardsPanics(t *testing.T) {
+	var a, b Counters
+	a.Add(Cycles, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("Delta going backwards did not panic")
+		}
+	}()
+	Delta(a, b)
+}
+
+func TestOutcomesTableVI(t *testing.T) {
+	var c Counters
+	c.Add(DTLBLoadMissWalk, 70)
+	c.Add(DTLBStoreMissWalk, 30) // initiated = 100
+	c.Add(DTLBLoadWalkCompleted, 60)
+	c.Add(DTLBStoreWalkCompleted, 20) // completed = 80
+	c.Add(STLBMissLoads, 40)
+	c.Add(STLBMissStores, 10) // retired = 50
+	o := Outcomes(c)
+	want := WalkOutcomes{Initiated: 100, Completed: 80, Retired: 50, Aborted: 20, WrongPath: 30}
+	if o != want {
+		t.Errorf("Outcomes = %+v, want %+v", o, want)
+	}
+	r, w, a := o.Fractions()
+	if r != 0.5 || w != 0.3 || a != 0.2 {
+		t.Errorf("Fractions = %v %v %v", r, w, a)
+	}
+}
+
+func TestOutcomesConservation(t *testing.T) {
+	// Property: for any consistent counter set (completed <= initiated,
+	// retired <= completed), retired + wrongPath + aborted == initiated.
+	check := func(i8, c8, r8 uint8) bool {
+		init := uint64(i8)
+		comp := uint64(c8) % (init + 1)
+		ret := uint64(r8) % (comp + 1)
+		var c Counters
+		c.Add(DTLBLoadMissWalk, init)
+		c.Add(DTLBLoadWalkCompleted, comp)
+		c.Add(STLBMissLoads, ret)
+		o := Outcomes(c)
+		return o.Retired+o.WrongPath+o.Aborted == o.Initiated
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroFractions(t *testing.T) {
+	var o WalkOutcomes
+	r, w, a := o.Fractions()
+	if r != 0 || w != 0 || a != 0 {
+		t.Error("zero outcomes should give zero fractions")
+	}
+}
+
+// randomRunCounters builds an internally consistent counter set resembling
+// a real run.
+func randomRunCounters(rng *rand.Rand) Counters {
+	var c Counters
+	inst := uint64(rng.Intn(1_000_000) + 1000)
+	loads := inst / uint64(rng.Intn(5)+2)
+	stores := loads / 3
+	c.Add(InstRetired, inst)
+	c.Add(Cycles, inst*2)
+	c.Add(AllLoads, loads)
+	c.Add(AllStores, stores)
+	walks := loads / uint64(rng.Intn(50)+10)
+	c.Add(DTLBLoadMissWalk, walks)
+	c.Add(DTLBStoreMissWalk, walks/4)
+	c.Add(DTLBLoadWalkCompleted, walks*9/10)
+	c.Add(DTLBStoreWalkCompleted, walks/4*9/10)
+	c.Add(STLBMissLoads, walks*7/10)
+	c.Add(STLBMissStores, walks/4*7/10)
+	wl := walks * uint64(rng.Intn(3)+1)
+	c.Add(WalkerLoadsL1, wl/2)
+	c.Add(WalkerLoadsL2, wl/4)
+	c.Add(WalkerLoadsL3, wl/8)
+	c.Add(WalkerLoadsMem, wl-wl/2-wl/4-wl/8)
+	c.Add(DTLBLoadWalkDuration, wl*30)
+	c.Add(DTLBStoreWalkDuration, wl*5)
+	c.Add(Branches, inst/6)
+	c.Add(BranchMispredicts, inst/150)
+	c.Add(MachineClears, inst/10000)
+	return c
+}
+
+func TestEquation1Identity(t *testing.T) {
+	// The four Eq. 1 factors must multiply to WCPI exactly (paper Eq. 1).
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 200; i++ {
+		m := Compute(randomRunCounters(rng))
+		if m.Walks == 0 || m.WalkerLoads == 0 {
+			continue
+		}
+		if p := m.Eq1.Product(); math.Abs(p-m.WCPI) > 1e-12*math.Max(1, m.WCPI) {
+			t.Fatalf("Eq1 product %v != WCPI %v", p, m.WCPI)
+		}
+	}
+}
+
+func TestComputeBasics(t *testing.T) {
+	var c Counters
+	c.Add(InstRetired, 1000)
+	c.Add(Cycles, 2500)
+	c.Add(AllLoads, 300)
+	c.Add(AllStores, 100)
+	c.Add(DTLBLoadMissWalk, 40)
+	c.Add(DTLBLoadWalkCompleted, 40)
+	c.Add(STLBMissLoads, 40)
+	c.Add(DTLBLoadWalkDuration, 800)
+	c.Add(WalkerLoadsL1, 50)
+	c.Add(WalkerLoadsMem, 30)
+	m := Compute(c)
+	if m.CPI != 2.5 {
+		t.Errorf("CPI = %v", m.CPI)
+	}
+	if m.WCPI != 0.8 {
+		t.Errorf("WCPI = %v", m.WCPI)
+	}
+	if m.WalkCyclesPerAccess != 2.0 {
+		t.Errorf("WalkCyclesPerAccess = %v", m.WalkCyclesPerAccess)
+	}
+	if m.WalkCycleFraction != 800.0/2500 {
+		t.Errorf("WalkCycleFraction = %v", m.WalkCycleFraction)
+	}
+	if m.TLBMissesPerKiloAccess != 100 {
+		t.Errorf("TLBMissesPerKiloAccess = %v", m.TLBMissesPerKiloAccess)
+	}
+	if m.TLBMissesPerKiloInstruction != 40 {
+		t.Errorf("TLBMissesPerKiloInstruction = %v", m.TLBMissesPerKiloInstruction)
+	}
+	if m.AvgWalkCycles != 20 {
+		t.Errorf("AvgWalkCycles = %v", m.AvgWalkCycles)
+	}
+	if m.PTELocation[0] != 50.0/80 || m.PTELocation[3] != 30.0/80 {
+		t.Errorf("PTELocation = %v", m.PTELocation)
+	}
+}
+
+func TestPTELocationSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		m := Compute(randomRunCounters(rng))
+		if m.WalkerLoads == 0 {
+			continue
+		}
+		sum := m.PTELocation[0] + m.PTELocation[1] + m.PTELocation[2] + m.PTELocation[3]
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("PTE location fractions sum to %v", sum)
+		}
+	}
+}
+
+func TestComputeOnZeroCountersIsSafe(t *testing.T) {
+	m := Compute(Counters{})
+	if m.WCPI != 0 || m.CPI != 0 || m.STLBHitRate != 0 {
+		t.Error("zero counters produced non-zero metrics")
+	}
+}
+
+func TestFormatContainsNames(t *testing.T) {
+	var c Counters
+	c.Add(InstRetired, 42)
+	out := c.Format()
+	if !strings.Contains(out, "inst_retired.any") || !strings.Contains(out, "42") {
+		t.Errorf("Format output missing content:\n%s", out)
+	}
+	nz := c.FormatNonZero()
+	if strings.Contains(nz, "cpu_clk_unhalted") {
+		t.Error("FormatNonZero shows zero counters")
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N               int
+	Mean, Stddev    float64
+	Min, Max        float64
+	Median, P5, P95 float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary
+// for an empty sample.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(x), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range x {
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(len(x))
+	for _, v := range x {
+		s.Stddev += (v - s.Mean) * (v - s.Mean)
+	}
+	if len(x) > 1 {
+		s.Stddev = math.Sqrt(s.Stddev / float64(len(x)-1))
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P5 = Quantile(sorted, 0.05)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample, with linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// BootstrapCorrelation estimates a confidence interval for a correlation
+// statistic (Pearson or Spearman, passed as fn) by the percentile
+// bootstrap: resample (x, y) pairs with replacement `resamples` times and
+// take the (alpha/2, 1-alpha/2) percentiles of the statistic. seed fixes
+// the resampling.
+func BootstrapCorrelation(x, y []float64, fn func(a, b []float64) (float64, error),
+	resamples int, alpha float64, seed int64) (Interval, error) {
+	if len(x) != len(y) || len(x) < 3 {
+		return Interval{}, ErrDegenerate
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(x)
+	bx := make([]float64, n)
+	by := make([]float64, n)
+	vals := make([]float64, 0, resamples)
+	for r := 0; r < resamples; r++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = x[j], y[j]
+		}
+		v, err := fn(bx, by)
+		if err != nil {
+			continue // degenerate resample; skip
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) < resamples/2 {
+		return Interval{}, ErrDegenerate
+	}
+	sort.Float64s(vals)
+	return Interval{
+		Lo: Quantile(vals, alpha/2),
+		Hi: Quantile(vals, 1-alpha/2),
+	}, nil
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary wrong")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Stddev != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	check := func(raw []float64) bool {
+		var x []float64
+		for _, v := range raw {
+			// Keep magnitudes where sums cannot overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e300 {
+				x = append(x, math.Mod(v, 1e12))
+			}
+		}
+		if len(x) == 0 {
+			return true
+		}
+		s := Summarize(x)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P5 <= s.Median && s.Median <= s.P95
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{10, 20, 30, 40}
+	if Quantile(x, 0) != 10 || Quantile(x, 1) != 40 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := Quantile(x, 0.5); got != 25 {
+		t.Errorf("median = %v, want 25 (interpolated)", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	check := func(raw []float64, qa, qb float64) bool {
+		var x []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				x = append(x, v)
+			}
+		}
+		if len(x) == 0 {
+			return true
+		}
+		sort.Float64s(x)
+		qa = math.Abs(qa)
+		qb = math.Abs(qb)
+		qa -= math.Floor(qa)
+		qb -= math.Floor(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(x, qa) <= Quantile(x, qb)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCoversTrueCorrelation(t *testing.T) {
+	// Strongly correlated data: the CI should be tight, positive, and
+	// contain the point estimate.
+	rng := rand.New(rand.NewSource(12))
+	var x, y []float64
+	for i := 0; i < 120; i++ {
+		v := rng.NormFloat64()
+		x = append(x, v)
+		y = append(y, 2*v+0.3*rng.NormFloat64())
+	}
+	point, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := BootstrapCorrelation(x, y, Pearson, 400, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Lo <= point && point <= ci.Hi) {
+		t.Errorf("CI [%v, %v] excludes point %v", ci.Lo, ci.Hi, point)
+	}
+	if ci.Lo < 0.8 {
+		t.Errorf("CI lower bound %v too loose for near-perfect correlation", ci.Lo)
+	}
+}
+
+func TestBootstrapWideForNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var x, y []float64
+	for i := 0; i < 30; i++ {
+		x = append(x, rng.NormFloat64())
+		y = append(y, rng.NormFloat64())
+	}
+	ci, err := BootstrapCorrelation(x, y, Spearman, 400, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Hi-ci.Lo < 0.2 {
+		t.Errorf("CI [%v, %v] implausibly tight for independent noise", ci.Lo, ci.Hi)
+	}
+	if !(ci.Lo < 0 && ci.Hi > 0) {
+		t.Logf("note: CI [%v, %v] excludes 0 (can happen by chance)", ci.Lo, ci.Hi)
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	if _, err := BootstrapCorrelation([]float64{1, 2}, []float64{1, 2}, Pearson, 100, 0.05, 1); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	// Constant x: every resample degenerate.
+	x := []float64{1, 1, 1, 1, 1}
+	y := []float64{1, 2, 3, 4, 5}
+	if _, err := BootstrapCorrelation(x, y, Pearson, 100, 0.05, 1); err == nil {
+		t.Error("all-degenerate resamples accepted")
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides the small statistical toolkit the paper's
+// analysis uses: Pearson and (tie-aware) Spearman correlation for Table V,
+// and ordinary least squares with adjusted R² for the log-footprint
+// regressions of Table IV.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrDegenerate is returned when an input has no variance (or too few
+// points) for the requested statistic.
+var ErrDegenerate = errors.New("stats: degenerate input")
+
+func mean(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples x and y.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, ErrDegenerate
+	}
+	mx, my := mean(x), mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrDegenerate
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Ranks returns the (1-based) fractional ranks of x, assigning tied values
+// the average of the ranks they span — the standard treatment for
+// Spearman's rank correlation.
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient of the paired
+// samples x and y, handling ties by average ranks.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// OLSResult holds an ordinary-least-squares fit.
+type OLSResult struct {
+	// Coef holds the intercept followed by one coefficient per regressor.
+	Coef []float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// AdjR2 is R2 adjusted for the number of regressors.
+	AdjR2 float64
+	// N is the sample count.
+	N int
+}
+
+// OLS fits y = b0 + b1*xs[0] + b2*xs[1] + ... by least squares.
+func OLS(y []float64, xs ...[]float64) (OLSResult, error) {
+	n := len(y)
+	k := len(xs) + 1 // including intercept
+	if n < k+1 {
+		return OLSResult{}, ErrDegenerate
+	}
+	for _, x := range xs {
+		if len(x) != n {
+			return OLSResult{}, fmt.Errorf("stats: regressor length %d != %d", len(x), n)
+		}
+	}
+	// Build the design matrix row accessor: X[i][0] = 1.
+	x := func(i, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return xs[j-1][i]
+	}
+	// Normal equations: (X'X) b = X'y.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for r := 0; r < k; r++ {
+		a[r] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += x(i, r) * x(i, c)
+			}
+			a[r][c] = s
+		}
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += x(i, r) * y[i]
+		}
+		b[r] = s
+	}
+	coef, err := solve(a, b)
+	if err != nil {
+		return OLSResult{}, err
+	}
+	// R² from residuals.
+	my := mean(y)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := 0.0
+		for j := 0; j < k; j++ {
+			pred += coef[j] * x(i, j)
+		}
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	if ssTot == 0 {
+		return OLSResult{}, ErrDegenerate
+	}
+	r2 := 1 - ssRes/ssTot
+	adj := 1 - (1-r2)*float64(n-1)/float64(n-k)
+	return OLSResult{Coef: coef, R2: r2, AdjR2: adj, N: n}, nil
+}
+
+// LinearFit fits y = intercept + slope*x, the Table IV model.
+func LinearFit(x, y []float64) (intercept, slope, adjR2 float64, err error) {
+	r, err := OLS(y, x)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r.Coef[0], r.Coef[1], r.AdjR2, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a small
+// dense system.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return nil, ErrDegenerate
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * out[c]
+		}
+		out[r] = s / a[r][r]
+	}
+	return out, nil
+}

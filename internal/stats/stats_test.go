@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPearsonPerfectLinear(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	r, err := Pearson(x, y)
+	if err != nil || !close(r, 1) {
+		t.Errorf("Pearson = %v, %v; want 1", r, err)
+	}
+	yn := []float64{11, 9, 7, 5, 3}
+	r, _ = Pearson(x, yn)
+	if !close(r, -1) {
+		t.Errorf("negative slope Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 1, 4, 3, 5}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed: cov = 8/... check via definition.
+	if r < 0.7 || r > 0.9 {
+		t.Errorf("Pearson = %v, want ~0.8", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(x, y)
+		if err != nil {
+			return true // degenerate draws are fine
+		}
+		return r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksNoTies(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksSumInvariant(t *testing.T) {
+	// Ranks always sum to n(n+1)/2, ties or not.
+	check := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := 0.0
+		for _, r := range Ranks(vals) {
+			s += r
+		}
+		n := float64(len(vals))
+		return math.Abs(s-n*(n+1)/2) < 1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly increasing transform gives Spearman exactly 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // nonlinear but monotone
+	}
+	r, err := Spearman(x, y)
+	if err != nil || !close(r, 1) {
+		t.Errorf("Spearman = %v, %v; want 1", r, err)
+	}
+}
+
+func TestSpearmanMonotoneProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 5
+		x := make([]float64, n)
+		y := make([]float64, n)
+		seen := map[float64]bool{}
+		for i := range x {
+			v := rng.NormFloat64()
+			for seen[v] {
+				v = rng.NormFloat64()
+			}
+			seen[v] = true
+			x[i] = v
+			y[i] = v*v*v + 5 // strictly monotone transform
+		}
+		r, err := Spearman(x, y)
+		return err == nil && close(r, 1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanAntitone(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, 8, 5, 1}
+	r, _ := Spearman(x, y)
+	if !close(r, -1) {
+		t.Errorf("Spearman = %v, want -1", r)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	b0, b1, adj, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(b0, 1) || !close(b1, 2) || !close(adj, 1) {
+		t.Errorf("fit = %v + %v x, adjR2 %v", b0, b1, adj)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := float64(i) / 10
+		x = append(x, xi)
+		y = append(y, -0.5+0.13*xi+0.01*rng.NormFloat64())
+	}
+	b0, b1, adj, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b0+0.5) > 0.01 || math.Abs(b1-0.13) > 0.01 {
+		t.Errorf("fit = %v + %v x", b0, b1)
+	}
+	if adj < 0.95 {
+		t.Errorf("adjR2 = %v on near-perfect data", adj)
+	}
+}
+
+func TestAdjR2BelowR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var x, y []float64
+	for i := 0; i < 20; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i)+5*rng.NormFloat64())
+	}
+	r, err := OLS(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AdjR2 > r.R2 {
+		t.Errorf("adjR2 %v > R2 %v", r.AdjR2, r.R2)
+	}
+}
+
+func TestOLSMultipleRegressors(t *testing.T) {
+	// y = 2 + 3a - 4b, exactly.
+	rng := rand.New(rand.NewSource(17))
+	var a, b, y []float64
+	for i := 0; i < 50; i++ {
+		ai, bi := rng.NormFloat64(), rng.NormFloat64()
+		a = append(a, ai)
+		b = append(b, bi)
+		y = append(y, 2+3*ai-4*bi)
+	}
+	r, err := OLS(y, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(r.Coef[0], 2) || !close(r.Coef[1], 3) || !close(r.Coef[2], -4) {
+		t.Errorf("coef = %v", r.Coef)
+	}
+}
+
+func TestOLSResidualOrthogonality(t *testing.T) {
+	// Property: OLS residuals are orthogonal to each regressor and sum
+	// to ~zero (because of the intercept).
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 1 + 2*x[i] + rng.NormFloat64()
+		}
+		r, err := OLS(y, x)
+		if err != nil {
+			return true
+		}
+		var sumRes, dotX, scale float64
+		for i := range x {
+			res := y[i] - r.Coef[0] - r.Coef[1]*x[i]
+			sumRes += res
+			dotX += res * x[i]
+			scale += math.Abs(y[i])
+		}
+		tol := 1e-7 * (scale + 1)
+		return math.Abs(sumRes) < tol && math.Abs(dotX) < tol
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOLSDegenerate(t *testing.T) {
+	if _, err := OLS([]float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	// Collinear regressors.
+	x := []float64{1, 2, 3, 4, 5}
+	x2 := []float64{2, 4, 6, 8, 10}
+	y := []float64{1, 2, 3, 4, 5}
+	if _, err := OLS(y, x, x2); err == nil {
+		t.Error("collinear regressors accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+// goldenSet is a reference LRU set: a slice ordered most-recent-first.
+type goldenSet struct {
+	ways int
+	ents []Entry
+}
+
+func (g *goldenSet) lookup(vpn uint64, ps arch.PageSize) (Entry, bool) {
+	for i, e := range g.ents {
+		if e.VPN == vpn && e.Size == ps {
+			// Move to front.
+			copy(g.ents[1:i+1], g.ents[:i])
+			g.ents[0] = e
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+func (g *goldenSet) insert(e Entry) {
+	if _, hit := g.lookup(e.VPN, e.Size); hit {
+		g.ents[0] = e // refresh in place (now at front)
+		return
+	}
+	if len(g.ents) == g.ways {
+		g.ents = g.ents[:g.ways-1] // evict LRU (back)
+	}
+	g.ents = append([]Entry{e}, g.ents...)
+}
+
+// TestTLBMatchesGoldenLRU drives the production set-associative TLB and a
+// straightforward reference LRU model with the same random operation
+// stream and requires identical hit/miss results and identical returned
+// frames throughout.
+func TestTLBMatchesGoldenLRU(t *testing.T) {
+	const entries, ways = 32, 4
+	sets := entries / ways
+	tl := New(arch.TLBGeometry{Entries: entries, Ways: ways}, arch.Page4K)
+	golden := make([]goldenSet, sets)
+	for i := range golden {
+		golden[i] = goldenSet{ways: ways}
+	}
+	rng := rand.New(rand.NewSource(21))
+	const vpns = 64 // enough conflict pressure
+	for op := 0; op < 200000; op++ {
+		vpn := uint64(rng.Intn(vpns))
+		set := vpn % uint64(sets)
+		va := arch.VAddr(vpn << 12)
+		if rng.Intn(2) == 0 {
+			gotE, got := tl.Lookup(va)
+			wantE, want := golden[set].lookup(vpn, arch.Page4K)
+			if got != want {
+				t.Fatalf("op %d: Lookup(vpn %d) hit=%v, golden %v", op, vpn, got, want)
+			}
+			if got && gotE.Frame != wantE.Frame {
+				t.Fatalf("op %d: Lookup(vpn %d) frame %#x, golden %#x",
+					op, vpn, uint64(gotE.Frame), uint64(wantE.Frame))
+			}
+		} else {
+			frame := arch.PAddr(rng.Uint64() &^ 0xFFF & 0xFFFF_FFFF)
+			tl.Insert(va, frame, arch.Page4K)
+			golden[set].insert(Entry{VPN: vpn, Frame: frame, Size: arch.Page4K})
+		}
+	}
+}
+
+// TestUnifiedTLBMatchesGoldenWithTwoSizes repeats the golden cross-check
+// with 4K and 2M entries sharing one array (the STLB arrangement).
+func TestUnifiedTLBMatchesGoldenWithTwoSizes(t *testing.T) {
+	const entries, ways = 64, 8
+	sets := entries / ways
+	tl := New(arch.TLBGeometry{Entries: entries, Ways: ways}, arch.Page4K, arch.Page2M)
+	golden := make([]goldenSet, sets)
+	for i := range golden {
+		golden[i] = goldenSet{ways: ways}
+	}
+	rng := rand.New(rand.NewSource(33))
+	for op := 0; op < 100000; op++ {
+		ps := arch.Page4K
+		if rng.Intn(3) == 0 {
+			ps = arch.Page2M
+		}
+		vpn := uint64(rng.Intn(48))
+		set := vpn % uint64(sets)
+		va := arch.VAddr(vpn << ps.Shift())
+		if rng.Intn(2) == 0 {
+			frame := arch.PAddr(uint64(rng.Intn(1<<20)) << ps.Shift())
+			tl.Insert(va, frame, ps)
+			golden[set].insert(Entry{VPN: vpn, Frame: frame, Size: ps})
+		} else {
+			// The production TLB probes 4K then 2M; emulate that search
+			// order against the golden sets.
+			gotE, got := tl.Lookup(va)
+			// A VA may match under either size in the golden model; probe
+			// in the same order. Note va was built from ps, but lookup is
+			// by address, so compute both candidate vpns.
+			want := false
+			var wantE Entry
+			for _, cand := range []arch.PageSize{arch.Page4K, arch.Page2M} {
+				cvpn := arch.PageNumber(va, cand)
+				cset := cvpn % uint64(sets)
+				if e, hit := golden[cset].lookup(cvpn, cand); hit {
+					want, wantE = true, e
+					break
+				}
+			}
+			if got != want || (got && gotE != wantE) {
+				t.Fatalf("op %d: lookup(%#x) = %+v,%v; golden %+v,%v",
+					op, uint64(va), gotE, got, wantE, want)
+			}
+		}
+	}
+}

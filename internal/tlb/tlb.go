@@ -1,0 +1,259 @@
+// Package tlb models translation lookaside buffers: set-associative arrays
+// mapping virtual page numbers to physical frames, with true LRU within
+// each set. The Hierarchy type assembles the Haswell arrangement the paper
+// measures: split first-level TLBs per page size backed by a unified
+// second-level STLB shared by 4 KB and 2 MB translations.
+package tlb
+
+import (
+	"math"
+
+	"atscale/internal/arch"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	// VPN is the virtual page number (va >> size shift).
+	VPN uint64
+	// Frame is the physical base address of the mapped page.
+	Frame arch.PAddr
+	// Size is the mapping's page size.
+	Size arch.PageSize
+}
+
+const invalidVPN = math.MaxUint64
+
+type way struct {
+	vpn   uint64
+	frame arch.PAddr
+	size  arch.PageSize
+	stamp uint64
+}
+
+// TLB is one set-associative translation cache. A TLB may hold a single
+// page size (split L1 arrays) or several (unified STLB); the set index and
+// tag are derived from the VPN at each entry's own page size, and lookups
+// probe once per size the TLB holds.
+type TLB struct {
+	sets  int
+	ways  int
+	holds [arch.NumPageSizes]bool
+	data  []way
+	clock uint64
+}
+
+// New builds a TLB from its geometry, holding the given page sizes.
+// A geometry with zero entries yields a disabled TLB that never hits.
+func New(g arch.TLBGeometry, sizes ...arch.PageSize) *TLB {
+	t := &TLB{}
+	if g.Entries == 0 {
+		return t
+	}
+	t.sets = g.Entries / g.Ways
+	t.ways = g.Ways
+	t.data = make([]way, g.Entries)
+	for i := range t.data {
+		t.data[i].vpn = invalidVPN
+	}
+	for _, s := range sizes {
+		t.holds[s] = true
+	}
+	return t
+}
+
+// Holds reports whether the TLB caches translations of the given size.
+func (t *TLB) Holds(ps arch.PageSize) bool { return t.holds[ps] }
+
+// Lookup probes for a translation of va at any size the TLB holds,
+// refreshing LRU on a hit.
+func (t *TLB) Lookup(va arch.VAddr) (Entry, bool) {
+	if t.sets == 0 {
+		return Entry{}, false
+	}
+	t.clock++
+	for ps := arch.Page4K; ps < arch.NumPageSizes; ps++ {
+		if !t.holds[ps] {
+			continue
+		}
+		vpn := arch.PageNumber(va, ps)
+		base := (vpn % uint64(t.sets)) * uint64(t.ways)
+		for w := 0; w < t.ways; w++ {
+			e := &t.data[base+uint64(w)]
+			if e.vpn == vpn && e.size == ps {
+				e.stamp = t.clock
+				return Entry{VPN: vpn, Frame: e.frame, Size: ps}, true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert caches the translation of va (page base) -> frame at the given
+// size, evicting the set's LRU entry if needed. Inserting a translation
+// that is already present refreshes it in place.
+func (t *TLB) Insert(va arch.VAddr, frame arch.PAddr, ps arch.PageSize) {
+	if t.sets == 0 || !t.holds[ps] {
+		return
+	}
+	t.clock++
+	vpn := arch.PageNumber(va, ps)
+	base := (vpn % uint64(t.sets)) * uint64(t.ways)
+	victim := base
+	oldest := uint64(math.MaxUint64)
+	for w := 0; w < t.ways; w++ {
+		i := base + uint64(w)
+		e := &t.data[i]
+		if e.vpn == vpn && e.size == ps {
+			e.frame = frame
+			e.stamp = t.clock
+			return
+		}
+		if e.vpn == invalidVPN {
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if e.stamp < oldest {
+			victim, oldest = i, e.stamp
+		}
+	}
+	t.data[victim] = way{vpn: vpn, frame: frame, size: ps, stamp: t.clock}
+}
+
+// InvalidatePage drops the translation of va at the given size if present.
+func (t *TLB) InvalidatePage(va arch.VAddr, ps arch.PageSize) {
+	if t.sets == 0 || !t.holds[ps] {
+		return
+	}
+	vpn := arch.PageNumber(va, ps)
+	base := (vpn % uint64(t.sets)) * uint64(t.ways)
+	for w := 0; w < t.ways; w++ {
+		e := &t.data[base+uint64(w)]
+		if e.vpn == vpn && e.size == ps {
+			e.vpn = invalidVPN
+			e.stamp = 0
+		}
+	}
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	for i := range t.data {
+		t.data[i].vpn = invalidVPN
+		t.data[i].stamp = 0
+	}
+}
+
+// Live returns the number of valid entries (test/debug helper).
+func (t *TLB) Live() int {
+	n := 0
+	for i := range t.data {
+		if t.data[i].vpn != invalidVPN {
+			n++
+		}
+	}
+	return n
+}
+
+// Level says where a hierarchy lookup was satisfied.
+type Level uint8
+
+const (
+	// HitL1 means the first-level TLB translated the access.
+	HitL1 Level = iota
+	// HitSTLB means the second-level TLB translated it (extra latency).
+	HitSTLB
+	// Miss means no TLB holds the translation; a page walk is required.
+	Miss
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case HitL1:
+		return "L1TLB"
+	case HitSTLB:
+		return "STLB"
+	case Miss:
+		return "miss"
+	}
+	return "?"
+}
+
+// Result is the outcome of a hierarchy lookup.
+type Result struct {
+	// Level says which array (if any) translated the access.
+	Level Level
+	// Entry is valid when Level != Miss.
+	Entry Entry
+}
+
+// Hierarchy is the two-level TLB arrangement of the simulated machine.
+type Hierarchy struct {
+	l1   [arch.NumPageSizes]*TLB
+	stlb *TLB
+}
+
+// NewHierarchy builds the TLB hierarchy described by cfg.
+func NewHierarchy(cfg *arch.SystemConfig) *Hierarchy {
+	h := &Hierarchy{}
+	for ps := arch.Page4K; ps < arch.NumPageSizes; ps++ {
+		h.l1[ps] = New(cfg.L1TLB[ps], ps)
+	}
+	stlbSizes := []arch.PageSize{arch.Page4K, arch.Page2M}
+	if cfg.STLBHolds1G {
+		stlbSizes = append(stlbSizes, arch.Page1G)
+	}
+	h.stlb = New(cfg.STLB, stlbSizes...)
+	return h
+}
+
+// Lookup translates va through the hierarchy. An STLB hit promotes the
+// translation into the appropriate L1 array, as hardware does.
+func (h *Hierarchy) Lookup(va arch.VAddr) Result {
+	for ps := arch.Page4K; ps < arch.NumPageSizes; ps++ {
+		if e, ok := h.l1[ps].Lookup(va); ok {
+			return Result{Level: HitL1, Entry: e}
+		}
+	}
+	if e, ok := h.stlb.Lookup(va); ok {
+		h.l1[e.Size].Insert(va, e.Frame, e.Size)
+		return Result{Level: HitSTLB, Entry: e}
+	}
+	return Result{Level: Miss}
+}
+
+// Fill installs a completed walk's translation into the L1 array for its
+// size and into the STLB (when the STLB holds that size).
+func (h *Hierarchy) Fill(va arch.VAddr, frame arch.PAddr, ps arch.PageSize) {
+	h.l1[ps].Insert(va, frame, ps)
+	h.stlb.Insert(va, frame, ps)
+}
+
+// FillSTLB installs a translation into the STLB only — the insertion
+// point for prefetched translations, which must not displace L1 entries.
+func (h *Hierarchy) FillSTLB(va arch.VAddr, frame arch.PAddr, ps arch.PageSize) {
+	h.stlb.Insert(va, frame, ps)
+}
+
+// InvalidatePage removes the translation for va at the given size from
+// every array.
+func (h *Hierarchy) InvalidatePage(va arch.VAddr, ps arch.PageSize) {
+	h.l1[ps].InvalidatePage(va, ps)
+	h.stlb.InvalidatePage(va, ps)
+}
+
+// Flush empties every array.
+func (h *Hierarchy) Flush() {
+	for _, t := range h.l1 {
+		t.Flush()
+	}
+	h.stlb.Flush()
+}
+
+// L1 exposes the first-level array for a size (test/debug helper).
+func (h *Hierarchy) L1(ps arch.PageSize) *TLB { return h.l1[ps] }
+
+// STLB exposes the second-level array (test/debug helper).
+func (h *Hierarchy) STLB() *TLB { return h.stlb }

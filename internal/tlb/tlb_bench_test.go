@@ -1,0 +1,40 @@
+package tlb
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	h.Fill(0x1000, 0x9000, arch.Page4K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Lookup(0x1000).Level == Miss {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Lookup(arch.VAddr(uint64(i)<<12)).Level != Miss {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+func BenchmarkFill(b *testing.B) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VAddr(uint64(i) << 12)
+		h.Fill(va, arch.PAddr(va), arch.Page4K)
+	}
+}

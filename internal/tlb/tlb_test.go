@@ -1,0 +1,240 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atscale/internal/arch"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tl := New(arch.TLBGeometry{Entries: 16, Ways: 4}, arch.Page4K)
+	tl.Insert(0x1000, 0x9000, arch.Page4K)
+	e, ok := tl.Lookup(0x1abc)
+	if !ok || e.Frame != 0x9000 || e.Size != arch.Page4K {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := tl.Lookup(0x2000); ok {
+		t.Error("lookup of uninserted page hit")
+	}
+}
+
+func TestWrongSizeRejected(t *testing.T) {
+	tl := New(arch.TLBGeometry{Entries: 16, Ways: 4}, arch.Page4K)
+	tl.Insert(0x200000, 0x40000000, arch.Page2M) // not held; dropped
+	if _, ok := tl.Lookup(0x200000); ok {
+		t.Error("2MB entry visible in 4K-only TLB")
+	}
+	if tl.Live() != 0 {
+		t.Error("rejected insert consumed an entry")
+	}
+}
+
+func TestUnifiedTLBBothSizes(t *testing.T) {
+	tl := New(arch.TLBGeometry{Entries: 64, Ways: 8}, arch.Page4K, arch.Page2M)
+	tl.Insert(0x1000, 0x9000, arch.Page4K)
+	tl.Insert(0x200000, 0x40000000, arch.Page2M)
+	if e, ok := tl.Lookup(0x1008); !ok || e.Size != arch.Page4K {
+		t.Errorf("4K entry lost: %+v %v", e, ok)
+	}
+	if e, ok := tl.Lookup(0x2abcde); !ok || e.Size != arch.Page2M || e.Frame != 0x40000000 {
+		t.Errorf("2M entry lost: %+v %v", e, ok)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 8 entries, 2 ways -> 4 sets. VPNs congruent mod 4 conflict.
+	tl := New(arch.TLBGeometry{Entries: 8, Ways: 2}, arch.Page4K)
+	va := func(vpn uint64) arch.VAddr { return arch.VAddr(vpn << 12) }
+	tl.Insert(va(0), 0x1000, arch.Page4K)
+	tl.Insert(va(4), 0x2000, arch.Page4K)
+	tl.Lookup(va(0)) // 4 becomes LRU
+	tl.Insert(va(8), 0x3000, arch.Page4K)
+	if _, ok := tl.Lookup(va(4)); ok {
+		t.Error("LRU entry survived")
+	}
+	if _, ok := tl.Lookup(va(0)); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := tl.Lookup(va(8)); !ok {
+		t.Error("new entry missing")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	g := arch.TLBGeometry{Entries: 64, Ways: 4}
+	tl := New(g, arch.Page4K)
+	for vpn := uint64(0); vpn < 1000; vpn++ {
+		tl.Insert(arch.VAddr(vpn<<12), arch.PAddr(vpn<<12), arch.Page4K)
+	}
+	if tl.Live() > g.Entries {
+		t.Errorf("live entries %d exceed capacity %d", tl.Live(), g.Entries)
+	}
+}
+
+func TestInvalidatePage(t *testing.T) {
+	tl := New(arch.TLBGeometry{Entries: 16, Ways: 4}, arch.Page4K)
+	tl.Insert(0x1000, 0x9000, arch.Page4K)
+	tl.InvalidatePage(0x1000, arch.Page4K)
+	if _, ok := tl.Lookup(0x1000); ok {
+		t.Error("entry survived invalidation")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New(arch.TLBGeometry{Entries: 16, Ways: 4}, arch.Page4K)
+	for vpn := uint64(0); vpn < 8; vpn++ {
+		tl.Insert(arch.VAddr(vpn<<12), arch.PAddr(vpn<<12), arch.Page4K)
+	}
+	tl.Flush()
+	if tl.Live() != 0 {
+		t.Errorf("%d entries after flush", tl.Live())
+	}
+}
+
+func TestDisabledTLB(t *testing.T) {
+	tl := New(arch.TLBGeometry{}, arch.Page4K)
+	tl.Insert(0x1000, 0x9000, arch.Page4K)
+	if _, ok := tl.Lookup(0x1000); ok {
+		t.Error("disabled TLB hit")
+	}
+}
+
+func TestReinsertUpdatesFrame(t *testing.T) {
+	tl := New(arch.TLBGeometry{Entries: 16, Ways: 4}, arch.Page4K)
+	tl.Insert(0x1000, 0x9000, arch.Page4K)
+	tl.Insert(0x1000, 0xa000, arch.Page4K)
+	e, ok := tl.Lookup(0x1000)
+	if !ok || e.Frame != 0xa000 {
+		t.Errorf("reinsert: %+v %v", e, ok)
+	}
+	if tl.Live() != 1 {
+		t.Errorf("reinsert duplicated the entry: live=%d", tl.Live())
+	}
+}
+
+func newTestHierarchy() *Hierarchy {
+	cfg := arch.DefaultSystem()
+	return NewHierarchy(&cfg)
+}
+
+func TestHierarchyMissThenFill(t *testing.T) {
+	h := newTestHierarchy()
+	if r := h.Lookup(0x1234); r.Level != Miss {
+		t.Fatalf("cold lookup = %v", r.Level)
+	}
+	h.Fill(0x1234, 0x9000, arch.Page4K)
+	r := h.Lookup(0x1234)
+	if r.Level != HitL1 || r.Entry.Frame != 0x9000 {
+		t.Fatalf("after fill = %+v", r)
+	}
+}
+
+func TestHierarchySTLBPromotion(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	h.Fill(0x1000, 0x9000, arch.Page4K)
+	// Thrash the 4K L1 (64 entries) without thrashing the 1024-entry STLB.
+	for vpn := uint64(0x100); vpn < 0x100+256; vpn++ {
+		h.Fill(arch.VAddr(vpn<<12), arch.PAddr(vpn<<12), arch.Page4K)
+	}
+	if _, ok := h.L1(arch.Page4K).Lookup(0x1000); ok {
+		t.Skip("original entry unexpectedly survived L1 thrash")
+	}
+	r := h.Lookup(0x1000)
+	if r.Level != HitSTLB {
+		t.Fatalf("lookup after L1 thrash = %v, want STLB hit", r.Level)
+	}
+	// Promotion: the next lookup must hit L1.
+	if r := h.Lookup(0x1000); r.Level != HitL1 {
+		t.Errorf("no promotion to L1: %v", r.Level)
+	}
+}
+
+func TestHierarchy1GNotInSTLB(t *testing.T) {
+	cfg := arch.DefaultSystem() // STLBHolds1G = false
+	h := NewHierarchy(&cfg)
+	// Fill 5 distinct 1GB translations; L1-1G holds only 4.
+	for i := uint64(0); i < 5; i++ {
+		h.Fill(arch.VAddr(i<<30), arch.PAddr(i<<30), arch.Page1G)
+	}
+	misses := 0
+	for i := uint64(0); i < 5; i++ {
+		if r := h.Lookup(arch.VAddr(i << 30)); r.Level == Miss {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("5 1GB pages fit in a 4-entry TLB with no STLB backing")
+	}
+}
+
+func TestHierarchyInvalidateEverywhere(t *testing.T) {
+	h := newTestHierarchy()
+	h.Fill(0x1000, 0x9000, arch.Page4K)
+	h.InvalidatePage(0x1000, arch.Page4K)
+	if r := h.Lookup(0x1000); r.Level != Miss {
+		t.Errorf("lookup after invalidate = %v", r.Level)
+	}
+}
+
+func TestHierarchyFlush(t *testing.T) {
+	h := newTestHierarchy()
+	h.Fill(0x1000, 0x9000, arch.Page4K)
+	h.Fill(0x200000, 0x40000000, arch.Page2M)
+	h.Flush()
+	if h.Lookup(0x1000).Level != Miss || h.Lookup(0x200000).Level != Miss {
+		t.Error("entries survived flush")
+	}
+}
+
+// TestLookupReturnsInserted is the core property: whatever was inserted
+// last for a page is what lookup returns.
+func TestLookupReturnsInserted(t *testing.T) {
+	h := newTestHierarchy()
+	truth := map[uint64]arch.PAddr{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		vpn := uint64(rng.Intn(2000))
+		frame := arch.PAddr(rng.Uint64() &^ 0xFFF & 0xFFFF_FFFF)
+		h.Fill(arch.VAddr(vpn<<12), frame, arch.Page4K)
+		truth[vpn] = frame
+		probe := uint64(rng.Intn(2000))
+		if r := h.Lookup(arch.VAddr(probe << 12)); r.Level != Miss {
+			if want, seen := truth[probe]; !seen || r.Entry.Frame != want {
+				t.Fatalf("lookup vpn %d returned %#x, want %#x (seen=%v)",
+					probe, uint64(r.Entry.Frame), uint64(want), seen)
+			}
+		}
+	}
+}
+
+// TestSmallWorkingSetAlwaysHits: a working set within L1 capacity never
+// misses after warmup.
+func TestSmallWorkingSetAlwaysHits(t *testing.T) {
+	check := func(seed int64) bool {
+		h := newTestHierarchy()
+		rng := rand.New(rand.NewSource(seed))
+		const pages = 15 // < 64-entry 4K L1 and spread over sets
+		for vpn := uint64(0); vpn < pages; vpn++ {
+			h.Fill(arch.VAddr(vpn<<12), arch.PAddr(vpn<<12), arch.Page4K)
+		}
+		for i := 0; i < 500; i++ {
+			vpn := uint64(rng.Intn(pages))
+			if h.Lookup(arch.VAddr(vpn<<12)).Level == Miss {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if HitL1.String() != "L1TLB" || HitSTLB.String() != "STLB" || Miss.String() != "miss" {
+		t.Error("Level.String wrong")
+	}
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+	_ "atscale/internal/workloads/all"
+)
+
+func TestRoundTripEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rng := rand.New(rand.NewSource(8))
+	var want []Event
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			va := arch.VAddr(rng.Uint64() >> 16)
+			w.Load(va)
+			want = append(want, Event{KLoad, uint64(va), 0})
+		case 1:
+			va := arch.VAddr(rng.Uint64() >> 16)
+			w.Store(va)
+			want = append(want, Event{KStore, uint64(va), 0})
+		case 2:
+			n := uint64(rng.Intn(100))
+			w.Ops(n)
+			want = append(want, Event{KOps, n, 0})
+		case 3:
+			pc := rng.Uint64() >> 40
+			taken := rng.Intn(2) == 0
+			w.Branch(pc, taken)
+			k := KBranchTaken
+			if !taken {
+				k = KBranchNotTaken
+			}
+			want = append(want, Event{k, pc, 0})
+		case 4:
+			va, n := arch.VAddr(rng.Uint64()>>20), uint64(rng.Intn(1<<20))
+			w.Malloc(va, n)
+			want = append(want, Event{KMalloc, uint64(va), n})
+		default:
+			va := arch.VAddr(rng.Uint64() >> 16 &^ 0xFFF)
+			w.Prefault(va)
+			want = append(want, Event{KPrefault, uint64(va), 0})
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != uint64(len(want)) {
+		t.Fatalf("writer counted %d events, want %d", w.Events(), len(want))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wantE := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != wantE {
+			t.Fatalf("event %d = %+v, want %+v", i, got, wantE)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("nope")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Malloc(0x1000, 1<<30)
+	w.Flush()
+	short := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(short))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated record gave %v, want unexpected EOF", err)
+	}
+}
+
+// TestRecordReplayCounterIdentity is the headline property: replaying a
+// recorded run on an identically configured fresh machine reproduces the
+// recorded machine's counters exactly.
+func TestRecordReplayCounterIdentity(t *testing.T) {
+	spec, err := workloads.ByName("bfs-urand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := machine.New(arch.DefaultSystem(), arch.Page4K, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec.SetTracer(w)
+	inst, err := spec.Build(rec, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Run(80_000)
+	rec.SetTracer(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := machine.New(arch.DefaultSystem(), arch.Page4K, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Replay(rep, &buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != w.Events() {
+		t.Fatalf("replayed %d of %d events", n, w.Events())
+	}
+	if rec.Counters() != rep.Counters() {
+		t.Error("replay counters differ from recording")
+	}
+	if rec.Footprint() != rep.Footprint() {
+		t.Errorf("footprints differ: %d vs %d", rec.Footprint(), rep.Footprint())
+	}
+}
+
+// TestReplayOnDifferentMachine replays a trace on a modified machine —
+// the what-if use case — and sees the expected directional change.
+func TestReplayOnDifferentMachine(t *testing.T) {
+	spec, err := workloads.ByName("gups-rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := machine.New(arch.DefaultSystem(), arch.Page4K, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec.SetTracer(w)
+	inst, err := spec.Build(rec, 25) // 32MB table
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Run(60_000)
+	rec.SetTracer(nil)
+	w.Flush()
+	raw := buf.Bytes()
+
+	small := arch.DefaultSystem()
+	big := arch.DefaultSystem()
+	big.STLB.Entries = 8192
+	run := func(cfg arch.SystemConfig) uint64 {
+		m, err := machine.New(cfg, arch.Page4K, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(m, bytes.NewReader(raw), 0); err != nil {
+			t.Fatal(err)
+		}
+		c := m.Counters()
+		return c.Get(perf.STLBMissLoads)
+	}
+	if s, b := run(small), run(big); b >= s {
+		t.Errorf("8x STLB did not reduce retired walk loads on replay: %d vs %d", b, s)
+	}
+}

@@ -1,0 +1,241 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/mem"
+	"atscale/internal/pagetable"
+)
+
+func newAS(t *testing.T, policy arch.PageSize) *AddrSpace {
+	t.Helper()
+	as, err := NewAddrSpace(mem.NewPhys(64*arch.GB), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestMallocReturnsDistinctAligned(t *testing.T) {
+	as := newAS(t, arch.Page4K)
+	seen := map[arch.VAddr]bool{}
+	for i := 0; i < 100; i++ {
+		va, err := as.Malloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va%16 != 0 {
+			t.Errorf("Malloc returned unaligned %#x", uint64(va))
+		}
+		if seen[va] {
+			t.Errorf("Malloc returned %#x twice", uint64(va))
+		}
+		seen[va] = true
+	}
+}
+
+func TestSmallAllocsShareArena(t *testing.T) {
+	as := newAS(t, arch.Page4K)
+	a, _ := as.Malloc(64)
+	b, _ := as.Malloc(64)
+	if b != a+64 {
+		t.Errorf("arena not bump-allocated: %#x then %#x", uint64(a), uint64(b))
+	}
+	if len(as.Regions()) != 1 {
+		t.Errorf("%d regions for two small allocs, want 1 arena", len(as.Regions()))
+	}
+}
+
+func TestLargeAllocOwnRegion(t *testing.T) {
+	as := newAS(t, arch.Page4K)
+	_, _ = as.Malloc(64)
+	_, err := as.Malloc(10 * arch.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as.Regions()) != 2 {
+		t.Errorf("%d regions, want arena + large region", len(as.Regions()))
+	}
+}
+
+func TestBackingPolicy(t *testing.T) {
+	cases := []struct {
+		policy arch.PageSize
+		n      uint64
+		want   arch.PageSize
+	}{
+		{arch.Page4K, 10 * arch.MB, arch.Page4K},
+		{arch.Page2M, 10 * arch.MB, arch.Page2M},
+		{arch.Page2M, 4 * arch.KB, arch.Page2M},
+		{arch.Page1G, 2 * arch.GB, arch.Page1G},
+		// The paper's §III-B fallback: sub-1GB requests cannot use the
+		// 1GB pool.
+		{arch.Page1G, 10 * arch.MB, arch.Page4K},
+	}
+	for _, c := range cases {
+		as := newAS(t, c.policy)
+		if got := as.BackingFor(c.n); got != c.want {
+			t.Errorf("BackingFor(%d) under %v = %v, want %v", c.n, c.policy, got, c.want)
+		}
+	}
+}
+
+func TestRegionBackingRecorded(t *testing.T) {
+	as := newAS(t, arch.Page1G)
+	va, err := as.Malloc(2 * arch.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := as.Find(va)
+	if !ok || r.Backing != arch.Page1G {
+		t.Errorf("2GB region under 1G policy: %+v, %v", r, ok)
+	}
+	va2, _ := as.Malloc(arch.MB)
+	r2, ok := as.Find(va2)
+	if !ok || r2.Backing != arch.Page4K {
+		t.Errorf("small region under 1G policy backed by %v, want 4KB", r2.Backing)
+	}
+}
+
+func TestHandleFaultMapsPage(t *testing.T) {
+	for _, policy := range []arch.PageSize{arch.Page4K, arch.Page2M} {
+		as := newAS(t, policy)
+		va, _ := as.Malloc(10 * arch.MB)
+		target := va + 12345
+		if _, _, ok := as.PageTable().Lookup(target); ok {
+			t.Fatal("page mapped before fault")
+		}
+		ps, err := as.HandleFault(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps != policy {
+			t.Errorf("fault mapped %v, want %v", ps, policy)
+		}
+		pa, gotPS, ok := as.PageTable().Lookup(target)
+		if !ok || gotPS != policy || pa == 0 {
+			t.Errorf("after fault: %#x %v %v", uint64(pa), gotPS, ok)
+		}
+	}
+}
+
+func TestFaultOutsideRegionsFails(t *testing.T) {
+	as := newAS(t, arch.Page4K)
+	if _, err := as.HandleFault(0xdead0000); err == nil {
+		t.Error("segfault address fault succeeded")
+	}
+}
+
+func TestEachPageFaultsOnce(t *testing.T) {
+	as := newAS(t, arch.Page4K)
+	va, _ := as.Malloc(arch.MB)
+	if _, err := as.HandleFault(va); err != nil {
+		t.Fatal(err)
+	}
+	// Second fault on the same page means the caller faulted a mapped
+	// page — Map must reject the double mapping.
+	if _, err := as.HandleFault(va + 8); err == nil {
+		t.Error("double fault on one page succeeded")
+	}
+	if as.Faults() != 1 {
+		t.Errorf("faults = %d, want 1", as.Faults())
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	as := newAS(t, arch.Page2M)
+	if as.AllocatedBytes() != 0 {
+		t.Fatal("fresh space has footprint")
+	}
+	as.Malloc(100) // rounds to one 4K page
+	if got := as.AllocatedBytes(); got != 4*arch.KB {
+		t.Errorf("allocated = %d, want 4096", got)
+	}
+	as.Malloc(arch.MB)
+	if got := as.AllocatedBytes(); got != 4*arch.KB+arch.MB {
+		t.Errorf("allocated = %d", got)
+	}
+	// Footprint must be independent of backing policy.
+	as4k := newAS(t, arch.Page4K)
+	as4k.Malloc(100)
+	as4k.Malloc(arch.MB)
+	if as4k.AllocatedBytes() != as.AllocatedBytes() {
+		t.Errorf("footprint differs across policies: %d vs %d",
+			as4k.AllocatedBytes(), as.AllocatedBytes())
+	}
+}
+
+func TestMappedBytesGrowsWithBacking(t *testing.T) {
+	as := newAS(t, arch.Page2M)
+	va, _ := as.Malloc(16 * arch.MB)
+	as.HandleFault(va)
+	if got := as.MappedBytes(); got != 2*arch.MB {
+		t.Errorf("mapped = %d after one 2MB fault", got)
+	}
+}
+
+func TestRegionsDisjointAndSorted(t *testing.T) {
+	as := newAS(t, arch.Page4K)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		n := uint64(rng.Intn(4*arch.MB) + 1)
+		if _, err := as.Malloc(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := as.Regions()
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].End() > rs[i].Base {
+			t.Fatalf("regions overlap/unsorted: %+v then %+v", rs[i-1], rs[i])
+		}
+	}
+}
+
+func TestFindBoundaries(t *testing.T) {
+	as := newAS(t, arch.Page4K)
+	va, _ := as.Malloc(arch.MB)
+	r, ok := as.Find(va)
+	if !ok {
+		t.Fatal("Find(base) failed")
+	}
+	if _, ok := as.Find(r.End()); ok {
+		t.Error("Find(end) hit (end is exclusive)")
+	}
+	if _, ok := as.Find(r.Base - 1); ok {
+		t.Error("Find(base-1) hit")
+	}
+	if _, ok := as.Find(r.End() - 1); !ok {
+		t.Error("Find(end-1) missed")
+	}
+}
+
+func TestSuperpageRegionAlignment(t *testing.T) {
+	as := newAS(t, arch.Page1G)
+	va, err := as.Malloc(arch.GB + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arch.IsAligned(uint64(va), arch.GB) {
+		t.Errorf("1GB-backed region base %#x not 1GB aligned", uint64(va))
+	}
+	r, _ := as.Find(va)
+	if r.Len != 2*arch.GB {
+		t.Errorf("region len = %d, want 2GB (rounded to backing)", r.Len)
+	}
+}
+
+func TestTablesWithoutSuperpagesRejectSuperpagePolicy(t *testing.T) {
+	phys := mem.NewPhys(8 * arch.GB)
+	ht, err := pagetable.NewHashed(phys, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAddrSpaceTables(phys, arch.Page2M, ht); err == nil {
+		t.Error("2MB policy accepted over a hashed table")
+	}
+	if _, err := NewAddrSpaceTables(phys, arch.Page4K, ht); err != nil {
+		t.Errorf("4KB policy rejected: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+package walker
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/mem"
+	"atscale/internal/pagetable"
+)
+
+// Hashed is the hardware walker for a hashed page table: one hash
+// computation, then a short linear probe over 16-byte slots loaded
+// through the cache hierarchy. There is no radix to descend and no
+// paging-structure cache to consult, so translation latency is flat in
+// the footprint — the property the paper's discussion wants from
+// alternative page-table structures.
+type Hashed struct {
+	phys   *mem.Phys
+	caches *cache.Hierarchy
+	table  *pagetable.HashedTable
+}
+
+// hashCycles is the fixed cost of the hash computation preceding the
+// first slot load.
+const hashCycles = 3
+
+// NewHashed builds a hashed-table walker.
+func NewHashed(phys *mem.Phys, caches *cache.Hierarchy, table *pagetable.HashedTable) *Hashed {
+	return &Hashed{phys: phys, caches: caches, table: table}
+}
+
+// Walk implements Engine. cr3 is unused: the walker addresses clusters
+// through the table geometry (a real design would carry base and size in
+// control registers).
+func (h *Hashed) Walk(va arch.VAddr, _ arch.PAddr, budget uint64) Result {
+	var r Result
+	r.Cycles = hashCycles
+	if !h.table.Canonical(va) {
+		r.Completed = true
+		return r
+	}
+	vpn := arch.PageNumber(va, arch.Page4K)
+	group := vpn / 4 // pagetable's clusterSpan
+	tag := group + 2 // pagetable's tagBias
+	start := h.table.HashGroup(group)
+	clusters := h.table.Clusters()
+	for p := uint64(0); p < pagetable.MaxProbe; p++ {
+		i := (start + p) & (clusters - 1)
+		addr := h.table.ClusterAddr(i)
+		// One cache access per cluster: tag and frames share the line.
+		lat, loc := h.caches.Access(addr)
+		r.Cycles += lat
+		r.Loads++
+		r.Locs[loc]++
+		if r.Cycles > budget {
+			return r // aborted
+		}
+		switch h.phys.Read64(addr) {
+		case tag:
+			frame := h.phys.Read64(addr + arch.PAddr(8+(vpn%4)*8))
+			r.Completed = true
+			if frame == 0 {
+				return r // hole in the cluster: page fault
+			}
+			r.OK = true
+			r.Frame = arch.PAddr(frame) &^ arch.PAddr(arch.Page4K.Mask())
+			r.Size = arch.Page4K
+			return r
+		case 0: // empty cluster terminates the chain
+			r.Completed = true
+			return r
+		}
+		// Tombstone or other group: keep probing.
+	}
+	r.Completed = true
+	return r
+}
+
+// Flush implements Engine (the hashed walker caches nothing).
+func (h *Hashed) Flush() {}
+
+// InvalidateBlock implements Engine (nothing cached).
+func (h *Hashed) InvalidateBlock(arch.VAddr) {}

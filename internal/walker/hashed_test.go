@@ -1,0 +1,124 @@
+package walker
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/mem"
+	"atscale/internal/pagetable"
+)
+
+func hashedFixture(t *testing.T) (*Hashed, *pagetable.HashedTable, *mem.Phys) {
+	t.Helper()
+	cfg := arch.DefaultSystem()
+	phys := mem.NewPhys(64 * arch.GB)
+	ht, err := pagetable.NewHashed(phys, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewHashed(phys, cache.NewHierarchy(&cfg), ht), ht, phys
+}
+
+func TestHashedWalkMatchesOracle(t *testing.T) {
+	w, ht, phys := hashedFixture(t)
+	rng := rand.New(rand.NewSource(19))
+	var mapped []arch.VAddr
+	for i := 0; i < 2000; i++ {
+		va := arch.VAddr(uint64(rng.Int63n(1<<26)) << 12)
+		if _, _, ok := ht.Lookup(va); ok {
+			continue
+		}
+		frame, err := phys.AllocPage(arch.Page4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ht.Map(va, frame, arch.Page4K); err != nil {
+			t.Fatal(err)
+		}
+		mapped = append(mapped, va)
+	}
+	for i := 0; i < 5000; i++ {
+		var va arch.VAddr
+		if i%2 == 0 {
+			va = mapped[rng.Intn(len(mapped))] + arch.VAddr(rng.Intn(4096)&^7)
+		} else {
+			va = arch.VAddr(uint64(rng.Int63n(1<<26))<<12 + uint64(rng.Intn(4096)&^7))
+		}
+		wantPA, wantPS, wantOK := ht.Lookup(va)
+		r := w.Walk(va, 0, NoBudget)
+		if r.OK != wantOK || !r.Completed {
+			t.Fatalf("walk(%#x).OK = %v (completed %v), oracle %v", uint64(va), r.OK, r.Completed, wantOK)
+		}
+		if r.OK {
+			got := r.Frame + arch.PAddr(uint64(va)&r.Size.Mask())
+			if got != wantPA || r.Size != wantPS {
+				t.Fatalf("walk(%#x) = %#x/%v, oracle %#x/%v",
+					uint64(va), uint64(got), r.Size, uint64(wantPA), wantPS)
+			}
+		}
+	}
+}
+
+func TestHashedWalkIsShort(t *testing.T) {
+	w, ht, phys := hashedFixture(t)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	if err := ht.Map(0x5000, frame, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	r := w.Walk(0x5000, 0, NoBudget)
+	if !r.OK {
+		t.Fatal("walk failed")
+	}
+	// At low load factor the translation is in the first probed lines.
+	if r.Loads > 2 {
+		t.Errorf("hashed walk needed %d line loads, want <=2", r.Loads)
+	}
+}
+
+func TestHashedWalkAborts(t *testing.T) {
+	w, ht, phys := hashedFixture(t)
+	frame, _ := phys.AllocPage(arch.Page4K)
+	if err := ht.Map(0x7000, frame, arch.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	r := w.Walk(0x7000, 0, 1)
+	if r.Completed || r.OK {
+		t.Errorf("1-cycle-budget walk completed: %+v", r)
+	}
+}
+
+func TestHashedWalkNonCanonical(t *testing.T) {
+	w, _, _ := hashedFixture(t)
+	r := w.Walk(arch.VAddr(1<<50), 0, NoBudget)
+	if r.OK || !r.Completed {
+		t.Errorf("non-canonical walk = %+v", r)
+	}
+	if r.Loads != 0 {
+		t.Errorf("non-canonical walk loaded %d slots", r.Loads)
+	}
+}
+
+func TestHashedLocsSumEqualsLoads(t *testing.T) {
+	w, ht, phys := hashedFixture(t)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		va := arch.VAddr(uint64(rng.Int63n(1<<22)) << 12)
+		if _, _, ok := ht.Lookup(va); ok {
+			continue
+		}
+		frame, _ := phys.AllocPage(arch.Page4K)
+		if err := ht.Map(va, frame, arch.Page4K); err != nil {
+			t.Fatal(err)
+		}
+		r := w.Walk(va, 0, NoBudget)
+		sum := 0
+		for _, n := range r.Locs {
+			sum += int(n)
+		}
+		if sum != r.Loads {
+			t.Fatalf("locs sum %d != loads %d", sum, r.Loads)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package walker models the hardware page-table walker. On a TLB miss the
+// walker resolves a virtual address by loading page-table entries from
+// simulated physical memory: it starts from the deepest paging-structure
+// cache hit and performs one cache-hierarchy load per remaining level, so
+// a walk costs between one load (PDE-cache hit) and four (cold 4 KB walk).
+//
+// Each PTE load travels through the same L1/L2/L3/DRAM hierarchy as program
+// data. The per-load hit locations are recorded — they are the Haswell
+// PAGE_WALKER_LOADS.DTLB_{L1,L2,L3,MEMORY} events behind the paper's
+// Figure 8 — and a cycle budget allows speculative walks to abort midway,
+// producing the initiated-but-not-completed walks of §V-D.
+package walker
+
+import (
+	"math"
+
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/mem"
+	"atscale/internal/mmucache"
+	"atscale/internal/pagetable"
+)
+
+// stepOverhead is the fixed per-level cost of the walker state machine on
+// top of the PTE load latency.
+const stepOverhead = 2
+
+// NoBudget makes Walk run to completion.
+const NoBudget = math.MaxUint64
+
+// Result describes one walk.
+type Result struct {
+	// OK is true when a present leaf was found. A completed walk with
+	// OK == false is a page fault.
+	OK bool
+	// Completed is false when the walk was aborted by its cycle budget.
+	Completed bool
+	// Frame is the physical base of the mapped page (valid when OK).
+	Frame arch.PAddr
+	// Size is the mapping's page size (valid when OK).
+	Size arch.PageSize
+	// Cycles is the latency accrued, including partial work on aborts.
+	Cycles uint64
+	// Loads is the number of PTE loads performed.
+	Loads int
+	// Locs counts Loads by the cache level that satisfied them.
+	Locs [cache.NumHitLocs]uint16
+}
+
+// Engine is the hardware translation engine the core drives on a TLB
+// miss. The radix Walker is the production implementation; the hashed
+// walker (hashed.go) implements the alternative page-table organization
+// the paper's discussion points at.
+type Engine interface {
+	// Walk resolves va within the cycle budget.
+	Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result
+	// Flush drops all cached partial-walk state (context switch).
+	Flush()
+	// InvalidateBlock drops partial-walk state covering va's 2 MB block
+	// (hugepage promotion's PDE shootdown).
+	InvalidateBlock(va arch.VAddr)
+}
+
+// Walker is the radix hardware walker plus its paging-structure caches.
+type Walker struct {
+	phys   *mem.Phys
+	psc    *mmucache.PSC
+	caches *cache.Hierarchy
+}
+
+// New builds a walker that loads PTEs through the given cache hierarchy.
+func New(phys *mem.Phys, psc *mmucache.PSC, caches *cache.Hierarchy) *Walker {
+	return &Walker{phys: phys, psc: psc, caches: caches}
+}
+
+// PSC exposes the paging-structure caches (for invalidation on unmap).
+func (w *Walker) PSC() *mmucache.PSC { return w.psc }
+
+// Flush implements Engine.
+func (w *Walker) Flush() { w.psc.Flush() }
+
+// InvalidateBlock implements Engine.
+func (w *Walker) InvalidateBlock(va arch.VAddr) {
+	w.psc.InvalidatePrefix(arch.LevelPD, va)
+}
+
+// Walk resolves va against the page table rooted at cr3. budget bounds the
+// cycles the walk may consume before being aborted (pass NoBudget for
+// demand walks, which always run to completion).
+func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
+	var r Result
+	level, base := w.psc.LookupDeepest(va, arch.LevelPT, cr3)
+	for {
+		lat, loc := w.caches.Access(pagetable.EntryAddr(base, level, va))
+		r.Cycles += lat + stepOverhead
+		r.Loads++
+		r.Locs[loc]++
+		if r.Cycles > budget {
+			return r // aborted: Completed stays false
+		}
+		e := pagetable.PTE(w.phys.Read64(pagetable.EntryAddr(base, level, va)))
+		if !e.Present() {
+			r.Completed = true
+			return r // page fault
+		}
+		if e.IsLeaf(level) {
+			r.OK = true
+			r.Completed = true
+			r.Frame = e.Frame()
+			switch level {
+			case arch.LevelPT:
+				r.Size = arch.Page4K
+			case arch.LevelPD:
+				r.Size = arch.Page2M
+			case arch.LevelPDPT:
+				r.Size = arch.Page1G
+			}
+			return r
+		}
+		w.psc.Insert(level, va, e.Frame())
+		base = e.Frame()
+		level--
+	}
+}

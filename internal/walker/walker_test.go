@@ -1,0 +1,207 @@
+package walker
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/mem"
+	"atscale/internal/mmucache"
+	"atscale/internal/pagetable"
+)
+
+type fixture struct {
+	phys *mem.Phys
+	pt   *pagetable.Table
+	w    *Walker
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	cfg := arch.DefaultSystem()
+	phys := mem.NewPhys(64 * arch.GB)
+	pt, err := pagetable.New(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(phys, mmucache.New(cfg.PSC), cache.NewHierarchy(&cfg))
+	return &fixture{phys: phys, pt: pt, w: w}
+}
+
+func (f *fixture) mapPage(t *testing.T, va arch.VAddr, ps arch.PageSize) arch.PAddr {
+	t.Helper()
+	frame, err := f.phys.AllocPage(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.pt.Map(va, frame, ps); err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestWalkMatchesOracle4K(t *testing.T) {
+	f := newFixture(t)
+	va := arch.VAddr(0x7f00_0000_1000)
+	frame := f.mapPage(t, va, arch.Page4K)
+	r := f.w.Walk(va, f.pt.Root(), NoBudget)
+	if !r.OK || !r.Completed || r.Frame != frame || r.Size != arch.Page4K {
+		t.Fatalf("walk = %+v; want frame %#x", r, uint64(frame))
+	}
+	if r.Loads != 4 {
+		t.Errorf("cold 4K walk loads = %d, want 4", r.Loads)
+	}
+}
+
+func TestWalkLengthsBySize(t *testing.T) {
+	for _, ps := range []arch.PageSize{arch.Page4K, arch.Page2M, arch.Page1G} {
+		f := newFixture(t)
+		va := arch.VAddr(arch.AlignUp(0x7f00_0000_0000, ps.Bytes()))
+		f.mapPage(t, va, ps)
+		r := f.w.Walk(va, f.pt.Root(), NoBudget)
+		if !r.OK {
+			t.Fatalf("%s walk failed", ps)
+		}
+		if r.Loads != ps.WalkLength() {
+			t.Errorf("%s cold walk loads = %d, want %d", ps, r.Loads, ps.WalkLength())
+		}
+	}
+}
+
+func TestPSCShortensSecondWalk(t *testing.T) {
+	f := newFixture(t)
+	va1 := arch.VAddr(0x1000_0000)
+	va2 := va1 + 0x1000 // same PT page
+	f.mapPage(t, va1, arch.Page4K)
+	f.mapPage(t, va2, arch.Page4K)
+	r1 := f.w.Walk(va1, f.pt.Root(), NoBudget)
+	r2 := f.w.Walk(va2, f.pt.Root(), NoBudget)
+	if r1.Loads != 4 {
+		t.Fatalf("first walk loads = %d", r1.Loads)
+	}
+	if r2.Loads != 1 {
+		t.Errorf("PDE-cached walk loads = %d, want 1", r2.Loads)
+	}
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("cached walk not cheaper: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestWalkFaultOnUnmapped(t *testing.T) {
+	f := newFixture(t)
+	r := f.w.Walk(0xdead000, f.pt.Root(), NoBudget)
+	if r.OK || !r.Completed {
+		t.Fatalf("unmapped walk = %+v; want fault (completed, !ok)", r)
+	}
+	if r.Loads != 1 {
+		t.Errorf("fault after %d loads; empty root should fault on first", r.Loads)
+	}
+}
+
+func TestWalkAbort(t *testing.T) {
+	f := newFixture(t)
+	va := arch.VAddr(0x2000_0000)
+	f.mapPage(t, va, arch.Page4K)
+	r := f.w.Walk(va, f.pt.Root(), 1) // impossible budget
+	if r.Completed || r.OK {
+		t.Fatalf("walk with 1-cycle budget completed: %+v", r)
+	}
+	if r.Loads != 1 {
+		t.Errorf("aborted walk performed %d loads, want 1", r.Loads)
+	}
+	if r.Cycles == 0 {
+		t.Error("aborted walk charged no cycles")
+	}
+}
+
+func TestAbortedWalkCheaperThanFull(t *testing.T) {
+	f := newFixture(t)
+	va := arch.VAddr(0x3000_0000)
+	f.mapPage(t, va, arch.Page4K)
+	full := f.w.Walk(va, f.pt.Root(), NoBudget)
+	// Re-map elsewhere (fresh fixture) so caches are cold again.
+	f2 := newFixture(t)
+	f2.mapPage(t, va, arch.Page4K)
+	aborted := f2.w.Walk(va, f2.pt.Root(), full.Cycles/2)
+	if aborted.Completed {
+		t.Skip("budget generous enough to complete; geometry changed?")
+	}
+	if aborted.Cycles > full.Cycles {
+		t.Errorf("aborted walk cost %d > full %d", aborted.Cycles, full.Cycles)
+	}
+	if aborted.Loads >= full.Loads {
+		t.Errorf("aborted walk loads %d >= full %d", aborted.Loads, full.Loads)
+	}
+}
+
+func TestLocsSumEqualsLoads(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewSource(5))
+	var vas []arch.VAddr
+	for i := 0; i < 64; i++ {
+		va := arch.VAddr(uint64(rng.Intn(1<<20)) << 12)
+		if _, _, ok := f.pt.Lookup(va); ok {
+			continue
+		}
+		f.mapPage(t, va, arch.Page4K)
+		vas = append(vas, va)
+	}
+	for _, va := range vas {
+		r := f.w.Walk(va, f.pt.Root(), NoBudget)
+		sum := 0
+		for _, n := range r.Locs {
+			sum += int(n)
+		}
+		if sum != r.Loads {
+			t.Fatalf("locs sum %d != loads %d", sum, r.Loads)
+		}
+	}
+}
+
+func TestWarmWalkHitsCloserCaches(t *testing.T) {
+	f := newFixture(t)
+	va := arch.VAddr(0x4000_0000)
+	f.mapPage(t, va, arch.Page4K)
+	cold := f.w.Walk(va, f.pt.Root(), NoBudget)
+	if cold.Locs[cache.HitMem] == 0 {
+		t.Fatal("cold walk touched no memory")
+	}
+	// Immediately re-walk: the PSC supplies the PT base and the PTE line
+	// is in L1.
+	warm := f.w.Walk(va, f.pt.Root(), NoBudget)
+	if warm.Locs[cache.HitL1] != uint16(warm.Loads) {
+		t.Errorf("warm walk locs = %v, want all L1", warm.Locs)
+	}
+	if warm.Cycles >= cold.Cycles {
+		t.Errorf("warm walk %d cycles >= cold %d", warm.Cycles, cold.Cycles)
+	}
+}
+
+// TestRandomWalksMatchOracle is the translation-correctness property:
+// for random mapped/unmapped addresses across all page sizes, the hardware
+// walk agrees with the software page-table Lookup.
+func TestRandomWalksMatchOracle(t *testing.T) {
+	f := newFixture(t)
+	rng := rand.New(rand.NewSource(99))
+	for slot := uint64(1); slot <= 32; slot++ {
+		ps := arch.PageSize(rng.Intn(3))
+		va := arch.VAddr(slot << arch.PageShift1G)
+		f.mapPage(t, va, ps)
+	}
+	for i := 0; i < 3000; i++ {
+		va := arch.VAddr(rng.Uint64() & ((1 << 36) - 1))
+		wantPA, wantPS, wantOK := f.pt.Lookup(va)
+		r := f.w.Walk(va, f.pt.Root(), NoBudget)
+		if r.OK != wantOK {
+			t.Fatalf("walk(%#x).OK = %v, oracle %v", uint64(va), r.OK, wantOK)
+		}
+		if r.OK {
+			got := r.Frame + arch.PAddr(uint64(va)&r.Size.Mask())
+			if got != wantPA || r.Size != wantPS {
+				t.Fatalf("walk(%#x) = %#x/%v, oracle %#x/%v",
+					uint64(va), uint64(got), r.Size, uint64(wantPA), wantPS)
+			}
+		}
+	}
+}

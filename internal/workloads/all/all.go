@@ -1,0 +1,12 @@
+// Package all links every workload implementation into the binary that
+// imports it, for its registration side effects.
+package all
+
+import (
+	_ "atscale/internal/workloads/graph"
+	_ "atscale/internal/workloads/kvstore"
+	_ "atscale/internal/workloads/mcf"
+	_ "atscale/internal/workloads/micro"
+	_ "atscale/internal/workloads/streamcluster"
+	_ "atscale/internal/workloads/synth"
+)

@@ -1,0 +1,207 @@
+// Package graph implements the GAP benchmark suite slice of the paper's
+// workload table: the bc, bfs, cc, pr and tc kernels driven by the urand
+// (uniform random) and kron (Kronecker/R-MAT) input generators, all
+// executing against simulated guest memory.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"atscale/internal/workloads"
+)
+
+// degree is the average degree of generated graphs (gapbs' -d default).
+const degree = 16
+
+// kron initiator matrix probabilities (Graph500 / gapbs defaults).
+const (
+	kronA = 0.57
+	kronB = 0.19
+	kronC = 0.19
+)
+
+// edge is one generated edge (host-side, transient).
+type edge struct{ u, v uint32 }
+
+// genURand generates 2^scale vertices with degree*2^scale uniform random
+// edges, the gapbs "-u" generator.
+func genURand(scale uint64, rng *workloads.RNG) []edge {
+	n := uint64(1) << scale
+	m := degree * n
+	edges := make([]edge, 0, m)
+	for i := uint64(0); i < m; i++ {
+		edges = append(edges, edge{uint32(rng.Intn(n)), uint32(rng.Intn(n))})
+	}
+	return edges
+}
+
+// genKron generates an R-MAT/Kronecker graph (the gapbs "-g" generator):
+// each edge recursively descends the 2x2 initiator matrix, yielding a
+// skewed, scale-free degree distribution.
+func genKron(scale uint64, rng *workloads.RNG) []edge {
+	n := uint64(1) << scale
+	m := degree * n
+	edges := make([]edge, 0, m)
+	for i := uint64(0); i < m; i++ {
+		var u, v uint64
+		for bit := uint64(0); bit < scale; bit++ {
+			p := rng.Float64()
+			switch {
+			case p < kronA:
+				// top-left: no bits set
+			case p < kronA+kronB:
+				v |= 1 << bit
+			case p < kronA+kronB+kronC:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges = append(edges, edge{uint32(u), uint32(v)})
+	}
+	return edges
+}
+
+// hostCSR is the host-side CSR built during setup, before the graph is
+// poked into guest memory.
+type hostCSR struct {
+	n   uint64
+	off []uint64 // n+1
+	nbr []uint32 // off[n]
+}
+
+// buildHostCSR symmetrizes the edge list (gapbs treats these graphs as
+// undirected), drops self-loops, sorts each adjacency list, and removes
+// duplicate edges.
+func buildHostCSR(n uint64, edges []edge) hostCSR {
+	deg := make([]uint64, n+1)
+	for _, e := range edges {
+		if e.u == e.v {
+			continue
+		}
+		deg[e.u]++
+		deg[e.v]++
+	}
+	off := make([]uint64, n+1)
+	var sum uint64
+	for i := uint64(0); i < n; i++ {
+		off[i] = sum
+		sum += deg[i]
+	}
+	off[n] = sum
+	nbr := make([]uint32, sum)
+	pos := append([]uint64(nil), off...)
+	for _, e := range edges {
+		if e.u == e.v {
+			continue
+		}
+		nbr[pos[e.u]] = e.v
+		pos[e.u]++
+		nbr[pos[e.v]] = e.u
+		pos[e.v]++
+	}
+	// Sort and dedupe each adjacency list in place.
+	w := uint64(0)
+	newOff := make([]uint64, n+1)
+	for u := uint64(0); u < n; u++ {
+		newOff[u] = w
+		lo, hi := off[u], off[u+1]
+		list := nbr[lo:hi]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		var last uint32
+		first := true
+		for _, v := range list {
+			if first || v != last {
+				nbr[w] = v
+				w++
+				first = false
+				last = v
+			}
+		}
+	}
+	newOff[n] = w
+	return hostCSR{n: n, off: newOff, nbr: nbr[:w]}
+}
+
+// relabelByDegree returns a copy of g with vertices renumbered by
+// descending degree — the gapbs triangle-counting optimization the paper
+// credits for tc-kron's graceful scaling (§V-A).
+func (g hostCSR) relabelByDegree() hostCSR {
+	order := make([]uint32, g.n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	degOf := func(u uint32) uint64 { return g.off[u+1] - g.off[u] }
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := degOf(order[i]), degOf(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	newID := make([]uint32, g.n)
+	for rank, old := range order {
+		newID[old] = uint32(rank)
+	}
+	out := hostCSR{n: g.n, off: make([]uint64, g.n+1), nbr: make([]uint32, len(g.nbr))}
+	var w uint64
+	for rank := uint64(0); rank < g.n; rank++ {
+		out.off[rank] = w
+		old := order[rank]
+		for e := g.off[old]; e < g.off[old+1]; e++ {
+			out.nbr[w] = newID[g.nbr[e]]
+			w++
+		}
+		list := out.nbr[out.off[rank]:w]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	}
+	out.off[g.n] = w
+	return out
+}
+
+// genCache memoizes host CSRs: the overhead methodology rebuilds the same
+// instance for the 4 KB, 2 MB and 1 GB runs, several kernels share each
+// generated graph, and regeneration dominates setup time at large scales.
+// Total cache size across both generators and all ladder scales is a few
+// hundred megabytes of host memory.
+var genCache = map[string]hostCSR{}
+
+// generate builds the host CSR for a generator name and scale,
+// deterministically per (generator, scale).
+func generate(gen string, scale uint64) hostCSR {
+	key := fmt.Sprintf("%s-%d", gen, scale)
+	if h, ok := genCache[key]; ok {
+		return h
+	}
+	h := generateUncached(gen, scale)
+	genCache[key] = h
+	return h
+}
+
+// generateRelabeled is generate followed by the degree relabel (tc's
+// input), cached separately.
+func generateRelabeled(gen string, scale uint64) hostCSR {
+	key := fmt.Sprintf("%s-%d-relabel", gen, scale)
+	if h, ok := genCache[key]; ok {
+		return h
+	}
+	h := generate(gen, scale).relabelByDegree()
+	genCache[key] = h
+	return h
+}
+
+func generateUncached(gen string, scale uint64) hostCSR {
+	rng := workloads.NewRNG(scale*1315423911 + uint64(len(gen)))
+	var edges []edge
+	switch gen {
+	case "urand":
+		edges = genURand(scale, rng)
+	case "kron":
+		edges = genKron(scale, rng)
+	default:
+		panic("graph: unknown generator " + gen)
+	}
+	return buildHostCSR(uint64(1)<<scale, edges)
+}

@@ -1,0 +1,181 @@
+package kvstore
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+)
+
+func newStoreT(t *testing.T, capacity uint64) (*machine.Machine, *store) {
+	t.Helper()
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newStore(m, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestWarmFillPopulatesAllSlots(t *testing.T) {
+	_, s := newStoreT(t, 512)
+	// Every slot must be reachable from some bucket exactly once.
+	seen := make(map[uint64]bool)
+	for h := uint64(0); h < s.capacity; h++ {
+		idx := s.buckets.Peek(h)
+		for idx != 0 {
+			slot := idx - 1
+			if seen[slot] {
+				t.Fatalf("slot %d linked twice", slot)
+			}
+			seen[slot] = true
+			if s.hash(s.keys.Peek(slot)) != h {
+				t.Fatalf("slot %d in wrong bucket", slot)
+			}
+			idx = s.next.Peek(slot)
+		}
+	}
+	if uint64(len(seen)) != s.capacity {
+		t.Errorf("%d slots linked, want %d", len(seen), s.capacity)
+	}
+}
+
+func TestGetHitReadsValue(t *testing.T) {
+	m, s := newStoreT(t, 256)
+	key := s.keys.Peek(0) // a key known to be resident
+	before := m.Accesses()
+	if !s.get(key) {
+		t.Fatal("resident key missed")
+	}
+	if m.Accesses()-before < valueWords {
+		t.Error("hit did not read the value payload")
+	}
+	if s.hits != 1 || s.misses != 0 {
+		t.Errorf("hit/miss telemetry = %d/%d", s.hits, s.misses)
+	}
+}
+
+func TestGetMissThenInsertMakesResident(t *testing.T) {
+	_, s := newStoreT(t, 256)
+	// Find a key not in the store.
+	resident := map[uint64]bool{}
+	for i := uint64(0); i < s.capacity; i++ {
+		resident[s.keys.Peek(i)] = true
+	}
+	var key uint64 = 1
+	for resident[key] {
+		key++
+	}
+	if s.get(key) {
+		t.Fatal("non-resident key hit")
+	}
+	s.insert(key)
+	if !s.get(key) {
+		t.Error("key missing after insert")
+	}
+}
+
+func TestInsertEvictsConsistently(t *testing.T) {
+	_, s := newStoreT(t, 128)
+	// Insert many new keys; the chain structure must stay consistent
+	// (every slot linked exactly once) after heavy eviction churn.
+	for k := uint64(1 << 40); k < 1<<40+300; k++ {
+		if !s.get(k) {
+			s.insert(k)
+		}
+	}
+	seen := map[uint64]bool{}
+	for h := uint64(0); h < s.capacity; h++ {
+		idx := s.buckets.Peek(h)
+		steps := 0
+		for idx != 0 {
+			slot := idx - 1
+			if seen[slot] {
+				t.Fatalf("slot %d linked twice after churn", slot)
+			}
+			seen[slot] = true
+			idx = s.next.Peek(slot)
+			if steps++; steps > int(s.capacity) {
+				t.Fatal("chain cycle")
+			}
+		}
+	}
+	if uint64(len(seen)) != s.capacity {
+		t.Errorf("%d slots linked after churn, want %d", len(seen), s.capacity)
+	}
+}
+
+func TestRunHitRateTracksCapacity(t *testing.T) {
+	// Larger caches must observe higher KV hit rates under the fixed key
+	// space (the paper's §V-A memcached mechanism).
+	rate := func(capacity uint64) float64 {
+		m, s := newStoreT(t, capacity)
+		_ = m
+		s.Run(150_000)
+		return s.HitRate()
+	}
+	small, big := rate(1<<10), rate(1<<14)
+	if big <= small {
+		t.Errorf("hit rate did not grow with capacity: %.4f vs %.4f", small, big)
+	}
+}
+
+func TestZipfianVariantHotterThanUniform(t *testing.T) {
+	// At equal capacity, zipfian requests concentrate on hot keys, so the
+	// KV hit rate must beat uniform's.
+	rate := func(sample keySampler) float64 {
+		m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := newStoreSampler(m, 1<<12, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(150_000)
+		return s.HitRate()
+	}
+	u, z := rate(uniformSampler), rate(zipfSampler)
+	if z <= u*2 {
+		t.Errorf("zipfian hit rate %.4f not well above uniform %.4f", z, u)
+	}
+}
+
+func TestZipfianRegisteredOutsidePaperSuite(t *testing.T) {
+	spec, err := workloads.ByName("memcached-zipfian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Suite == "ycsb" {
+		t.Error("zipfian variant must not join the paper's Table I suite")
+	}
+}
+
+func TestRegisteredAndRuns(t *testing.T) {
+	spec, err := workloads.ByName("memcached-uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := spec.Build(m, spec.Sizes(workloads.Tiny)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := m.Counters()
+	inst.Run(50_000)
+	d := perf.Delta(start, m.Counters())
+	if d.Get(perf.AllLoads)+d.Get(perf.AllStores) < 50_000 {
+		t.Error("run under budget")
+	}
+	if d.Get(perf.Branches) == 0 {
+		t.Error("no branches retired")
+	}
+}

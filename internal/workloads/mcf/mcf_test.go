@@ -1,0 +1,91 @@
+package mcf
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+)
+
+func newNet(t *testing.T, n uint64) (*machine.Machine, *network) {
+	t.Helper()
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := newNetwork(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, nw
+}
+
+func TestTreeWellFormed(t *testing.T) {
+	_, nw := newNet(t, 1024)
+	for i := uint64(1); i < nw.n; i++ {
+		p := nw.parent.Peek(i)
+		if p >= i {
+			t.Fatalf("parent[%d] = %d not < i", i, p)
+		}
+		if nw.depth.Peek(i) != nw.depth.Peek(p)+1 {
+			t.Fatalf("depth[%d] inconsistent", i)
+		}
+	}
+	if nw.depth.Peek(0) != 0 || nw.parent.Peek(0) != 0 {
+		t.Error("root malformed")
+	}
+}
+
+func TestArcsInRange(t *testing.T) {
+	_, nw := newNet(t, 256)
+	for j := uint64(0); j < nw.a; j++ {
+		if nw.tail.Peek(j) >= nw.n || nw.head.Peek(j) >= nw.n {
+			t.Fatalf("arc %d endpoint out of range", j)
+		}
+	}
+	if nw.a != arcsPerNode*nw.n {
+		t.Errorf("arc count %d, want %d", nw.a, arcsPerNode*nw.n)
+	}
+}
+
+func TestRunRespectsBudgetAndPivots(t *testing.T) {
+	m, nw := newNet(t, 2048)
+	start := m.Counters()
+	nw.Run(120_000)
+	d := perf.Delta(start, m.Counters())
+	acc := d.Get(perf.AllLoads) + d.Get(perf.AllStores)
+	if acc < 120_000 || acc > 300_000 {
+		t.Errorf("accesses = %d for budget 120k", acc)
+	}
+	if d.Get(perf.Branches) == 0 {
+		t.Error("no branches")
+	}
+	// Some pivots must have happened: flow cannot be all zero.
+	var flowed bool
+	for j := uint64(0); j < nw.a && !flowed; j++ {
+		flowed = nw.flow.Peek(j) != 0
+	}
+	if !flowed {
+		t.Error("no pivot ever fired (all reduced costs non-negative?)")
+	}
+}
+
+func TestPivotTerminates(t *testing.T) {
+	// Even after many rehangs corrupt depth consistency, pivots stay
+	// bounded (the maxPivotSteps guard). Run long enough to exercise
+	// rehanging heavily.
+	_, nw := newNet(t, 512)
+	nw.Run(200_000) // would hang without the bound
+}
+
+func TestRegistered(t *testing.T) {
+	spec, err := workloads.ByName("mcf-rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Suite != "spec2006" {
+		t.Errorf("suite = %q", spec.Suite)
+	}
+}

@@ -1,0 +1,89 @@
+package micro
+
+import (
+	"atscale/internal/machine"
+	"atscale/internal/workloads"
+)
+
+// embed is a recommendation-model embedding-lookup kernel (the
+// DLRM-style sparse gather): each inference gathers a handful of rows
+// from several large embedding tables and reduces them. It is the
+// dominant datacenter incarnation of the random-gather pattern and a
+// staple of recent address-translation papers. Ladder parameter: rows
+// per table.
+
+const (
+	// embedTables is the number of embedding tables per model.
+	embedTables = 8
+	// embedDim is the embedding row width in 8-byte words.
+	embedDim = 8
+	// embedLookupsPerTable is how many rows one inference gathers from
+	// each table (multi-hot features).
+	embedLookupsPerTable = 4
+)
+
+var embedLadder = []uint64{1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20}
+
+type embed struct {
+	m      *machine.Machine
+	tables [embedTables]workloads.Array
+	rows   uint64
+	rng    *workloads.RNG
+}
+
+func newEmbed(m *machine.Machine, rows uint64) (workloads.Instance, error) {
+	e := &embed{m: m, rows: rows, rng: workloads.NewRNG(rows ^ 0xd17a)}
+	for t := range e.tables {
+		arr, err := workloads.NewArray(m, rows*embedDim)
+		if err != nil {
+			return nil, err
+		}
+		// Row initialization is untimed setup.
+		for i := uint64(0); i < rows*embedDim; i += embedDim {
+			arr.Poke(i, i^uint64(t))
+		}
+		e.tables[t] = arr
+	}
+	return e, nil
+}
+
+func (e *embed) Run(budget uint64) {
+	bud := workloads.NewBudget(e.m, budget)
+	for i := uint64(0); ; i++ {
+		// One inference: gather and sum rows across every table.
+		var acc uint64
+		for t := range e.tables {
+			for l := 0; l < embedLookupsPerTable; l++ {
+				// Zipf-ish skew: popular items dominate real traces.
+				row := e.rng.Intn(e.rows)
+				if e.rng.Intn(4) != 0 {
+					row %= (e.rows / 16) + 1 // hot head
+				}
+				base := row * embedDim
+				for d := uint64(0); d < embedDim; d++ {
+					acc += e.tables[t].Get(base + d)
+					e.m.Ops(1)
+				}
+			}
+		}
+		// Dense interaction layer (ALU work) plus the ranking branch.
+		e.m.Ops(64)
+		e.m.Branch(0xD17A, acc&16 != 0)
+		if i&31 == 0 && bud.Done() {
+			return
+		}
+	}
+}
+
+func init() {
+	workloads.Register(&workloads.Spec{
+		Program:   "embed",
+		Generator: "rand",
+		Suite:     "micro",
+		Kind:      "embedding gather (ST)",
+		Ladder:    embedLadder,
+		Build: func(m *machine.Machine, rows uint64) (workloads.Instance, error) {
+			return newEmbed(m, rows)
+		},
+	})
+}

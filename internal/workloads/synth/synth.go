@@ -1,0 +1,133 @@
+// Package synth provides data-free synthetic address-stream workloads:
+// uniform, Zipf and strided access over a single large region. Because no
+// payload backing is materialized by loads, these sweep *virtual*
+// footprints far beyond what the data-dependent workloads can afford —
+// the simulator's stand-in for the paper's hundreds-of-gigabyte rungs.
+// They extend the TLB/walker-side sweeps; they are not part of the
+// paper's Table I workload set.
+package synth
+
+import (
+	"math"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/workloads"
+)
+
+// zipfS is the Zipf exponent (YCSB's default skew).
+const zipfS = 0.99
+
+// Ladder entries are log2 of the region size in bytes: 16 MB to 64 GB.
+var ladder = []uint64{24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36}
+
+type pattern uint8
+
+const (
+	uniform pattern = iota
+	zipf
+	stride
+)
+
+// stream is one synthetic address-stream instance.
+type stream struct {
+	m     *machine.Machine
+	base  arch.VAddr
+	words uint64
+	pages uint64
+	pat   pattern
+	rng   *workloads.RNG
+
+	pos uint64 // stride cursor
+}
+
+func newStream(m *machine.Machine, logBytes uint64, pat pattern) (workloads.Instance, error) {
+	size := uint64(1) << logBytes
+	base, err := m.Malloc(size)
+	if err != nil {
+		return nil, err
+	}
+	return &stream{
+		m:     m,
+		base:  base,
+		words: size / 8,
+		pages: size >> arch.PageShift4K,
+		pat:   pat,
+		rng:   workloads.NewRNG(logBytes ^ 0x73796e),
+	}, nil
+}
+
+// zipfPage samples a page index with an (approximate) Zipf distribution
+// over ranks, then scrambles the rank so hot pages are scattered across
+// the region rather than clustered at its start.
+func (s *stream) zipfPage() uint64 {
+	u := s.rng.Float64()
+	// Inverse-CDF approximation for s < 1: CDF(x) ~ x^(1-s).
+	rank := uint64(math.Pow(float64(s.pages), 1-zipfS)*u + 1)
+	rank = uint64(math.Pow(float64(rank), 1/(1-zipfS)))
+	if rank >= s.pages {
+		rank = s.pages - 1
+	}
+	// Multiplicative scramble (odd constant => a bijection mod 2^k when
+	// pages is a power of two, which ladder sizes guarantee).
+	return (rank * 0x9E3779B97F4A7C15) & (s.pages - 1)
+}
+
+func (s *stream) nextVA() arch.VAddr {
+	switch s.pat {
+	case uniform:
+		return s.base + arch.VAddr(s.rng.Intn(s.words)*8)
+	case zipf:
+		page := s.zipfPage()
+		off := s.rng.Intn(512) * 8
+		return s.base + arch.VAddr(page<<arch.PageShift4K+off)
+	default: // stride: one load per cache line, wrapping
+		va := s.base + arch.VAddr(s.pos*8)
+		s.pos = (s.pos + 8) % s.words
+		return va
+	}
+}
+
+// Run issues the address stream with a light sprinkle of branches and ALU
+// work so the instruction mix resembles a pointer-chasing microbenchmark.
+func (s *stream) Run(budget uint64) {
+	bud := workloads.NewBudget(s.m, budget)
+	for i := uint64(0); ; i++ {
+		va := s.nextVA()
+		v := s.m.Load64(va)
+		s.m.Ops(2)
+		if i&15 == 0 {
+			// Occasional data-dependent store (keeps the memory-ordering
+			// machinery exercised).
+			s.m.Store64(va, v+1)
+		}
+		if i&7 == 0 {
+			// Data-dependent branch on the (hashed) address: genuinely
+			// unpredictable, like a pointer-chase comparison.
+			h := uint64(va) * 0x9E3779B97F4A7C15
+			s.m.Branch(0x5901, h&8 != 0)
+		}
+		if i&1023 == 0 && bud.Done() {
+			return
+		}
+	}
+}
+
+func register(program string, pat pattern) {
+	workloads.Register(&workloads.Spec{
+		Program:   program,
+		Generator: "synth",
+		Suite:     "synthetic",
+		Kind:      "address stream (ST)",
+		Ladder:    ladder,
+		Build: func(m *machine.Machine, logBytes uint64) (workloads.Instance, error) {
+			return newStream(m, logBytes, pat)
+		},
+	})
+}
+
+func init() {
+	register("uniform", uniform)
+	register("zipf", zipf)
+	register("stride", stride)
+}

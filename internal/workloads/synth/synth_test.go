@@ -1,0 +1,104 @@
+package synth
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+)
+
+func build(t *testing.T, name string, logBytes uint64) (*machine.Machine, workloads.Instance) {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := spec.Build(m, logBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, inst
+}
+
+func TestAllRegistered(t *testing.T) {
+	for _, n := range []string{"uniform-synth", "zipf-synth", "stride-synth"} {
+		if _, err := workloads.ByName(n); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFootprintMatchesParam(t *testing.T) {
+	m, _ := build(t, "uniform-synth", 24)
+	if m.Footprint() != 16*arch.MB {
+		t.Errorf("footprint = %d, want 16MB", m.Footprint())
+	}
+}
+
+func TestUniformThrashesTLB(t *testing.T) {
+	m, inst := build(t, "uniform-synth", 26) // 64MB >> STLB reach
+	start := m.Counters()
+	inst.Run(60_000)
+	d := perf.Delta(start, m.Counters())
+	met := perf.Compute(d)
+	if met.TLBMissesPerKiloAccess < 300 {
+		t.Errorf("uniform over 64MB: %.0f walks/kiloaccess, want TLB thrash (>=300)",
+			met.TLBMissesPerKiloAccess)
+	}
+}
+
+func TestStrideBarelyMissesTLB(t *testing.T) {
+	m, inst := build(t, "stride-synth", 26)
+	start := m.Counters()
+	inst.Run(60_000)
+	d := perf.Delta(start, m.Counters())
+	met := perf.Compute(d)
+	// One page = 64 line-strided accesses; post-warmup misses ~ 1/64.
+	if met.TLBMissesPerKiloAccess > 40 {
+		t.Errorf("stride: %.0f walks/kiloaccess, want <=40", met.TLBMissesPerKiloAccess)
+	}
+}
+
+func TestZipfBetweenUniformAndStride(t *testing.T) {
+	rate := func(name string) float64 {
+		m, inst := build(t, name, 26)
+		start := m.Counters()
+		inst.Run(60_000)
+		return perf.Compute(perf.Delta(start, m.Counters())).TLBMissesPerKiloAccess
+	}
+	u, z, s := rate("uniform-synth"), rate("zipf-synth"), rate("stride-synth")
+	// Zipf at s=0.99 concentrates half its mass on ~1% of pages, so it
+	// sits far below uniform (and can undercut even the stride pattern).
+	if z >= u/4 {
+		t.Errorf("zipf %.0f not well below uniform %.0f", z, u)
+	}
+	if s >= u/4 {
+		t.Errorf("stride %.0f not well below uniform %.0f", s, u)
+	}
+	if z == 0 {
+		t.Error("zipf produced no walks at all")
+	}
+}
+
+func TestZipfPageInRange(t *testing.T) {
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := newStream(m, 24, zipf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.(*stream)
+	for i := 0; i < 10000; i++ {
+		if p := s.zipfPage(); p >= s.pages {
+			t.Fatalf("zipfPage = %d out of %d", p, s.pages)
+		}
+	}
+}

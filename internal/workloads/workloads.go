@@ -1,0 +1,235 @@
+// Package workloads defines the workload abstraction of the paper's
+// methodology (§IV): a *workload* is a program plus an input generator,
+// swept over input sizes to produce instances with growing memory
+// footprints. Concrete workloads live in subpackages (graph, kvstore, mcf,
+// streamcluster, synth) and register themselves here.
+//
+// Instances run against a simulated machine through its Load64 / Store64 /
+// Ops / Branch API, so every data structure lives in simulated guest
+// memory and every access exercises the full translation stack.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+)
+
+// SizePreset selects how much of a workload's input-size ladder to sweep.
+type SizePreset string
+
+const (
+	// Tiny is for unit tests: two small rungs.
+	Tiny SizePreset = "tiny"
+	// Small keeps runs to seconds: four rungs.
+	Small SizePreset = "small"
+	// Medium is the benchmark default: six rungs.
+	Medium SizePreset = "medium"
+	// Large is the full ladder (footprints to ~1 GB and beyond for
+	// data-free workloads).
+	Large SizePreset = "large"
+)
+
+// pick returns the ladder indices the preset selects. Tiny keeps the two
+// smallest rungs (fast unit tests); Small and Medium spread their rungs
+// evenly across the ladder, always including the largest, so reduced
+// sweeps still cover the full footprint range; Large keeps everything.
+func (p SizePreset) pick(total int) []int {
+	var n int
+	switch p {
+	case Tiny:
+		n = 2
+		if n > total {
+			n = total
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	case Small:
+		n = 4
+	case Medium:
+		n = 6
+	default:
+		n = total
+	}
+	if n >= total {
+		n = total
+	}
+	if n <= 1 {
+		return []int{0}
+	}
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		j := i * (total - 1) / (n - 1)
+		if len(idx) == 0 || idx[len(idx)-1] != j {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+// ParsePreset validates a preset name.
+func ParsePreset(s string) (SizePreset, error) {
+	switch SizePreset(s) {
+	case Tiny, Small, Medium, Large:
+		return SizePreset(s), nil
+	}
+	return "", fmt.Errorf("workloads: unknown size preset %q", s)
+}
+
+// Instance is one built workload instance ready to execute its measured
+// region.
+type Instance interface {
+	// Run executes the workload until roughly budget memory accesses
+	// have retired, looping the algorithm (iterations, queries, sources)
+	// as needed. Run may be called once per instance.
+	Run(budget uint64)
+}
+
+// BuildFunc constructs an instance for a size parameter on machine m.
+// Construction is the untimed setup phase (allocation + input
+// generation + one warmup pass where the real program would have one).
+type BuildFunc func(m *machine.Machine, param uint64) (Instance, error)
+
+// Spec describes one workload (a Table I row crossed with a Table II
+// generator).
+type Spec struct {
+	// Program is the benchmark program name ("bc", "mcf", ...).
+	Program string
+	// Generator is the input generator name ("urand", "kron", ...).
+	Generator string
+	// Suite is the benchmark suite the program comes from.
+	Suite string
+	// Kind is the program's domain ("graph processing (MT)", ...).
+	Kind string
+	// Ladder is the ascending list of size parameters (meaning is
+	// workload-specific: graph scale, key count, node count...).
+	Ladder []uint64
+	// Build constructs an instance.
+	Build BuildFunc
+}
+
+// Name returns the paper's workload naming: program-generator.
+func (s *Spec) Name() string { return s.Program + "-" + s.Generator }
+
+// Sizes returns the ladder rungs the preset selects.
+func (s *Spec) Sizes(p SizePreset) []uint64 {
+	idx := p.pick(len(s.Ladder))
+	out := make([]uint64, len(idx))
+	for i, j := range idx {
+		out[i] = s.Ladder[j]
+	}
+	return out
+}
+
+var registry []*Spec
+
+// Register adds a workload spec; subpackages call it from init.
+// Registering a duplicate name or an empty ladder panics: these are
+// programming errors.
+func Register(s *Spec) {
+	if len(s.Ladder) == 0 || s.Build == nil {
+		panic(fmt.Sprintf("workloads: spec %q incomplete", s.Name()))
+	}
+	if !sort.SliceIsSorted(s.Ladder, func(i, j int) bool { return s.Ladder[i] < s.Ladder[j] }) {
+		panic(fmt.Sprintf("workloads: spec %q ladder not ascending", s.Name()))
+	}
+	for _, r := range registry {
+		if r.Name() == s.Name() {
+			panic(fmt.Sprintf("workloads: duplicate spec %q", s.Name()))
+		}
+	}
+	registry = append(registry, s)
+}
+
+// All returns every registered workload, sorted by name.
+func All() []*Spec {
+	out := append([]*Spec(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// ByName finds a workload by its program-generator name.
+func ByName(name string) (*Spec, error) {
+	for _, s := range registry {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Array is a guest-memory array of 8-byte words: the container every
+// workload builds its data structures from.
+type Array struct {
+	m    *machine.Machine
+	base arch.VAddr
+	n    uint64
+}
+
+// NewArray allocates an n-word array in guest memory.
+func NewArray(m *machine.Machine, n uint64) (Array, error) {
+	if n == 0 {
+		n = 1
+	}
+	base, err := m.Malloc(n * 8)
+	if err != nil {
+		return Array{}, err
+	}
+	return Array{m: m, base: base, n: n}, nil
+}
+
+// Len returns the element count.
+func (a Array) Len() uint64 { return a.n }
+
+// Addr returns the virtual address of element i.
+func (a Array) Addr(i uint64) arch.VAddr { return a.base + arch.VAddr(i*8) }
+
+func (a Array) check(i uint64) {
+	if i >= a.n {
+		panic(fmt.Sprintf("workloads: index %d out of range [0,%d)", i, a.n))
+	}
+}
+
+// Get retires a load of element i.
+func (a Array) Get(i uint64) uint64 {
+	a.check(i)
+	return a.m.Load64(a.Addr(i))
+}
+
+// Set retires a store to element i.
+func (a Array) Set(i uint64, v uint64) {
+	a.check(i)
+	a.m.Store64(a.Addr(i), v)
+}
+
+// Poke writes element i untimed (setup phase).
+func (a Array) Poke(i uint64, v uint64) {
+	a.check(i)
+	a.m.Poke64(a.Addr(i), v)
+}
+
+// Peek reads element i untimed (setup phase).
+func (a Array) Peek(i uint64) uint64 {
+	a.check(i)
+	return a.m.Peek64(a.Addr(i))
+}
+
+// Budget tracks a Run's access budget against the machine's counters.
+type Budget struct {
+	m     *machine.Machine
+	limit uint64
+}
+
+// NewBudget arms a budget of roughly n retired accesses.
+func NewBudget(m *machine.Machine, n uint64) *Budget {
+	return &Budget{m: m, limit: m.Accesses() + n}
+}
+
+// Done reports whether the budget is exhausted. Call it at coarse
+// boundaries (per source, per iteration chunk); it reads two counters.
+func (b *Budget) Done() bool { return b.m.Accesses() >= b.limit }

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+)
+
+func TestPresetPick(t *testing.T) {
+	if got := Tiny.pick(9); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Tiny.pick(9) = %v", got)
+	}
+	got := Medium.pick(9)
+	if len(got) != 6 || got[0] != 0 || got[len(got)-1] != 8 {
+		t.Errorf("Medium.pick(9) = %v; must span first..last", got)
+	}
+	if got := Large.pick(5); len(got) != 5 {
+		t.Errorf("Large.pick(5) = %v", got)
+	}
+	if got := Small.pick(2); len(got) != 2 {
+		t.Errorf("Small.pick(2) = %v", got)
+	}
+	if got := Small.pick(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Small.pick(1) = %v", got)
+	}
+}
+
+func TestParsePreset(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "medium", "large"} {
+		if _, err := ParsePreset(s); err != nil {
+			t.Errorf("ParsePreset(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePreset("huge"); err == nil {
+		t.Error("ParsePreset(huge) accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, s *Spec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	build := func(m *machine.Machine, p uint64) (Instance, error) { return nil, nil }
+	mustPanic("empty ladder", &Spec{Program: "x", Generator: "y", Build: build})
+	mustPanic("nil build", &Spec{Program: "x", Generator: "y", Ladder: []uint64{1}})
+	mustPanic("unsorted", &Spec{Program: "x", Generator: "y", Ladder: []uint64{2, 1}, Build: build})
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("RNG nondeterministic")
+		}
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(0) // zero seed remapped
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestRNGRoughlyUniform(t *testing.T) {
+	r := NewRNG(9)
+	var buckets [8]int
+	const n = 80000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(8)]++
+	}
+	for i, b := range buckets {
+		if b < n/8*9/10 || b > n/8*11/10 {
+			t.Errorf("bucket %d count %d far from %d", i, b, n/8)
+		}
+	}
+}
+
+func TestArrayBoundsChecked(t *testing.T) {
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArray(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set(3, 9)
+	if a.Get(3) != 9 {
+		t.Error("round trip failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	a.Get(4)
+}
+
+func TestArrayPokePeekBypassCounters(t *testing.T) {
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArray(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Poke(5, 77)
+	if a.Peek(5) != 77 {
+		t.Error("poke/peek round trip failed")
+	}
+	if m.Accesses() != 0 {
+		t.Error("poke/peek retired accesses")
+	}
+	if a.Get(5) != 77 {
+		t.Error("timed read does not see poked data")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewArray(m, 100)
+	b := NewBudget(m, 10)
+	if b.Done() {
+		t.Fatal("fresh budget done")
+	}
+	for i := uint64(0); i < 10; i++ {
+		a.Get(i)
+	}
+	if !b.Done() {
+		t.Error("budget not done after 10 accesses")
+	}
+}
