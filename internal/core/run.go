@@ -29,6 +29,23 @@ type RunConfig struct {
 	// policy (extension experiments only; the paper's machines run
 	// without it).
 	EnablePromotion bool
+	// Interval, when non-zero, streams one row of counter deltas per
+	// Interval retired instructions over the measured region
+	// (`perf stat -I` keyed on instruction count); the timeline lands in
+	// RunResult.Timeline. Zero leaves streaming off.
+	Interval uint64
+	// SamplePeriod, when non-zero, arms PEBS-style sampling over the
+	// measured region with this period on each event in SampleEvents;
+	// the drained records land in RunResult.Samples. Zero leaves
+	// sampling off, which provably changes no counter value.
+	SamplePeriod uint64
+	// SampleEvents lists the events armed with SamplePeriod. Empty
+	// defaults to the two dtlb walk-duration events, making the period a
+	// walk-cycle count and sample weights reconstruct walk cycles.
+	SampleEvents []perf.Event
+	// SampleBuffer overrides the sample ring capacity (records);
+	// <= 0 uses perf.DefaultSampleCapacity.
+	SampleBuffer int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -65,6 +82,13 @@ type RunResult struct {
 	Counters perf.Counters
 	// Metrics is derived from Counters.
 	Metrics perf.Metrics
+	// Timeline is the interval stream (nil unless RunConfig.Interval).
+	Timeline []perf.IntervalRow
+	// Samples is the drained sample ring (nil unless sampling armed).
+	Samples []perf.Sample
+	// SampleDropped / SampleDroppedWeight count ring-overflow losses.
+	SampleDropped       uint64
+	SampleDroppedWeight uint64
 }
 
 // Run executes one measurement: build the instance on a fresh machine
@@ -88,6 +112,27 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 	if err != nil {
 		return RunResult{}, fmt.Errorf("core: building %s param %d: %w", spec.Name(), param, err)
 	}
+	// Observability is armed after Build so samples and intervals cover
+	// exactly the measured region, like the counter delta does.
+	var smp *perf.Sampler
+	if cfg.SamplePeriod > 0 {
+		smp = perf.NewSampler(cfg.SampleBuffer)
+		events := cfg.SampleEvents
+		if len(events) == 0 {
+			events = []perf.Event{perf.DTLBLoadWalkDuration, perf.DTLBStoreWalkDuration}
+		}
+		for _, e := range events {
+			if err := smp.Arm(e, cfg.SamplePeriod); err != nil {
+				return RunResult{}, fmt.Errorf("core: %w", err)
+			}
+		}
+		m.AttachSampler(smp)
+	}
+	if cfg.Interval > 0 {
+		if _, err := m.StartIntervals(cfg.Interval); err != nil {
+			return RunResult{}, fmt.Errorf("core: %w", err)
+		}
+	}
 	start := m.Counters()
 	inst.Run(cfg.Budget)
 	delta := perf.Delta(start, m.Counters())
@@ -98,6 +143,14 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 		Footprint: m.Footprint(),
 		Counters:  delta,
 		Metrics:   perf.Compute(delta),
+	}
+	if cfg.Interval > 0 {
+		r.Timeline = m.StopIntervals()
+	}
+	if smp != nil {
+		r.Samples = smp.Drain()
+		r.SampleDropped = smp.Dropped()
+		r.SampleDroppedWeight = smp.DroppedWeight()
 	}
 	cfg.logf("  run %-22s param=%-8d %-4s footprint=%-9s cpi=%.3f wcpi=%.4f",
 		r.Workload, r.Param, ps, arch.FormatBytes(r.Footprint), r.Metrics.CPI, r.Metrics.WCPI)

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+	_ "atscale/internal/workloads/all"
+)
+
+// TestRunObservabilityGolden is the zero-perturbation check: arming
+// sampling and interval streaming must not change a single counter value
+// versus the plain run.
+func TestRunObservabilityGolden(t *testing.T) {
+	spec, err := workloads.ByName("bfs-urand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(observe bool) RunResult {
+		cfg := DefaultRunConfig()
+		cfg.Budget = 300_000
+		if observe {
+			cfg.SamplePeriod = 2048
+			cfg.Interval = 50_000
+		}
+		r, err := Run(&cfg, spec, spec.Ladder[0], arch.Page4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain := run(false)
+	observed := run(true)
+	if !reflect.DeepEqual(plain.Counters, observed.Counters) {
+		t.Errorf("observability changed counters:\nplain:\n%s\nobserved:\n%s",
+			plain.Counters.FormatNonZero(), observed.Counters.FormatNonZero())
+	}
+	if len(observed.Timeline) == 0 || len(observed.Samples) == 0 {
+		t.Fatalf("observability produced nothing: %d rows, %d samples",
+			len(observed.Timeline), len(observed.Samples))
+	}
+	if len(plain.Timeline) != 0 || len(plain.Samples) != 0 {
+		t.Error("plain run produced observability output")
+	}
+}
+
+// TestRunSamplingReconstructsWalkCycles checks the PEBS estimator: total
+// sampled walk-cycle weight (plus weight lost to ring overflow) matches
+// the aggregate dtlb_*_misses.walk_duration counters to within one
+// period per armed event.
+func TestRunSamplingReconstructsWalkCycles(t *testing.T) {
+	spec, err := workloads.ByName("bfs-urand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const period = 4096
+	cfg := DefaultRunConfig()
+	cfg.Budget = 500_000
+	cfg.SamplePeriod = period
+	r, err := Run(&cfg, spec, spec.Ladder[0], arch.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := perf.NewReport(r.Samples, r.SampleDropped, r.SampleDroppedWeight, 10)
+	agg := r.Counters.Get(perf.DTLBLoadWalkDuration) + r.Counters.Get(perf.DTLBStoreWalkDuration)
+	est := report.EstWalkCycles + r.SampleDroppedWeight
+	diff := int64(agg) - int64(est)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff >= 2*period {
+		t.Errorf("sampled walk cycles %d (+%d dropped) vs aggregate %d: off by %d >= 2 periods",
+			report.EstWalkCycles, r.SampleDroppedWeight, agg, diff)
+	}
+	// Hot-page attribution must account for every sampled cycle.
+	full := perf.NewReport(r.Samples, r.SampleDropped, r.SampleDroppedWeight, 0)
+	var pageSum uint64
+	for _, p := range full.HotPages {
+		pageSum += p.Cycles
+	}
+	if pageSum != full.EstWalkCycles {
+		t.Errorf("per-page attribution %d != sampled total %d", pageSum, full.EstWalkCycles)
+	}
+}
+
+// TestRunTimelineTilesRegion checks interval rows tile the measured
+// region exactly: contiguous windows, deltas summing to the run delta.
+func TestRunTimelineTilesRegion(t *testing.T) {
+	spec, err := workloads.ByName("gups-rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRunConfig()
+	cfg.Budget = 200_000
+	cfg.Interval = 40_000
+	r, err := Run(&cfg, spec, spec.Ladder[0], arch.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Timeline) < 2 {
+		t.Fatalf("only %d timeline rows", len(r.Timeline))
+	}
+	var sum perf.Counters
+	prevEnd := r.Timeline[0].InstStart
+	for _, row := range r.Timeline {
+		if row.InstStart != prevEnd {
+			t.Errorf("row %d not contiguous: starts %d, previous ended %d",
+				row.Index, row.InstStart, prevEnd)
+		}
+		prevEnd = row.InstEnd
+		for _, e := range perf.Events() {
+			sum.Add(e, row.Delta.Get(e))
+		}
+	}
+	if !reflect.DeepEqual(sum, r.Counters) {
+		t.Errorf("timeline deltas do not sum to the run delta:\nsum:\n%s\nrun:\n%s",
+			sum.FormatNonZero(), r.Counters.FormatNonZero())
+	}
+}

@@ -22,7 +22,6 @@ package cpu
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"atscale/internal/arch"
 	"atscale/internal/cache"
@@ -86,9 +85,16 @@ type Core struct {
 	aliases  map[uint64]aliasEntry
 	storeSeq uint64
 
-	// heat, when non-nil, counts demand walks per 2 MB block — the
-	// OS-visible signal behind WCPI-guided hugepage promotion.
-	heat map[arch.VAddr]uint32
+	// smp holds the attached PEBS-style samplers (usually zero or one;
+	// the promotion policy attaches its own). Empty means every sampling
+	// hook is a single len check.
+	smp []*perf.Sampler
+
+	// lastWalkCycles/lastWalkLevel carry the most recent demand walk's
+	// latency and leaf-PTE location into the access-retirement sample
+	// (zero / PTENone on TLB hits).
+	lastWalkCycles uint64
+	lastWalkLevel  perf.PTELevel
 }
 
 // New builds a core on top of the given translation and cache hardware.
@@ -124,44 +130,14 @@ func (c *Core) Accesses() uint64 {
 	return c.ctr.Get(perf.AllLoads) + c.ctr.Get(perf.AllStores)
 }
 
-// EnableWalkHeat starts per-2MB-block demand-walk counting (the promotion
-// policy's hotness signal).
-func (c *Core) EnableWalkHeat() {
-	if c.heat == nil {
-		c.heat = make(map[arch.VAddr]uint32)
-	}
-}
+// AttachSampler adds a PEBS-style sampler to the datapath's sampling
+// hooks. Multiple samplers may be attached (the promotion policy runs a
+// private one next to the user-facing one); each sees every candidate.
+func (c *Core) AttachSampler(s *perf.Sampler) { c.smp = append(c.smp, s) }
 
-// DrainWalkHeat returns up to k blocks ordered by walk count, hottest
-// first, and resets the counts for the next epoch.
-func (c *Core) DrainWalkHeat(k int) []arch.VAddr {
-	if len(c.heat) == 0 {
-		return nil
-	}
-	type hb struct {
-		block arch.VAddr
-		n     uint32
-	}
-	all := make([]hb, 0, len(c.heat))
-	for b, n := range c.heat {
-		all = append(all, hb{b, n})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].n != all[j].n {
-			return all[i].n > all[j].n
-		}
-		return all[i].block < all[j].block
-	})
-	if k > len(all) {
-		k = len(all)
-	}
-	out := make([]arch.VAddr, k)
-	for i := 0; i < k; i++ {
-		out[i] = all[i].block
-	}
-	clear(c.heat)
-	return out
-}
+// Instructions returns retired instructions so far without snapshotting
+// the full counter file (interval streaming's per-access probe).
+func (c *Core) Instructions() uint64 { return c.ctr.Get(perf.InstRetired) }
 
 // InvalidateTranslation drops any cached translation of va at the given
 // size from every TLB level (the OS's INVLPG).
@@ -220,6 +196,7 @@ func (c *Core) Store(va arch.VAddr) arch.PAddr {
 func (c *Core) access(va arch.VAddr, isStore bool) arch.PAddr {
 	c.charge(c.cfg.CPU.BaseCPI)
 	c.noteVA(va)
+	c.lastWalkCycles, c.lastWalkLevel = 0, perf.PTENone
 
 	var frame arch.PAddr
 	var size arch.PageSize
@@ -247,6 +224,7 @@ func (c *Core) access(va arch.VAddr, isStore bool) arch.PAddr {
 		c.charge(float64(lat-l1) * c.cfg.CPU.MemVisibility)
 	}
 	c.recentLat = 0.9*c.recentLat + 0.1*float64(lat)
+	c.sampleRetire(isStore, va)
 	return pa
 }
 
@@ -255,12 +233,10 @@ func (c *Core) access(va arch.VAddr, isStore bool) arch.PAddr {
 func (c *Core) demandWalk(va arch.VAddr, isStore bool) (arch.PAddr, arch.PageSize) {
 	c.countSTLBMissRetired(isStore)
 	c.countWalkInitiated(isStore)
-	if c.heat != nil {
-		c.heat[arch.PageBase(va, arch.Page2M)]++
-	}
 	wr := c.walker.Walk(va, c.cr3, walker.NoBudget)
 	c.accountWalk(isStore, wr)
 	c.charge(float64(wr.Cycles) * c.cfg.CPU.WalkVisibility)
+	walkCycles := wr.Cycles
 	if !wr.OK {
 		// Demand page fault: the OS maps the page and the access
 		// re-walks. The fault and retry count as one walk (one
@@ -278,11 +254,14 @@ func (c *Core) demandWalk(va arch.VAddr, isStore bool) (arch.PAddr, arch.PageSiz
 		wr = c.walker.Walk(va, c.cr3, walker.NoBudget)
 		c.accountWalk(isStore, wr)
 		c.charge(float64(wr.Cycles) * c.cfg.CPU.WalkVisibility)
+		walkCycles += wr.Cycles
 		if !wr.OK {
 			panic(fmt.Sprintf("cpu: fault handler did not map %#x", uint64(va)))
 		}
 	}
 	c.countWalkCompleted(isStore)
+	c.lastWalkCycles, c.lastWalkLevel = walkCycles, pteLevel(wr.LeafLoc)
+	c.sampleWalk(isStore, va, walkCycles, wr.LeafLoc, perf.OutcomeRetired)
 	c.tlbs.Fill(va, wr.Frame, wr.Size)
 	if c.cfg.TLBPrefetchNextPage {
 		c.prefetchNextPage(va, wr.Size)
@@ -369,9 +348,11 @@ func (c *Core) wrongPathAccess(budget uint64) {
 		wr := c.walker.Walk(va, c.cr3, budget)
 		c.accountWalk(false, wr)
 		if !wr.Completed {
+			c.sampleWalk(false, va, wr.Cycles, wr.LeafLoc, perf.OutcomeAborted)
 			return // aborted: initiated but never completed
 		}
 		c.countWalkCompleted(false)
+		c.sampleWalk(false, va, wr.Cycles, wr.LeafLoc, perf.OutcomeWrongPath)
 		if !wr.OK {
 			return // speculative fault is suppressed, no fill
 		}
@@ -466,6 +447,80 @@ func (c *Core) accessesPerInstruction() float64 {
 		return 0.3
 	}
 	return float64(c.ctr.Get(perf.AllLoads)+c.ctr.Get(perf.AllStores)) / float64(inst)
+}
+
+// pteLevel maps the cache hit location of the leaf PTE load to the
+// sample's level field.
+func pteLevel(loc cache.HitLoc) perf.PTELevel {
+	switch loc {
+	case cache.HitL1:
+		return perf.PTEL1
+	case cache.HitL2:
+		return perf.PTEL2
+	case cache.HitL3:
+		return perf.PTEL3
+	default:
+		return perf.PTEMem
+	}
+}
+
+// sampleWalk offers one walk's record to every attached sampler, under
+// both the walk-count and walk-cycle event domains. Called at walk
+// completion and abort; with no sampler attached it is one len check.
+func (c *Core) sampleWalk(isStore bool, va arch.VAddr, cycles uint64, leaf cache.HitLoc, outcome perf.SampleOutcome) {
+	if len(c.smp) == 0 {
+		return
+	}
+	miss, dur := perf.DTLBLoadMissWalk, perf.DTLBLoadWalkDuration
+	if isStore {
+		miss, dur = perf.DTLBStoreMissWalk, perf.DTLBStoreWalkDuration
+	}
+	s := perf.Sample{
+		VA:         uint64(va),
+		Page:       uint64(arch.PageBase(va, arch.Page4K)),
+		WalkCycles: cycles,
+		Level:      pteLevel(leaf),
+		Outcome:    outcome,
+		Inst:       c.ctr.Get(perf.InstRetired),
+	}
+	for _, sp := range c.smp {
+		sp.Offer(miss, 1, s)
+		sp.Offer(dur, cycles, s)
+	}
+}
+
+// sampleRetire offers one retired access's record to samplers armed on
+// the mem_uops_retired events. The record carries the access's walk
+// latency and leaf-PTE location when it walked (zero/none on TLB hits).
+func (c *Core) sampleRetire(isStore bool, va arch.VAddr) {
+	if len(c.smp) == 0 {
+		return
+	}
+	ev := perf.AllLoads
+	if isStore {
+		ev = perf.AllStores
+	}
+	armed := false
+	for _, sp := range c.smp {
+		if sp.Armed(ev) {
+			armed = true
+			break
+		}
+	}
+	if !armed {
+		return
+	}
+	s := perf.Sample{
+		VA:         uint64(va),
+		Page:       uint64(arch.PageBase(va, arch.Page4K)),
+		WalkCycles: c.lastWalkCycles,
+		Level:      c.lastWalkLevel,
+		Outcome:    perf.OutcomeRetired,
+		Inst:       c.ctr.Get(perf.InstRetired),
+	}
+	for _, sp := range c.smp {
+		sp.Offer(ev, 1, s)
+	}
 }
 
 // accountWalk books a walk's cycles and PTE-load locations.

@@ -7,11 +7,11 @@ import (
 	"atscale/internal/machine"
 )
 
-// TestWalkHeatRanksHotBlocks hammers one 2 MB block with TLB-missing
+// TestPromotionTargetsHotBlocks hammers one 2 MB block with TLB-missing
 // accesses (interleaved with a scattered stream that keeps evicting its
-// translations) and checks the walk-heat signal steers promotion to that
-// block.
-func TestWalkHeatRanksHotBlocks(t *testing.T) {
+// translations) and checks the sampler-backed hot-block signal steers
+// promotion to that block.
+func TestPromotionTargetsHotBlocks(t *testing.T) {
 	m2, err := machine.New(arch.DefaultSystem(), arch.Page4K, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -43,6 +43,13 @@ type Machine struct {
 
 	// tracer, when non-nil, observes the workload-visible event stream.
 	tracer Tracer
+
+	// sampler is the lazily created user-facing PEBS-style sampler.
+	sampler *perf.Sampler
+
+	// interval, when non-nil, streams counter rows every N retired
+	// instructions (perf stat -I keyed on instruction count).
+	interval *perf.IntervalReader
 }
 
 // Tracer observes every workload-level event the machine executes, in
@@ -138,6 +145,7 @@ func (m *Machine) Load64(va arch.VAddr) uint64 {
 	}
 	m.maybePromote()
 	pa := m.core.Load(va)
+	m.intervalTick()
 	return m.phys.Read64(pa)
 }
 
@@ -148,6 +156,7 @@ func (m *Machine) Store64(va arch.VAddr, v uint64) {
 	}
 	m.maybePromote()
 	pa := m.core.Store(va)
+	m.intervalTick()
 	m.phys.Write64(pa, v)
 }
 
@@ -158,6 +167,7 @@ func (m *Machine) Ops(n uint64) {
 		m.tracer.Ops(n)
 	}
 	m.core.Ops(n)
+	m.intervalTick()
 }
 
 // Branch retires a branch instruction at program counter pc with the given
@@ -167,10 +177,60 @@ func (m *Machine) Branch(pc uint64, taken bool) {
 		m.tracer.Branch(pc, taken)
 	}
 	m.core.Branch(pc, taken)
+	m.intervalTick()
 }
 
 // Counters snapshots the PMU.
 func (m *Machine) Counters() perf.Counters { return m.core.Counters() }
+
+// Sampler returns the machine's PEBS-style sampler, creating and
+// attaching it with the default ring capacity on first use. Arm events
+// on it to start capturing; an unarmed sampler costs one len check per
+// hook site and perturbs nothing.
+func (m *Machine) Sampler() *perf.Sampler {
+	if m.sampler == nil {
+		m.sampler = perf.NewSampler(perf.DefaultSampleCapacity)
+		m.core.AttachSampler(m.sampler)
+	}
+	return m.sampler
+}
+
+// AttachSampler attaches an externally built sampler (custom ring
+// capacity, filters) to the datapath's sampling hooks.
+func (m *Machine) AttachSampler(s *perf.Sampler) { m.core.AttachSampler(s) }
+
+// StartIntervals begins interval counter streaming: one row of counter
+// deltas per `every` retired instructions, the simulator's
+// `perf stat -I`. It returns the reader; StopIntervals (or the reader's
+// Flush) closes the final partial window.
+func (m *Machine) StartIntervals(every uint64) (*perf.IntervalReader, error) {
+	r, err := perf.NewIntervalReader(m.core.Counters, every)
+	if err != nil {
+		return nil, err
+	}
+	m.interval = r
+	return r, nil
+}
+
+// StopIntervals flushes the open window, detaches the reader, and
+// returns the timeline. Nil if interval streaming was never started.
+func (m *Machine) StopIntervals() []perf.IntervalRow {
+	if m.interval == nil {
+		return nil
+	}
+	m.interval.Flush()
+	rows := m.interval.Rows()
+	m.interval = nil
+	return rows
+}
+
+// intervalTick sits on every machine-level event; it is a nil check
+// until streaming is on, then a compare until the boundary passes.
+func (m *Machine) intervalTick() {
+	if m.interval != nil {
+		m.interval.Tick(m.core.Instructions())
+	}
+}
 
 // Accesses returns the retired loads+stores so far — a cheap progress
 // gauge workloads use to honour their operation budget.

@@ -44,7 +44,20 @@ type promoState struct {
 	cfg      PromotionConfig
 	last     perf.Counters
 	sinceAcc uint64
+	// smp is the policy's private PEBS-style sampler: demand walks at
+	// period 1, drained every epoch for hot-block attribution.
+	smp *perf.Sampler
 }
+
+// promoSampleCapacity sizes the policy sampler's ring. An epoch issues
+// at most Epoch demand walks (one per retired access), so the default
+// 32 Ki-access epoch cannot overflow; far larger epochs degrade to a
+// sampled (rather than exact) heat signal, which the policy tolerates.
+const promoSampleCapacity = 1 << 17
+
+// block2MShift is log2 of the 2 MB promotion granularity, the block size
+// HotBlocks aggregates walk samples at.
+const block2MShift = 21
 
 // EnablePromotion switches the WCPI-guided promotion policy on. Only
 // meaningful for machines with a 4 KB heap policy (superpage-backed heaps
@@ -53,8 +66,19 @@ func (m *Machine) EnablePromotion(cfg PromotionConfig) {
 	if cfg.Epoch == 0 {
 		cfg = DefaultPromotionConfig()
 	}
-	m.core.EnableWalkHeat()
-	m.promo = &promoState{cfg: cfg, last: m.core.Counters()}
+	// The hotness signal is the sampling subsystem: a private sampler
+	// armed on demand walks (outcome-retired filter excludes wrong-path
+	// and aborted speculation) at period 1, i.e. every demand walk.
+	smp := perf.NewSampler(promoSampleCapacity)
+	smp.SetFilter(func(s perf.Sample) bool { return s.Outcome == perf.OutcomeRetired })
+	if err := smp.Arm(perf.DTLBLoadMissWalk, 1); err != nil {
+		panic(err)
+	}
+	if err := smp.Arm(perf.DTLBStoreMissWalk, 1); err != nil {
+		panic(err)
+	}
+	m.core.AttachSampler(smp)
+	m.promo = &promoState{cfg: cfg, last: m.core.Counters(), smp: smp}
 }
 
 // Promotions returns how many 2 MB blocks the policy has collapsed.
@@ -75,13 +99,14 @@ func (m *Machine) promoTick() {
 	walkCycles := delta.Get(perf.DTLBLoadWalkDuration) + delta.Get(perf.DTLBStoreWalkDuration)
 	wcpi := float64(walkCycles) / float64(inst)
 
-	// Drain the heat map every epoch (stale heat should not trigger
-	// promotions many epochs later).
-	hot := m.core.DrainWalkHeat(p.cfg.MaxPerEpoch)
+	// Drain the sampler every epoch (stale heat should not trigger
+	// promotions many epochs later) and attribute walks to 2 MB blocks.
+	hotBlocks := perf.HotBlocks(p.smp.Drain(), block2MShift, p.cfg.MaxPerEpoch)
 	if wcpi < p.cfg.WCPIThreshold {
 		return
 	}
-	for _, block := range hot {
+	for _, b := range hotBlocks {
+		block := arch.VAddr(b)
 		if !m.as.CanPromote(block) {
 			continue
 		}

@@ -1,0 +1,197 @@
+package machine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
+	"atscale/internal/perf"
+)
+
+// scatterRun drives a machine through a deterministic scattered access
+// pattern wide enough to miss the TLBs and trigger speculation.
+func scatterRun(t *testing.T, m *machine.Machine, accesses int) {
+	t.Helper()
+	va := m.MustMalloc(128 * arch.MB)
+	y := uint64(7)
+	for i := 0; i < accesses; i++ {
+		y ^= y << 13
+		y ^= y >> 7
+		y ^= y << 17
+		m.Load64(va + arch.VAddr(y%(128*arch.MB/8)*8))
+		if i%3 == 0 {
+			m.Store64(va+arch.VAddr(y%(64*arch.MB/8)*8), y)
+		}
+		m.Ops(2)
+		m.Branch(uint64(i%257), y&1 == 0)
+	}
+}
+
+func newTestMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(arch.DefaultSystem(), arch.Page4K, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSampledRunsDeterministic checks that two identically-seeded runs
+// with identical sampling configuration produce identical sample streams
+// and timelines, record for record.
+func TestSampledRunsDeterministic(t *testing.T) {
+	run := func() ([]perf.Sample, []perf.IntervalRow) {
+		m := newTestMachine(t)
+		s := m.Sampler()
+		if err := s.Arm(perf.DTLBLoadWalkDuration, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Arm(perf.DTLBStoreWalkDuration, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.StartIntervals(10_000); err != nil {
+			t.Fatal(err)
+		}
+		scatterRun(t, m, 30_000)
+		return s.Drain(), m.StopIntervals()
+	}
+	s1, rows1 := run()
+	s2, rows2 := run()
+	if len(s1) == 0 {
+		t.Fatal("no samples captured")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("sample streams differ: %d vs %d records", len(s1), len(s2))
+	}
+	if len(rows1) == 0 || !reflect.DeepEqual(rows1, rows2) {
+		t.Errorf("timelines differ: %d vs %d rows", len(rows1), len(rows2))
+	}
+}
+
+// TestSamplingDoesNotPerturbCounters is the golden zero-change check:
+// a run with sampling and interval streaming armed must retire the exact
+// same counter values as the same run with observability off.
+func TestSamplingDoesNotPerturbCounters(t *testing.T) {
+	run := func(observe bool) perf.Counters {
+		m := newTestMachine(t)
+		if observe {
+			s := m.Sampler()
+			if err := s.Arm(perf.DTLBLoadWalkDuration, 512); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Arm(perf.AllLoads, 97); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.StartIntervals(5_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scatterRun(t, m, 20_000)
+		if observe {
+			m.StopIntervals()
+		}
+		return m.Counters()
+	}
+	plain := run(false)
+	observed := run(true)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("observability changed counters:\nplain:\n%s\nobserved:\n%s",
+			plain.FormatNonZero(), observed.FormatNonZero())
+	}
+}
+
+// TestSampleRingOverflow arms an undersized ring and checks overflow is
+// counted, not silent.
+func TestSampleRingOverflow(t *testing.T) {
+	m := newTestMachine(t)
+	s := perf.NewSampler(8)
+	if err := s.Arm(perf.DTLBLoadMissWalk, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.AttachSampler(s)
+	scatterRun(t, m, 20_000)
+	if s.Len() != 8 {
+		t.Errorf("ring holds %d, want 8", s.Len())
+	}
+	if s.Dropped() == 0 {
+		t.Error("overflow not counted")
+	}
+	if s.Captured() != 8 {
+		t.Errorf("captured %d, want 8", s.Captured())
+	}
+	report := perf.NewReport(s.Drain(), s.Dropped(), s.DroppedWeight(), 4)
+	if report.Dropped != s.Dropped() {
+		t.Error("report does not carry the drop count")
+	}
+}
+
+// TestIntervalTimelineCoversRun checks the streamed rows tile the run:
+// contiguous instruction windows whose deltas sum to the whole-run delta.
+func TestIntervalTimelineCoversRun(t *testing.T) {
+	m := newTestMachine(t)
+	start := m.Counters()
+	if _, err := m.StartIntervals(7_500); err != nil {
+		t.Fatal(err)
+	}
+	scatterRun(t, m, 15_000)
+	rows := m.StopIntervals()
+	total := perf.Delta(start, m.Counters())
+	if len(rows) < 2 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	var sum perf.Counters
+	prevEnd := rows[0].InstStart
+	for _, row := range rows {
+		if row.InstStart != prevEnd {
+			t.Errorf("row %d starts at %d, previous ended at %d", row.Index, row.InstStart, prevEnd)
+		}
+		if row.Delta.Get(perf.InstRetired) != row.InstEnd-row.InstStart {
+			t.Errorf("row %d inst delta %d != window width %d",
+				row.Index, row.Delta.Get(perf.InstRetired), row.InstEnd-row.InstStart)
+		}
+		prevEnd = row.InstEnd
+		for _, e := range perf.Events() {
+			sum.Add(e, row.Delta.Get(e))
+		}
+	}
+	if !reflect.DeepEqual(sum, total) {
+		t.Errorf("row deltas do not sum to the run delta:\nsum:\n%s\ntotal:\n%s",
+			sum.FormatNonZero(), total.FormatNonZero())
+	}
+}
+
+// TestSamplerHotBlockAttribution hammers one 2 MB block (interleaved
+// with a scattered stream that keeps evicting its translations) and
+// checks walk-cycle attribution converges on it — the sampling-subsystem
+// version of the signal that steers hugepage promotion.
+func TestSamplerHotBlockAttribution(t *testing.T) {
+	m := newTestMachine(t)
+	va := m.MustMalloc(256 * arch.MB)
+	hot := arch.VAddr(arch.AlignUp(uint64(va), arch.Page2M.Bytes()))
+	s := m.Sampler()
+	if err := s.Arm(perf.DTLBLoadWalkDuration, 256); err != nil {
+		t.Fatal(err)
+	}
+	y := uint64(3)
+	for i := 0; i < 60_000; i++ {
+		y ^= y << 13
+		y ^= y >> 7
+		y ^= y << 17
+		m.Load64(va + arch.VAddr(y%(256*arch.MB/8)*8))
+		m.Load64(hot + arch.VAddr(y%(arch.Page2M.Bytes()/8)*8))
+	}
+	samples := s.Drain()
+	blocks := perf.HotBlocks(samples, 21, 1)
+	if len(blocks) != 1 || blocks[0] != uint64(hot) {
+		t.Errorf("hottest 2MB block %#x, want %#x", blocks, uint64(hot))
+	}
+	report := perf.NewReport(samples, s.Dropped(), s.DroppedWeight(), 5)
+	if len(report.HotPages) == 0 {
+		t.Fatal("no hot pages")
+	}
+	top := report.HotPages[0].Page
+	if top < uint64(hot) || top >= uint64(hot)+arch.Page2M.Bytes() {
+		t.Errorf("hottest page %#x outside the hot block [%#x,+2MB)", top, uint64(hot))
+	}
+}

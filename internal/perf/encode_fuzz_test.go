@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzSampleEncodingRoundTrip drives the sample CSV and JSONL codecs
+// with arbitrary field values: every valid sample must survive both
+// encode/decode cycles bit-identically.
+func FuzzSampleEncodingRoundTrip(f *testing.F) {
+	f.Add(uint64(0x7f0000001238), uint64(212), uint64(123456), uint64(4096), uint8(10), uint8(3), uint8(0))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), uint8(0), uint8(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), uint8(255), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, va, cycles, inst, weight uint64, ev, level, outcome uint8) {
+		want := []Sample{{
+			Event:      Event(ev) % NumEvents,
+			VA:         va,
+			Page:       va &^ 0xFFF,
+			WalkCycles: cycles,
+			Level:      PTELevel(level) % NumPTELevels,
+			Outcome:    SampleOutcome(outcome) % NumOutcomes,
+			Inst:       inst,
+			Weight:     weight,
+		}}
+		var csvBuf, jsonBuf bytes.Buffer
+		if err := WriteSamplesCSV(&csvBuf, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSamplesJSONL(&jsonBuf, want); err != nil {
+			t.Fatal(err)
+		}
+		gotCSV, err := ReadSamplesCSV(&csvBuf)
+		if err != nil {
+			t.Fatalf("csv decode: %v", err)
+		}
+		gotJSON, err := ReadSamplesJSONL(&jsonBuf)
+		if err != nil {
+			t.Fatalf("jsonl decode: %v", err)
+		}
+		if !reflect.DeepEqual(gotCSV, want) {
+			t.Errorf("csv round trip: got %+v want %+v", gotCSV, want)
+		}
+		if !reflect.DeepEqual(gotJSON, want) {
+			t.Errorf("jsonl round trip: got %+v want %+v", gotJSON, want)
+		}
+	})
+}
+
+// FuzzIntervalEncodingRoundTrip does the same for interval rows, with
+// the row's counter file filled from a seeded stream so every event
+// column is exercised.
+func FuzzIntervalEncodingRoundTrip(f *testing.F) {
+	f.Add(int64(1), 3)
+	f.Add(int64(42), 0)
+	f.Add(int64(-7), 17)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 0 || n > 64 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		want := make([]IntervalRow, n)
+		inst := uint64(0)
+		for i := range want {
+			want[i].Index = i
+			want[i].InstStart = inst
+			inst += rng.Uint64() % 1_000_000
+			want[i].InstEnd = inst
+			for e := Event(0); e < NumEvents; e++ {
+				want[i].Delta.Add(e, rng.Uint64())
+			}
+		}
+		var csvBuf, jsonBuf bytes.Buffer
+		if err := WriteIntervalsCSV(&csvBuf, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteIntervalsJSONL(&jsonBuf, want); err != nil {
+			t.Fatal(err)
+		}
+		gotCSV, err := ReadIntervalsCSV(&csvBuf)
+		if err != nil {
+			t.Fatalf("csv decode: %v", err)
+		}
+		gotJSON, err := ReadIntervalsJSONL(&jsonBuf)
+		if err != nil {
+			t.Fatalf("jsonl decode: %v", err)
+		}
+		if n == 0 {
+			if len(gotCSV) != 0 || len(gotJSON) != 0 {
+				t.Fatalf("empty stream decoded non-empty")
+			}
+			return
+		}
+		if !reflect.DeepEqual(gotCSV, want) {
+			t.Errorf("csv round trip mismatch (%d rows)", n)
+		}
+		if !reflect.DeepEqual(gotJSON, want) {
+			t.Errorf("jsonl round trip mismatch (%d rows)", n)
+		}
+	})
+}

@@ -139,12 +139,21 @@ func (e Event) String() string {
 	return fmt.Sprintf("event(%d)", uint8(e))
 }
 
+// eventByName inverts eventNames once at package init; ByName is called
+// per flag item in the CLIs and per record in the sample decoders, so it
+// must not rescan the event table.
+var eventByName = func() map[string]Event {
+	m := make(map[string]Event, NumEvents)
+	for e := Event(0); e < NumEvents; e++ {
+		m[eventNames[e]] = e
+	}
+	return m
+}()
+
 // ByName resolves a perf-tool event name back to an Event.
 func ByName(name string) (Event, error) {
-	for e := Event(0); e < NumEvents; e++ {
-		if eventNames[e] == name {
-			return e, nil
-		}
+	if e, ok := eventByName[name]; ok {
+		return e, nil
 	}
 	return 0, fmt.Errorf("perf: unknown event %q", name)
 }

@@ -68,11 +68,20 @@ func (g *Group) Count(e Event) uint64 {
 	return v
 }
 
-// Read returns all group events in declaration order.
+// Read returns all group events in declaration order. The live window is
+// snapshotted once, so a Read is one counter read regardless of group
+// size (Count per event would recompute the full delta each time).
 func (g *Group) Read() []uint64 {
 	out := make([]uint64, len(g.events))
+	var live Counters
+	if g.enabled {
+		live = Delta(g.start, g.read())
+	}
 	for i, e := range g.events {
-		out[i] = g.Count(e)
+		out[i] = g.acc[e]
+		if g.enabled {
+			out[i] += live.Get(e)
+		}
 	}
 	return out
 }

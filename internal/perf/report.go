@@ -1,0 +1,227 @@
+package perf
+
+// This file aggregates PEBS-style samples into a `perf report` analogue:
+// top-K hot pages by attributed walk cycles, a log2 walk-latency
+// histogram, and per-PTE-level / per-outcome breakdowns. The same
+// aggregation (HotBlocks) feeds the OS promotion policy's hotness signal.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// HistBuckets is the number of log2 walk-latency buckets: bucket i holds
+// samples with WalkCycles in [2^(i-1), 2^i), bucket 0 holds zero-latency
+// samples, and the last bucket absorbs everything longer.
+const HistBuckets = 24
+
+// walkCycleEvent reports whether e counts cycles with a walk active, so
+// sample weights triggered by it are in cycle units.
+func walkCycleEvent(e Event) bool {
+	return e == DTLBLoadWalkDuration || e == DTLBStoreWalkDuration || e == TLBPrefetchCycles
+}
+
+// PageStat is one hot page's attribution.
+type PageStat struct {
+	// Page is the 4 KB page base (virtual).
+	Page uint64
+	// Cycles is the walk cycles attributed to the page (sum of weights
+	// of cycle-domain samples landing on it).
+	Cycles uint64
+	// Samples is how many records landed on the page (all domains).
+	Samples int
+}
+
+// Report is the aggregate view over one drained sample stream.
+type Report struct {
+	// Samples is the number of records aggregated.
+	Samples int
+	// Dropped is the ring-overflow record count; DroppedWeight the
+	// attribution mass those records stood for. Both are reported so a
+	// truncated profile is visibly truncated.
+	Dropped       uint64
+	DroppedWeight uint64
+	// EstWalkCycles is the walk-cycle total reconstructed from
+	// cycle-domain sample weights; it matches the aggregate
+	// dtlb_*_misses.walk_duration counters to within one period per
+	// armed event (plus DroppedWeight).
+	EstWalkCycles uint64
+	// HotPages is the top-K pages by attributed walk cycles.
+	HotPages []PageStat
+	// Hist is the log2 walk-latency histogram over all samples.
+	Hist [HistBuckets]uint64
+	// ByLevel counts samples by leaf-PTE-serving cache level.
+	ByLevel [NumPTELevels]uint64
+	// ByOutcome counts samples by walk outcome.
+	ByOutcome [NumOutcomes]uint64
+}
+
+// histBucket maps a latency to its log2 bucket.
+func histBucket(cycles uint64) int {
+	b := bits.Len64(cycles)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// NewReport aggregates a drained sample stream. The sampler's Dropped
+// and DroppedWeight are passed through so the report carries its own
+// truncation evidence.
+func NewReport(samples []Sample, dropped, droppedWeight uint64, topK int) Report {
+	r := Report{Samples: len(samples), Dropped: dropped, DroppedWeight: droppedWeight}
+	type agg struct {
+		cycles  uint64
+		samples int
+	}
+	pages := make(map[uint64]*agg)
+	for _, s := range samples {
+		r.Hist[histBucket(s.WalkCycles)]++
+		if s.Level < NumPTELevels {
+			r.ByLevel[s.Level]++
+		}
+		if s.Outcome < NumOutcomes {
+			r.ByOutcome[s.Outcome]++
+		}
+		a := pages[s.Page]
+		if a == nil {
+			a = &agg{}
+			pages[s.Page] = a
+		}
+		a.samples++
+		if walkCycleEvent(s.Event) {
+			a.cycles += s.Weight
+			r.EstWalkCycles += s.Weight
+		}
+	}
+	r.HotPages = make([]PageStat, 0, len(pages))
+	for p, a := range pages {
+		r.HotPages = append(r.HotPages, PageStat{Page: p, Cycles: a.cycles, Samples: a.samples})
+	}
+	sort.Slice(r.HotPages, func(i, j int) bool {
+		if r.HotPages[i].Cycles != r.HotPages[j].Cycles {
+			return r.HotPages[i].Cycles > r.HotPages[j].Cycles
+		}
+		if r.HotPages[i].Samples != r.HotPages[j].Samples {
+			return r.HotPages[i].Samples > r.HotPages[j].Samples
+		}
+		return r.HotPages[i].Page < r.HotPages[j].Page
+	})
+	if topK > 0 && len(r.HotPages) > topK {
+		r.HotPages = r.HotPages[:topK]
+	}
+	return r
+}
+
+// HotBlocks aggregates samples at 2^blockShift-byte granularity and
+// returns up to k block bases, hottest first by total sample weight with
+// ties broken by address — the sampler-backed replacement for the
+// promotion policy's former bespoke walk-heat side channel.
+func HotBlocks(samples []Sample, blockShift uint, k int) []uint64 {
+	if len(samples) == 0 || k <= 0 {
+		return nil
+	}
+	mask := ^uint64(0) << blockShift
+	heat := make(map[uint64]uint64)
+	for _, s := range samples {
+		heat[s.VA&mask] += s.Weight
+	}
+	type hb struct {
+		block uint64
+		w     uint64
+	}
+	all := make([]hb, 0, len(heat))
+	for b, w := range heat {
+		all = append(all, hb{b, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].block < all[j].block
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].block
+	}
+	return out
+}
+
+// Format renders the report as aligned text, `perf report` style.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "samples %d  dropped %d", r.Samples, r.Dropped)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, " (lost weight %d)", r.DroppedWeight)
+	}
+	fmt.Fprintf(&b, "  est. walk cycles %d\n", r.EstWalkCycles)
+
+	if len(r.HotPages) > 0 {
+		fmt.Fprintf(&b, "\nhot pages (top %d by attributed walk cycles):\n", len(r.HotPages))
+		fmt.Fprintf(&b, "  %-18s %14s %9s %7s\n", "page", "walk cycles", "samples", "share")
+		for _, p := range r.HotPages {
+			share := 0.0
+			if r.EstWalkCycles > 0 {
+				share = float64(p.Cycles) / float64(r.EstWalkCycles)
+			}
+			fmt.Fprintf(&b, "  %#-18x %14d %9d %6.1f%%\n", p.Page, p.Cycles, p.Samples, 100*share)
+		}
+	}
+
+	// Histogram: skip leading/trailing empty buckets, bar-scale to the
+	// largest one.
+	lo, hi := -1, -1
+	var max uint64
+	for i, n := range r.Hist {
+		if n == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+		if n > max {
+			max = n
+		}
+	}
+	if lo >= 0 {
+		fmt.Fprintf(&b, "\nwalk latency (cycles, log2 buckets):\n")
+		for i := lo; i <= hi; i++ {
+			var label string
+			switch {
+			case i == 0:
+				label = "0"
+			case i == HistBuckets-1:
+				label = fmt.Sprintf("%d+", uint64(1)<<(i-1))
+			default:
+				label = fmt.Sprintf("[%d,%d)", uint64(1)<<(i-1), uint64(1)<<i)
+			}
+			bar := int(40 * r.Hist[i] / max)
+			fmt.Fprintf(&b, "  %-16s %10d %s\n", label, r.Hist[i], strings.Repeat("#", bar))
+		}
+	}
+
+	if r.Samples > 0 {
+		fmt.Fprintf(&b, "\nleaf PTE served from: ")
+		for l := PTELevel(0); l < NumPTELevels; l++ {
+			if l > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%s %.1f%%", l, 100*float64(r.ByLevel[l])/float64(r.Samples))
+		}
+		fmt.Fprintf(&b, "\nwalk outcome:         ")
+		for o := SampleOutcome(0); o < NumOutcomes; o++ {
+			if o > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%s %.1f%%", o, 100*float64(r.ByOutcome[o])/float64(r.Samples))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

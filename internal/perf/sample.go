@@ -1,0 +1,369 @@
+package perf
+
+// This file implements the PEBS analogue: a Sampler that arms counted
+// events with a sampling period and captures a precise record each time
+// the count crosses the period, into a fixed-size ring whose overflow
+// drops are themselves counted — mirroring how real PEBS loses records
+// when the debug-store buffer fills faster than it drains.
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// DefaultSampleCapacity is the default sample ring size (records).
+const DefaultSampleCapacity = 1 << 16
+
+// SampleOutcome classifies the walk behind a sample, in the paper's
+// Table VI terms.
+type SampleOutcome uint8
+
+const (
+	// OutcomeRetired marks a demand walk (or retired access).
+	OutcomeRetired SampleOutcome = iota
+	// OutcomeWrongPath marks a completed speculative walk that was
+	// squashed before retirement.
+	OutcomeWrongPath
+	// OutcomeAborted marks a speculative walk killed by its cycle budget.
+	OutcomeAborted
+	// NumOutcomes is the number of walk outcomes.
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{"retired", "wrong-path", "aborted"}
+
+// String returns the outcome's report spelling.
+func (o SampleOutcome) String() string {
+	if o < NumOutcomes {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// ParseOutcome resolves a report spelling back to a SampleOutcome.
+func ParseOutcome(s string) (SampleOutcome, error) {
+	for o := SampleOutcome(0); o < NumOutcomes; o++ {
+		if outcomeNames[o] == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("perf: unknown outcome %q", s)
+}
+
+// PTELevel is the cache level that served the walk's leaf PTE load — the
+// per-sample version of the page_walker_loads.dtlb_* aggregate events.
+type PTELevel uint8
+
+const (
+	// PTEL1 means the leaf PTE came from the L1 data cache.
+	PTEL1 PTELevel = iota
+	// PTEL2 means the L2.
+	PTEL2
+	// PTEL3 means the L3.
+	PTEL3
+	// PTEMem means DRAM.
+	PTEMem
+	// PTENone marks samples with no walk (TLB-hit retirement samples).
+	PTENone
+	// NumPTELevels is the number of PTE-serving levels.
+	NumPTELevels
+)
+
+var pteLevelNames = [NumPTELevels]string{"L1", "L2", "L3", "MEM", "none"}
+
+// String returns the level's report spelling.
+func (l PTELevel) String() string {
+	if l < NumPTELevels {
+		return pteLevelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// ParsePTELevel resolves a report spelling back to a PTELevel.
+func ParsePTELevel(s string) (PTELevel, error) {
+	for l := PTELevel(0); l < NumPTELevels; l++ {
+		if pteLevelNames[l] == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("perf: unknown PTE level %q", s)
+}
+
+// Sample is one captured PEBS-style record.
+type Sample struct {
+	// Event is the armed event whose period crossing captured the record.
+	Event Event
+	// VA is the virtual address of the sampled access.
+	VA uint64
+	// Page is VA's 4 KB page base.
+	Page uint64
+	// WalkCycles is the sampled walk's latency (0 for TLB-hit retirement
+	// samples).
+	WalkCycles uint64
+	// Level is the cache level that served the leaf PTE load.
+	Level PTELevel
+	// Outcome classifies the sampled walk.
+	Outcome SampleOutcome
+	// Inst is the retired-instruction count at capture.
+	Inst uint64
+	// Weight is the event count this record stands for: the sampling
+	// period, times the number of periods the triggering increment
+	// crossed. Summing weights over a stream reconstructs the aggregate
+	// counter to within one period per armed event.
+	Weight uint64
+}
+
+// Sampler is the simulated PMU's PEBS engine: arm events with periods,
+// offer candidate records at event sites, drain captured samples.
+// The zero Sampler is not usable; use NewSampler.
+type Sampler struct {
+	period [NumEvents]uint64
+	left   [NumEvents]uint64
+	filter func(Sample) bool
+
+	buf      []Sample
+	capacity int
+	captured uint64
+	dropped  uint64
+	droppedW uint64
+}
+
+// NewSampler builds a sampler whose ring holds capacity records.
+func NewSampler(capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = DefaultSampleCapacity
+	}
+	return &Sampler{capacity: capacity, buf: make([]Sample, 0, capacity)}
+}
+
+// Arm starts sampling e with the given period (in units of the event:
+// occurrences for count events, cycles for duration events). Re-arming
+// changes the period and restarts the countdown.
+func (s *Sampler) Arm(e Event, period uint64) error {
+	if e >= NumEvents {
+		return fmt.Errorf("perf: unknown event %d", e)
+	}
+	if period == 0 {
+		return fmt.Errorf("perf: zero sampling period for %s", e)
+	}
+	s.period[e] = period
+	s.left[e] = period
+	return nil
+}
+
+// Disarm stops sampling e.
+func (s *Sampler) Disarm(e Event) {
+	if e < NumEvents {
+		s.period[e] = 0
+	}
+}
+
+// Armed reports whether e is being sampled.
+func (s *Sampler) Armed(e Event) bool { return e < NumEvents && s.period[e] != 0 }
+
+// SetFilter installs a predicate applied to candidates before they
+// consume any period budget — the analogue of PEBS precise-event
+// qualifiers (e.g. sample demand walks only).
+func (s *Sampler) SetFilter(f func(Sample) bool) { s.filter = f }
+
+// Offer advances e's countdown by n and, if one or more period
+// boundaries were crossed, captures smp with its Event and Weight set.
+// Unarmed events return immediately, so datapath call sites stay cheap.
+func (s *Sampler) Offer(e Event, n uint64, smp Sample) {
+	p := s.period[e]
+	if p == 0 || n == 0 {
+		return
+	}
+	if s.filter != nil && !s.filter(smp) {
+		return
+	}
+	if n < s.left[e] {
+		s.left[e] -= n
+		return
+	}
+	over := n - s.left[e]
+	crossings := 1 + over/p
+	s.left[e] = p - over%p
+	smp.Event = e
+	smp.Weight = crossings * p
+	s.capture(smp)
+}
+
+// capture appends the record or, if the ring is full, counts the drop.
+func (s *Sampler) capture(smp Sample) {
+	if len(s.buf) >= s.capacity {
+		s.dropped++
+		s.droppedW += smp.Weight
+		return
+	}
+	s.buf = append(s.buf, smp)
+	s.captured++
+}
+
+// Len returns the records currently buffered.
+func (s *Sampler) Len() int { return len(s.buf) }
+
+// Captured returns total records captured (drained or not).
+func (s *Sampler) Captured() uint64 { return s.captured }
+
+// Dropped returns records lost to ring overflow.
+func (s *Sampler) Dropped() uint64 { return s.dropped }
+
+// DroppedWeight returns the event count the dropped records stood for —
+// the attribution mass lost to overflow.
+func (s *Sampler) DroppedWeight() uint64 { return s.droppedW }
+
+// Drain returns the buffered records and empties the ring. Drop counters
+// are not reset; they describe the sampler's lifetime.
+func (s *Sampler) Drain() []Sample {
+	out := s.buf
+	s.buf = make([]Sample, 0, s.capacity)
+	return out
+}
+
+// --- encoders -------------------------------------------------------------
+
+var sampleCSVHeader = []string{"event", "va", "page", "walk_cycles", "level", "outcome", "inst", "weight"}
+
+// WriteSamplesCSV encodes samples as CSV with a header row. Addresses
+// are hex (0x-prefixed) so the files read naturally next to pmaps.
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sampleCSVHeader); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{
+			s.Event.String(),
+			"0x" + strconv.FormatUint(s.VA, 16),
+			"0x" + strconv.FormatUint(s.Page, 16),
+			strconv.FormatUint(s.WalkCycles, 10),
+			s.Level.String(),
+			s.Outcome.String(),
+			strconv.FormatUint(s.Inst, 10),
+			strconv.FormatUint(s.Weight, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSamplesCSV decodes a WriteSamplesCSV stream.
+func ReadSamplesCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("perf: samples csv header: %w", err)
+	}
+	if len(header) != len(sampleCSVHeader) {
+		return nil, fmt.Errorf("perf: samples csv: %d columns, want %d", len(header), len(sampleCSVHeader))
+	}
+	var out []Sample
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		s, err := parseSampleFields(rec[0], rec[1], rec[2], rec[3], rec[4], rec[5], rec[6], rec[7])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+// sampleJSON is the JSONL wire form (addresses hex-encoded as strings so
+// they survive tools that parse JSON numbers as float64).
+type sampleJSON struct {
+	Event      string `json:"event"`
+	VA         string `json:"va"`
+	Page       string `json:"page"`
+	WalkCycles uint64 `json:"walk_cycles"`
+	Level      string `json:"level"`
+	Outcome    string `json:"outcome"`
+	Inst       uint64 `json:"inst"`
+	Weight     uint64 `json:"weight"`
+}
+
+// WriteSamplesJSONL encodes samples as JSON Lines, one record per line.
+func WriteSamplesJSONL(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range samples {
+		j := sampleJSON{
+			Event:      s.Event.String(),
+			VA:         "0x" + strconv.FormatUint(s.VA, 16),
+			Page:       "0x" + strconv.FormatUint(s.Page, 16),
+			WalkCycles: s.WalkCycles,
+			Level:      s.Level.String(),
+			Outcome:    s.Outcome.String(),
+			Inst:       s.Inst,
+			Weight:     s.Weight,
+		}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSamplesJSONL decodes a WriteSamplesJSONL stream.
+func ReadSamplesJSONL(r io.Reader) ([]Sample, error) {
+	dec := json.NewDecoder(r)
+	var out []Sample
+	for {
+		var j sampleJSON
+		if err := dec.Decode(&j); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		s, err := parseSampleFields(j.Event, j.VA, j.Page,
+			strconv.FormatUint(j.WalkCycles, 10), j.Level, j.Outcome,
+			strconv.FormatUint(j.Inst, 10), strconv.FormatUint(j.Weight, 10))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func parseSampleFields(event, va, page, cycles, level, outcome, inst, weight string) (Sample, error) {
+	var s Sample
+	var err error
+	if s.Event, err = ByName(event); err != nil {
+		return s, err
+	}
+	if s.VA, err = strconv.ParseUint(va, 0, 64); err != nil {
+		return s, fmt.Errorf("perf: sample va: %w", err)
+	}
+	if s.Page, err = strconv.ParseUint(page, 0, 64); err != nil {
+		return s, fmt.Errorf("perf: sample page: %w", err)
+	}
+	if s.WalkCycles, err = strconv.ParseUint(cycles, 10, 64); err != nil {
+		return s, fmt.Errorf("perf: sample walk_cycles: %w", err)
+	}
+	if s.Level, err = ParsePTELevel(level); err != nil {
+		return s, err
+	}
+	if s.Outcome, err = ParseOutcome(outcome); err != nil {
+		return s, err
+	}
+	if s.Inst, err = strconv.ParseUint(inst, 10, 64); err != nil {
+		return s, fmt.Errorf("perf: sample inst: %w", err)
+	}
+	if s.Weight, err = strconv.ParseUint(weight, 10, 64); err != nil {
+		return s, fmt.Errorf("perf: sample weight: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,204 @@
+package perf
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestSamplerPeriodCrossing(t *testing.T) {
+	s := NewSampler(16)
+	if err := s.Arm(DTLBLoadMissWalk, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Offer(DTLBLoadMissWalk, 1, Sample{VA: uint64(i)})
+	}
+	got := s.Drain()
+	if len(got) != 2 {
+		t.Fatalf("10 offers at period 4: %d samples, want 2", len(got))
+	}
+	// Captures on the 4th and 8th offer (0-indexed VAs 3 and 7).
+	if got[0].VA != 3 || got[1].VA != 7 {
+		t.Errorf("captured VAs %d,%d, want 3,7", got[0].VA, got[1].VA)
+	}
+	for _, smp := range got {
+		if smp.Weight != 4 {
+			t.Errorf("weight %d, want 4", smp.Weight)
+		}
+		if smp.Event != DTLBLoadMissWalk {
+			t.Errorf("event %v, want DTLBLoadMissWalk", smp.Event)
+		}
+	}
+}
+
+// TestSamplerWeightConservation checks the PEBS weight invariant: total
+// offered count equals total captured weight plus the residual countdown,
+// so weights reconstruct the aggregate to within one period.
+func TestSamplerWeightConservation(t *testing.T) {
+	s := NewSampler(1 << 12)
+	const period = 64
+	if err := s.Arm(DTLBLoadWalkDuration, period); err != nil {
+		t.Fatal(err)
+	}
+	offered := uint64(0)
+	for i := 0; i < 500; i++ {
+		n := uint64(i*37%223 + 1) // includes n > period
+		s.Offer(DTLBLoadWalkDuration, n, Sample{})
+		offered += n
+	}
+	var weights uint64
+	for _, smp := range s.Drain() {
+		weights += smp.Weight
+	}
+	if diff := offered - weights; diff >= period {
+		t.Errorf("offered %d, captured weight %d: residual %d >= period %d",
+			offered, weights, diff, period)
+	}
+}
+
+func TestSamplerOverflowDrops(t *testing.T) {
+	s := NewSampler(2)
+	if err := s.Arm(AllLoads, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Offer(AllLoads, 1, Sample{VA: uint64(i)})
+	}
+	if s.Len() != 2 {
+		t.Errorf("ring holds %d, want 2", s.Len())
+	}
+	if s.Dropped() != 3 {
+		t.Errorf("dropped %d, want 3", s.Dropped())
+	}
+	if s.DroppedWeight() != 3 {
+		t.Errorf("dropped weight %d, want 3", s.DroppedWeight())
+	}
+	// Drain clears the ring but not the lifetime drop counters.
+	s.Drain()
+	if s.Len() != 0 || s.Dropped() != 3 {
+		t.Errorf("after drain: len %d dropped %d, want 0 and 3", s.Len(), s.Dropped())
+	}
+}
+
+func TestSamplerFilter(t *testing.T) {
+	s := NewSampler(16)
+	if err := s.Arm(DTLBLoadMissWalk, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFilter(func(smp Sample) bool { return smp.Outcome == OutcomeRetired })
+	// Filtered-out candidates must not consume period budget either.
+	for i := 0; i < 4; i++ {
+		s.Offer(DTLBLoadMissWalk, 1, Sample{Outcome: OutcomeWrongPath})
+		s.Offer(DTLBLoadMissWalk, 1, Sample{Outcome: OutcomeRetired})
+	}
+	got := s.Drain()
+	if len(got) != 2 {
+		t.Fatalf("%d samples, want 2 (4 retired offers at period 2)", len(got))
+	}
+	for _, smp := range got {
+		if smp.Outcome != OutcomeRetired {
+			t.Errorf("captured outcome %v, want retired", smp.Outcome)
+		}
+	}
+}
+
+func TestSamplerArmValidation(t *testing.T) {
+	s := NewSampler(4)
+	if err := s.Arm(NumEvents, 10); err == nil {
+		t.Error("arming an unknown event succeeded")
+	}
+	if err := s.Arm(Cycles, 0); err == nil {
+		t.Error("arming with zero period succeeded")
+	}
+	if s.Armed(Cycles) {
+		t.Error("failed arm left the event armed")
+	}
+}
+
+func testSamples() []Sample {
+	return []Sample{
+		{Event: DTLBLoadWalkDuration, VA: 0x7f00_0000_1238, Page: 0x7f00_0000_1000,
+			WalkCycles: 212, Level: PTEMem, Outcome: OutcomeRetired, Inst: 123456, Weight: 4096},
+		{Event: DTLBStoreMissWalk, VA: 0xdeadbeef008, Page: 0xdeadbeef000,
+			WalkCycles: 18, Level: PTEL1, Outcome: OutcomeWrongPath, Inst: 9, Weight: 1},
+		{Event: AllLoads, VA: 8, Page: 0, WalkCycles: 0, Level: PTENone,
+			Outcome: OutcomeAborted, Inst: ^uint64(0), Weight: ^uint64(0)},
+	}
+}
+
+func TestSamplesCSVRoundTrip(t *testing.T) {
+	want := testSamples()
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSamplesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("csv round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSamplesJSONLRoundTrip(t *testing.T) {
+	want := testSamples()
+	var buf bytes.Buffer
+	if err := WriteSamplesJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSamplesJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("jsonl round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHotBlocksOrdering(t *testing.T) {
+	samples := []Sample{
+		{VA: 0x20_0008, Weight: 1},
+		{VA: 0x20_0010, Weight: 1},
+		{VA: 0x40_0000, Weight: 1},
+		{VA: 0x60_0000, Weight: 1}, // ties with 0x40_0000: address breaks it
+	}
+	got := HotBlocks(samples, 21, 3)
+	want := []uint64{0x20_0000, 0x40_0000, 0x60_0000}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HotBlocks = %#x, want %#x", got, want)
+	}
+	if HotBlocks(nil, 21, 3) != nil {
+		t.Error("HotBlocks(nil) != nil")
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	samples := []Sample{
+		{Event: DTLBLoadWalkDuration, Page: 0x1000, WalkCycles: 200, Level: PTEMem, Outcome: OutcomeRetired, Weight: 4096},
+		{Event: DTLBLoadWalkDuration, Page: 0x1000, WalkCycles: 180, Level: PTEL3, Outcome: OutcomeRetired, Weight: 4096},
+		{Event: DTLBLoadWalkDuration, Page: 0x2000, WalkCycles: 40, Level: PTEL1, Outcome: OutcomeWrongPath, Weight: 4096},
+		{Event: DTLBLoadMissWalk, Page: 0x3000, WalkCycles: 10, Level: PTEL1, Outcome: OutcomeAborted, Weight: 64},
+	}
+	r := NewReport(samples, 2, 128, 10)
+	if r.Samples != 4 || r.Dropped != 2 || r.DroppedWeight != 128 {
+		t.Errorf("header fields wrong: %+v", r)
+	}
+	// Only cycle-domain samples contribute attribution weight.
+	if r.EstWalkCycles != 3*4096 {
+		t.Errorf("EstWalkCycles = %d, want %d", r.EstWalkCycles, 3*4096)
+	}
+	if len(r.HotPages) != 3 || r.HotPages[0].Page != 0x1000 || r.HotPages[0].Cycles != 2*4096 {
+		t.Errorf("hot pages wrong: %+v", r.HotPages)
+	}
+	if r.ByOutcome[OutcomeRetired] != 2 || r.ByOutcome[OutcomeWrongPath] != 1 || r.ByOutcome[OutcomeAborted] != 1 {
+		t.Errorf("outcome breakdown wrong: %v", r.ByOutcome)
+	}
+	if r.ByLevel[PTEMem] != 1 || r.ByLevel[PTEL3] != 1 || r.ByLevel[PTEL1] != 2 {
+		t.Errorf("level breakdown wrong: %v", r.ByLevel)
+	}
+	if r.Format() == "" {
+		t.Error("empty Format")
+	}
+}

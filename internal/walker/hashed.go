@@ -51,6 +51,7 @@ func (h *Hashed) Walk(va arch.VAddr, _ arch.PAddr, budget uint64) Result {
 		r.Cycles += lat
 		r.Loads++
 		r.Locs[loc]++
+		r.LeafLoc = loc
 		if r.Cycles > budget {
 			return r // aborted
 		}

@@ -45,6 +45,9 @@ type Result struct {
 	Loads int
 	// Locs counts Loads by the cache level that satisfied them.
 	Locs [cache.NumHitLocs]uint16
+	// LeafLoc is the cache level that served the final (leaf) PTE load —
+	// the per-walk datum behind PEBS-style sample attribution.
+	LeafLoc cache.HitLoc
 }
 
 // Engine is the hardware translation engine the core drives on a TLB
@@ -95,6 +98,7 @@ func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 		r.Cycles += lat + stepOverhead
 		r.Loads++
 		r.Locs[loc]++
+		r.LeafLoc = loc
 		if r.Cycles > budget {
 			return r // aborted: Completed stays false
 		}
