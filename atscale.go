@@ -68,6 +68,8 @@ type (
 	WalkOutcomes = perf.WalkOutcomes
 	// Workload is a program + input generator specification.
 	Workload = workloads.Spec
+	// SizePreset selects how much of a workload's size ladder to sweep.
+	SizePreset = workloads.SizePreset
 	// RunConfig parameterizes a measurement campaign.
 	RunConfig = core.RunConfig
 	// RunResult is one (workload, size, page size) measurement.

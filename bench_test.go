@@ -8,18 +8,37 @@
 // bench run doubles as a quick reproduction check:
 //
 //	go test -bench=. -benchmem
+//
+// ATSCALE_BENCH_PRESET overrides the ladder preset (tiny|small|medium|
+// large; default small) — scripts/bench.sh and the CI bench smoke step
+// use tiny to keep the suite to seconds.
 package atscale_test
 
 import (
+	"os"
 	"sync"
 	"testing"
 
 	"atscale"
 )
 
-// benchPreset/benchBudget keep the full bench suite to minutes. Raise them
-// (or run cmd/atscale -size large) for the full reproduction.
+// benchBudget keeps the full bench suite to minutes. Raise it (or run
+// cmd/atscale -size large) for the full reproduction.
 const benchBudget = 400_000
+
+// benchPreset resolves the suite's ladder preset from the environment.
+func benchPreset() atscale.SizePreset {
+	switch os.Getenv("ATSCALE_BENCH_PRESET") {
+	case "tiny":
+		return atscale.PresetTiny
+	case "medium":
+		return atscale.PresetMedium
+	case "large":
+		return atscale.PresetLarge
+	default:
+		return atscale.PresetSmall
+	}
+}
 
 var sessionOnce sync.Once
 var sharedSession *atscale.Session
@@ -27,7 +46,7 @@ var sharedSession *atscale.Session
 func session() *atscale.Session {
 	sessionOnce.Do(func() {
 		cfg := atscale.DefaultRunConfig()
-		cfg.Preset = atscale.PresetSmall
+		cfg.Preset = benchPreset()
 		cfg.Budget = benchBudget
 		sharedSession = atscale.NewSession(cfg)
 	})
@@ -41,6 +60,7 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.Run(session())
 		if err != nil {
@@ -56,6 +76,7 @@ func BenchmarkTables(b *testing.B) { benchExperiment(b, "tables") }
 // BenchmarkFig1 regenerates Figure 1 (overhead vs footprint, all
 // workloads) and reports the mean overhead at the largest rung.
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	var mean float64
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.Fig1(session())
@@ -79,6 +100,7 @@ func BenchmarkFig1(b *testing.B) {
 // BenchmarkFig2 regenerates Figure 2 and reports the fitted slope and
 // adjusted R² (paper: slope ~0.135, adjR² 0.973 for cc-urand).
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.Fig2(session())
 		if err != nil {
@@ -96,6 +118,7 @@ func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
 // BenchmarkTable4 regenerates Table IV and reports the mean log10(M)
 // coefficient over strong fits (paper: 0.13).
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.Table4(session())
 		if err != nil {
@@ -113,6 +136,7 @@ func BenchmarkTable4(b *testing.B) {
 // (paper: Pearson 0.567, Spearman 0.768 — the best/near-best of the five
 // candidate metrics).
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.Table5(session())
 		if err != nil {
@@ -137,6 +161,7 @@ func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
 // BenchmarkFig7 regenerates Figure 7 and reports the largest non-retired
 // walk fraction seen (paper: up to 57%).
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.Fig7(session())
 		if err != nil {
@@ -165,6 +190,7 @@ func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
 // BenchmarkFig10 regenerates the Figure 10 superpage study and reports
 // the WCPI reduction factor 2 MB pages deliver at the largest footprint.
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.Fig10(session())
 		if err != nil {
@@ -191,6 +217,7 @@ func ablation(b *testing.B, mutate func(*atscale.SystemConfig)) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var wcpi float64
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.Run(&run, spec, 1<<18, atscale.Page4K)
@@ -258,10 +285,66 @@ func BenchmarkAblationTLBPrefetch(b *testing.B) {
 	ablation(b, func(c *atscale.SystemConfig) { c.TLBPrefetchNextPage = true })
 }
 
+// --- Campaign scheduler benches ---
+
+// campaignWorkloads are synthetic workloads with negligible setup cost,
+// so the serial/parallel comparison measures the scheduler, not graph
+// generation (whose CSR cache would warm asymmetrically across benches).
+var campaignWorkloads = []string{"uniform-synth", "zipf-synth", "stride-synth", "gups-rand"}
+
+// benchCampaign sweeps the campaign workloads on a fresh session per
+// iteration (memoization would otherwise make iterations after the first
+// free) at the given parallelism.
+func benchCampaign(b *testing.B, parallelism int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := atscale.DefaultRunConfig()
+		cfg.Preset = benchPreset()
+		cfg.Budget = benchBudget
+		cfg.Parallelism = parallelism
+		s := atscale.NewSession(cfg)
+		if parallelism == 1 {
+			for _, w := range campaignWorkloads {
+				if _, err := s.Sweep(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		// Dispatch every sweep at once, as cmd/atscale does for multiple
+		// experiments: the session's pool bounds total concurrency.
+		errs := make([]error, len(campaignWorkloads))
+		var wg sync.WaitGroup
+		wg.Add(len(campaignWorkloads))
+		for j, w := range campaignWorkloads {
+			go func(j int, w string) {
+				defer wg.Done()
+				_, errs[j] = s.Sweep(w)
+			}(j, w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCampaignSerial runs the campaign on the pre-scheduler serial
+// schedule (Parallelism 1).
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel runs the same campaign with one worker per
+// core (Parallelism 0). Results are byte-identical to serial (enforced by
+// TestParallelSweepAllMatchesSerial); only the schedule differs.
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }
+
 // BenchmarkPromotion runs the WCPI-guided hugepage promotion study
 // (the extension experiment `promo`) and reports how much of the static
 // 2MB benefit the online policy recovers at the largest footprint.
 func BenchmarkPromotion(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := atscale.PromotionStudy(session(), "mcf-rand")
 		if err != nil {

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	atperf -w bfs-urand -param 16 -pages 4KB -budget 2000000
+//	atperf -w gups-rand -param 24 -pages all     # §III overhead methodology
+//
+// With -pages all, the three policy runs (4KB, 2MB, 1GB) are one small
+// campaign: they execute concurrently on the scheduler's worker pool
+// (bounded by -p) and reduce to the paper's relative AT overhead.
 package main
 
 import (
@@ -31,9 +36,10 @@ func run() error {
 	var (
 		name   = flag.String("w", "bfs-urand", "workload (program-generator)")
 		param  = flag.Uint64("param", 0, "input size parameter (default: smallest rung)")
-		pages  = flag.String("pages", "4KB", "backing page size: 4KB|2MB|1GB")
+		pages  = flag.String("pages", "4KB", "backing page size: 4KB|2MB|1GB|all")
 		budget = flag.Uint64("budget", 2_000_000, "retired accesses in the measured region")
 		seed   = flag.Int64("seed", 2024, "simulation seed")
+		par    = flag.Int("p", 0, "max concurrent simulations with -pages all (0: one per core)")
 		all    = flag.Bool("counters", true, "print the full counter listing")
 		events = flag.String("e", "", "comma-separated event names to print (perf spellings); overrides -counters")
 	)
@@ -43,16 +49,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ps, err := arch.ParsePageSize(*pages)
-	if err != nil {
-		return err
-	}
 	if *param == 0 {
 		*param = spec.Ladder[0]
 	}
 	cfg := core.DefaultRunConfig()
 	cfg.Budget = *budget
 	cfg.Seed = *seed
+	cfg.Parallelism = *par
+
+	if *pages == "all" {
+		return measureAllPages(&cfg, spec, *param)
+	}
+	ps, err := arch.ParsePageSize(*pages)
+	if err != nil {
+		return err
+	}
 
 	r, err := core.Run(&cfg, spec, *param, ps)
 	if err != nil {
@@ -95,5 +106,26 @@ derived:
 		m.AvgWalkCycles, m.STLBHitRate,
 		100*m.PTELocation[0], 100*m.PTELocation[1], 100*m.PTELocation[2], 100*m.PTELocation[3],
 		100*ret, 100*wp, 100*ab)
+	return nil
+}
+
+// measureAllPages applies the §III methodology: one run per page-size
+// policy (scheduled concurrently), reduced to the relative AT overhead.
+func measureAllPages(cfg *core.RunConfig, spec *workloads.Spec, param uint64) error {
+	p, err := core.MeasureOverhead(cfg, spec, param)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s  param %d  pages all  footprint %s\n\n",
+		p.Workload, p.Param, arch.FormatBytes(p.Footprint))
+	fmt.Printf("%8s %10s %10s %12s %14s\n", "pages", "CPI", "WCPI", "walk lat", "misses/kacc")
+	for _, row := range []struct {
+		ps string
+		m  perf.Metrics
+	}{{"4KB", p.M4K}, {"2MB", p.M2M}, {"1GB", p.M1G}} {
+		fmt.Printf("%8s %10.3f %10.4f %12.1f %14.2f\n",
+			row.ps, row.m.CPI, row.m.WCPI, row.m.AvgWalkCycles, row.m.TLBMissesPerKiloAccess)
+	}
+	fmt.Printf("\nrelative AT overhead (4KB vs min(2MB, 1GB)): %.1f%%\n", 100*p.RelOverhead)
 	return nil
 }

@@ -7,11 +7,18 @@
 //	atscale -list
 //	atscale -size small fig1 table4
 //	atscale -size medium all
+//	atscale -p 8 -size medium all            # 8 concurrent simulations
+//	atscale -p 1 fig1                        # force the serial schedule
+//	atscale -cpuprofile cpu.out fig1         # profile the simulator itself
 //
 // Each experiment id names one artifact of the paper's evaluation
 // (fig1..fig10, table4..table6, tables). Experiments run within one
 // session, so artifacts that share measurements (fig1/fig4/table4/table5
-// all consume the same sweeps) measure each workload only once.
+// all consume the same sweeps) measure each workload only once — even
+// when several experiments are dispatched concurrently, which they are
+// whenever the parallelism (-p, default: all cores) is above one. The
+// run schedule never changes results: parallel output is byte-identical
+// to serial output, with experiments printed in the order requested.
 package main
 
 import (
@@ -19,7 +26,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"atscale/internal/core"
 	"atscale/internal/workloads"
@@ -35,13 +45,16 @@ func main() {
 
 func run() error {
 	var (
-		size   = flag.String("size", "medium", "ladder preset: tiny|small|medium|large")
-		budget = flag.Uint64("budget", 2_000_000, "retired accesses per measured region")
-		seed   = flag.Int64("seed", 2024, "simulation seed")
-		quiet  = flag.Bool("quiet", false, "suppress per-run progress")
-		list   = flag.Bool("list", false, "list experiments and workloads, then exit")
-		out    = flag.String("out", "", "also write rendered output to this file")
-		csvDir = flag.String("csv", "", "also write each experiment's data as <dir>/<id>.csv")
+		size       = flag.String("size", "medium", "ladder preset: tiny|small|medium|large")
+		budget     = flag.Uint64("budget", 2_000_000, "retired accesses per measured region")
+		seed       = flag.Int64("seed", 2024, "simulation seed")
+		par        = flag.Int("p", 0, "max concurrent simulations (0: one per core; 1: serial)")
+		quiet      = flag.Bool("quiet", false, "suppress per-run progress")
+		list       = flag.Bool("list", false, "list experiments and workloads, then exit")
+		out        = flag.String("out", "", "also write rendered output to this file")
+		csvDir     = flag.String("csv", "", "also write each experiment's data as <dir>/<id>.csv")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at campaign end to this file")
 	)
 	flag.Parse()
 
@@ -66,32 +79,51 @@ func run() error {
 			ids = append(ids, e.ID)
 		}
 	}
+	exps := make([]core.Experiment, len(ids))
+	for i, id := range ids {
+		exp, err := core.ExperimentByID(id)
+		if err != nil {
+			return err
+		}
+		exps[i] = exp
+	}
 
 	preset, err := workloads.ParsePreset(*size)
 	if err != nil {
 		return err
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := core.DefaultRunConfig()
 	cfg.Preset = preset
 	cfg.Budget = *budget
 	cfg.Seed = *seed
+	cfg.Parallelism = *par
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
 	session := core.NewSession(cfg)
 
+	parallelism := *par
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	concurrent := parallelism > 1 && len(exps) > 1
+
 	var rendered strings.Builder
-	for _, id := range ids {
-		exp, err := core.ExperimentByID(id)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "== %s: %s\n", exp.ID, exp.Caption)
-		result, err := exp.Run(session)
-		if err != nil {
-			return fmt.Errorf("%s: %w", exp.ID, err)
-		}
+	emit := func(exp core.Experiment, result core.Renderer) error {
 		block := result.Render()
+		fmt.Fprintf(os.Stderr, "== %s: %s\n", exp.ID, exp.Caption)
 		fmt.Println(block)
 		rendered.WriteString(block + "\n")
 		if *csvDir != "" {
@@ -103,11 +135,72 @@ func run() error {
 				return err
 			}
 		}
+		return nil
+	}
+	if concurrent {
+		// Dispatch everything at once (shared sweeps coalesce, the pool
+		// bounds concurrency), then print in request order.
+		results, err := runExperiments(session, exps)
+		if err != nil {
+			return err
+		}
+		for i, exp := range exps {
+			if err := emit(exp, results[i]); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Serial schedule: stream each artifact as it completes.
+		for _, exp := range exps {
+			result, err := exp.Run(session)
+			if err != nil {
+				return fmt.Errorf("%s: %w", exp.ID, err)
+			}
+			if err := emit(exp, result); err != nil {
+				return err
+			}
+		}
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(rendered.String()), 0o644); err != nil {
 			return err
 		}
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// runExperiments dispatches every experiment concurrently over the
+// shared session and returns results in request order. The session's
+// singleflight memoization keeps shared sweeps measured exactly once,
+// and its worker pool bounds how many simulations run at a time. The
+// first error (in request order) wins, matching the serial contract.
+func runExperiments(session *core.Session, exps []core.Experiment) ([]core.Renderer, error) {
+	results := make([]core.Renderer, len(exps))
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	wg.Add(len(exps))
+	for i := range exps {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = exps[i].Run(session)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+	}
+	return results, nil
 }

@@ -38,20 +38,27 @@ func HashedPTStudy(s *Session, workload string) (*HashedPTResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	radix := *s.Config()
+	radix := s.Config()
 	hashed := radix
 	hashed.System.PageTable = "hashed"
+	configs := [2]*RunConfig{&radix, &hashed}
 
+	params := spec.Sizes(radix.Preset)
+	results := make([][2]RunResult, len(params))
+	err = forEachUnit(&radix, len(params)*2, func(u int) error {
+		rr, err := Run(configs[u%2], spec, params[u/2], arch.Page4K)
+		if err != nil {
+			return err
+		}
+		results[u/2][u%2] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	r := &HashedPTResult{Workload: workload}
-	for _, param := range spec.Sizes(radix.Preset) {
-		rr, err := Run(&radix, spec, param, arch.Page4K)
-		if err != nil {
-			return nil, err
-		}
-		rh, err := Run(&hashed, spec, param, arch.Page4K)
-		if err != nil {
-			return nil, err
-		}
+	for i := range params {
+		rr, rh := results[i][0], results[i][1]
 		r.Rows = append(r.Rows, HashedPTRow{
 			Footprint:          rr.Footprint,
 			CPIRadix:           rr.Metrics.CPI,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"atscale/internal/arch"
 	"atscale/internal/perf"
@@ -36,20 +37,15 @@ type OverheadPoint struct {
 // abscissa of Table IV).
 func (p OverheadPoint) Log10Footprint() float64 { return math.Log10(float64(p.Footprint)) }
 
-// MeasureOverhead runs one (workload, size) under 4 KB, 2 MB and 1 GB
-// policies and reduces to an OverheadPoint.
-func MeasureOverhead(cfg *RunConfig, spec *workloads.Spec, param uint64) (OverheadPoint, error) {
-	var rr [3]RunResult
-	for _, ps := range []arch.PageSize{arch.Page4K, arch.Page2M, arch.Page1G} {
-		r, err := Run(cfg, spec, param, ps)
-		if err != nil {
-			return OverheadPoint{}, err
-		}
-		rr[ps] = r
-	}
+// policies is the fixed page-size order of the §III methodology. The
+// values double as indices into per-point result arrays.
+var policies = [...]arch.PageSize{arch.Page4K, arch.Page2M, arch.Page1G}
+
+// reduceOverhead folds one size's three per-policy runs into a point.
+func reduceOverhead(rr [3]RunResult) OverheadPoint {
 	p := OverheadPoint{
-		Workload:  spec.Name(),
-		Param:     param,
+		Workload:  rr[arch.Page4K].Workload,
+		Param:     rr[arch.Page4K].Param,
 		Footprint: rr[arch.Page4K].Footprint,
 		CPI4K:     rr[arch.Page4K].Metrics.CPI,
 		CPI2M:     rr[arch.Page2M].Metrics.CPI,
@@ -62,65 +58,149 @@ func MeasureOverhead(cfg *RunConfig, spec *workloads.Spec, param uint64) (Overhe
 	if baseline > 0 {
 		p.RelOverhead = (p.CPI4K - baseline) / baseline
 	}
-	return p, nil
+	return p
 }
 
-// SweepOverhead measures every ladder rung the preset selects.
-func SweepOverhead(cfg *RunConfig, spec *workloads.Spec) ([]OverheadPoint, error) {
-	var out []OverheadPoint
-	for _, param := range spec.Sizes(cfg.Preset) {
-		p, err := MeasureOverhead(cfg, spec, param)
+// MeasureOverhead runs one (workload, size) under 4 KB, 2 MB and 1 GB
+// policies — concurrently when the config allows — and reduces to an
+// OverheadPoint.
+func MeasureOverhead(cfg *RunConfig, spec *workloads.Spec, param uint64) (OverheadPoint, error) {
+	var rr [3]RunResult
+	err := forEachUnit(cfg, len(policies), func(i int) error {
+		r, err := Run(cfg, spec, param, policies[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, p)
+		rr[policies[i]] = r
+		return nil
+	})
+	if err != nil {
+		return OverheadPoint{}, err
+	}
+	return reduceOverhead(rr), nil
+}
+
+// SweepOverhead measures every ladder rung the preset selects. All
+// (rung, page size) units of the sweep are scheduled onto the worker pool
+// together; points come back in ladder order regardless of completion
+// order, so parallel output is identical to serial output.
+func SweepOverhead(cfg *RunConfig, spec *workloads.Spec) ([]OverheadPoint, error) {
+	params := spec.Sizes(cfg.Preset)
+	results := make([][3]RunResult, len(params))
+	err := forEachUnit(cfg, len(params)*len(policies), func(u int) error {
+		ps := policies[u%len(policies)]
+		r, err := Run(cfg, spec, params[u/len(policies)], ps)
+		if err != nil {
+			return err
+		}
+		results[u/len(policies)][ps] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OverheadPoint, len(params))
+	for i := range params {
+		out[i] = reduceOverhead(results[i])
 	}
 	return out, nil
 }
 
 // Session memoizes per-workload sweeps so the experiments that share data
-// (Figures 1-10, Tables IV-V) measure each workload once.
+// (Figures 1-10, Tables IV-V) measure each workload once. A Session is
+// safe for concurrent use: overlapping experiments that need the same
+// workload coalesce onto a single in-flight sweep (duplicates wait for
+// and share its result), and all of a session's work runs on one bounded
+// worker pool.
 type Session struct {
 	cfg    *RunConfig
-	sweeps map[string][]OverheadPoint
+	mu     sync.Mutex
+	sweeps map[string]*sweepCall
+}
+
+// sweepCall is one memoized (possibly in-flight) sweep.
+type sweepCall struct {
+	done chan struct{} // closed when pts/err are final
+	pts  []OverheadPoint
+	err  error
 }
 
 // NewSession creates a measurement session with the given configuration.
+// The config is copied; the session's copy must not be mutated afterwards
+// (concurrent sweeps read it without locks). Configure Parallelism before
+// calling NewSession — it sizes the session's worker pool.
 func NewSession(cfg RunConfig) *Session {
-	return &Session{cfg: &cfg, sweeps: make(map[string][]OverheadPoint)}
+	if cfg.pool == nil {
+		cfg.pool = make(limiter, cfg.parallelism())
+	}
+	return &Session{cfg: &cfg, sweeps: make(map[string]*sweepCall)}
 }
 
-// Config returns the session's run configuration.
-func (s *Session) Config() *RunConfig { return s.cfg }
+// Config returns a copy of the session's run configuration. Experiments
+// that need a variant (different seed, promotion on, hashed page tables)
+// mutate the copy before its first use; the copy shares the session's
+// worker pool, so variant runs count against the same parallelism bound.
+func (s *Session) Config() RunConfig { return *s.cfg }
 
-// Sweep returns the (memoized) overhead sweep of the named workload.
+// Sweep returns the (memoized) overhead sweep of the named workload. If
+// another goroutine is already measuring the same workload, Sweep waits
+// for that measurement and shares its result instead of repeating it.
 func (s *Session) Sweep(name string) ([]OverheadPoint, error) {
-	if pts, ok := s.sweeps[name]; ok {
-		return pts, nil
+	s.mu.Lock()
+	if c, ok := s.sweeps[name]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.pts, c.err
 	}
+	c := &sweepCall{done: make(chan struct{})}
+	s.sweeps[name] = c
+	s.mu.Unlock()
+	defer close(c.done)
+
 	spec, err := workloads.ByName(name)
 	if err != nil {
+		c.err = err
 		return nil, err
 	}
 	s.cfg.logf("sweeping %s (%s preset)", name, s.cfg.Preset)
-	pts, err := SweepOverhead(s.cfg, spec)
-	if err != nil {
-		return nil, err
-	}
-	s.sweeps[name] = pts
-	return pts, nil
+	c.pts, c.err = SweepOverhead(s.cfg, spec)
+	return c.pts, c.err
 }
 
 // SweepAll sweeps every Table I workload and returns points grouped by
-// workload name.
+// workload name. With a parallel config the sweeps are dispatched
+// together so the pool stays busy across workload boundaries; the result
+// (and the error returned, taken in workload order) is the same either
+// way.
 func (s *Session) SweepAll() (map[string][]OverheadPoint, error) {
-	out := make(map[string][]OverheadPoint)
-	for _, spec := range PaperWorkloads() {
-		pts, err := s.Sweep(spec.Name())
-		if err != nil {
-			return nil, err
+	specs := PaperWorkloads()
+	out := make(map[string][]OverheadPoint, len(specs))
+	if s.cfg.parallelism() == 1 {
+		for _, spec := range specs {
+			pts, err := s.Sweep(spec.Name())
+			if err != nil {
+				return nil, err
+			}
+			out[spec.Name()] = pts
 		}
-		out[spec.Name()] = pts
+		return out, nil
+	}
+	pts := make([][]OverheadPoint, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	wg.Add(len(specs))
+	for i, spec := range specs {
+		go func(i int, name string) {
+			defer wg.Done()
+			pts[i], errs[i] = s.Sweep(name)
+		}(i, spec.Name())
+	}
+	wg.Wait()
+	for i, spec := range specs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[spec.Name()] = pts[i]
 	}
 	return out, nil
 }

@@ -38,24 +38,32 @@ func PromotionStudy(s *Session, workload string) (*PromotionResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := *s.Config()
+	base := s.Config()
 	promo := base
 	promo.EnablePromotion = true
+	// The three per-size configurations, in the serial measurement order.
+	variants := [3]struct {
+		cfg *RunConfig
+		ps  arch.PageSize
+	}{{&base, arch.Page4K}, {&promo, arch.Page4K}, {&base, arch.Page2M}}
 
+	params := spec.Sizes(base.Preset)
+	results := make([][3]RunResult, len(params))
+	err = forEachUnit(&base, len(params)*len(variants), func(u int) error {
+		v := variants[u%len(variants)]
+		rr, err := Run(v.cfg, spec, params[u/len(variants)], v.ps)
+		if err != nil {
+			return err
+		}
+		results[u/len(variants)][u%len(variants)] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	r := &PromotionResult{Workload: workload}
-	for _, param := range spec.Sizes(base.Preset) {
-		r4, err := Run(&base, spec, param, arch.Page4K)
-		if err != nil {
-			return nil, err
-		}
-		rp, err := Run(&promo, spec, param, arch.Page4K)
-		if err != nil {
-			return nil, err
-		}
-		r2, err := Run(&base, spec, param, arch.Page2M)
-		if err != nil {
-			return nil, err
-		}
+	for i := range params {
+		r4, rp, r2 := results[i][0], results[i][1], results[i][2]
 		row := PromotionRow{
 			Footprint:  r4.Footprint,
 			CPI4K:      r4.Metrics.CPI,

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"atscale/internal/arch"
 	"atscale/internal/machine"
@@ -16,6 +17,12 @@ import (
 )
 
 // RunConfig parameterizes a measurement campaign.
+//
+// A RunConfig handed to NewSession is copied and the session's copy is
+// immutable from then on: sweeps may read it from many goroutines at
+// once. Experiments that need a variant (different seed, promotion on,
+// hashed page tables) copy the config — Session.Config returns a copy for
+// exactly that — and mutate the copy before its first use.
 type RunConfig struct {
 	// System is the simulated machine description.
 	System arch.SystemConfig
@@ -46,8 +53,19 @@ type RunConfig struct {
 	// SampleBuffer overrides the sample ring capacity (records);
 	// <= 0 uses perf.DefaultSampleCapacity.
 	SampleBuffer int
-	// Log, when non-nil, receives progress lines.
+	// Parallelism bounds how many simulations a campaign runs at once.
+	// Zero (the default) means runtime.GOMAXPROCS(0); 1 forces the
+	// serial schedule. Parallel and serial campaigns produce
+	// byte-identical tables and CSV.
+	Parallelism int
+	// Log, when non-nil, receives progress lines. Lines are written
+	// atomically (one Write per line), so a parallel campaign's log is
+	// interleaved per-run but never corrupted mid-line.
 	Log io.Writer
+
+	// pool is the worker pool shared by every config copied from one
+	// session; NewSession creates it (see schedule.go).
+	pool limiter
 }
 
 // DefaultRunConfig returns the standard campaign configuration: the
@@ -62,10 +80,19 @@ func DefaultRunConfig() RunConfig {
 	}
 }
 
+// logMu serializes progress lines: concurrent run units may share one
+// Log writer, and a single locked Write per line keeps output readable
+// and race-free whatever the writer is.
+var logMu sync.Mutex
+
 func (c *RunConfig) logf(format string, args ...any) {
-	if c.Log != nil {
-		fmt.Fprintf(c.Log, format+"\n", args...)
+	if c.Log == nil {
+		return
 	}
+	line := fmt.Sprintf(format+"\n", args...)
+	logMu.Lock()
+	defer logMu.Unlock()
+	c.Log.Write([]byte(line))
 }
 
 // RunResult is one (workload, input size, page size) measurement.

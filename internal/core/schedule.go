@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the campaign scheduler. Every sweep in the package breaks
+// its work into *run units* — one (workload, param, page size) simulation,
+// each built on a fresh, seed-deterministic machine with no shared state —
+// and executes them on a bounded worker pool. Results are written into
+// per-unit slots and reduced in ladder order afterwards, so a parallel
+// campaign's tables and CSV are byte-identical to a serial one's; only the
+// interleaving of progress lines (each written atomically) differs.
+//
+// The pool bound is RunConfig.Parallelism (default GOMAXPROCS). A session
+// shares one pool across every experiment dispatched on it, so concurrent
+// experiments (atscale -p with several ids) together never run more than
+// the configured number of simulations at once.
+
+// parallelism resolves the configured worker count.
+func (c *RunConfig) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// limiter bounds how many run units execute concurrently. A nil limiter
+// admits everything (callers size it before use).
+type limiter chan struct{}
+
+func (l limiter) acquire() { l <- struct{}{} }
+func (l limiter) release() { <-l }
+
+// forEachUnit executes fn(0..n-1) on the config's worker pool and returns
+// the first error. With Parallelism 1 the units run in index order on the
+// calling goroutine, exactly like the pre-scheduler serial loops. With a
+// larger pool, units run concurrently (bounded by the session-shared pool
+// when the config came from a session); after the first error no new unit
+// starts, in-flight units drain, and the error is returned — a unit's
+// result is only meaningful if forEachUnit returned nil.
+func forEachUnit(cfg *RunConfig, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if cfg.parallelism() == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pool := cfg.pool
+	if pool == nil {
+		// Config not built by a session: bound this call on its own.
+		pool = make(limiter, cfg.parallelism())
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			pool.acquire()
+			defer pool.release()
+			if failed() {
+				return // cancelled: an earlier unit errored
+			}
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}

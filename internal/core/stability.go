@@ -44,15 +44,24 @@ func StabilityStudy(s *Session, workload string, param uint64) (*StabilityResult
 		sizes := spec.Sizes(s.Config().Preset)
 		param = sizes[len(sizes)/2]
 	}
-	var cpi, wcpi, nonRetired, clears []float64
-	r := &StabilityResult{Workload: workload, Param: param, Seeds: stabilitySeeds}
-	for seed := int64(1); seed <= stabilitySeeds; seed++ {
-		cfg := *s.Config()
-		cfg.Seed = seed
+	base := s.Config()
+	results := make([]RunResult, stabilitySeeds)
+	err = forEachUnit(&base, stabilitySeeds, func(i int) error {
+		cfg := base
+		cfg.Seed = int64(i + 1)
 		rr, err := Run(&cfg, spec, param, arch.Page4K)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cpi, wcpi, nonRetired, clears []float64
+	r := &StabilityResult{Workload: workload, Param: param, Seeds: stabilitySeeds}
+	for _, rr := range results {
 		r.Footprint = rr.Footprint
 		m := rr.Metrics
 		_, wp, ab := m.Outcomes.Fractions()

@@ -33,34 +33,50 @@ type XSweepResult struct {
 }
 
 // XSweep measures the synthetic streams across their full virtual
-// ladders under 4 KB and 2 MB backing.
+// ladders under 4 KB and 2 MB backing. The (stream, param, page size)
+// units run on the campaign worker pool; rows assemble in ladder order.
 func XSweep(s *Session) (*XSweepResult, error) {
-	r := &XSweepResult{}
-	cfg := *s.Config()
+	cfg := s.Config()
+	type unit struct {
+		spec  *workloads.Spec
+		param uint64
+	}
+	var units []unit
 	for _, name := range xsweepWorkloads {
 		spec, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, param := range spec.Sizes(cfg.Preset) {
-			r4, err := Run(&cfg, spec, param, arch.Page4K)
-			if err != nil {
-				return nil, err
-			}
-			r2, err := Run(&cfg, spec, param, arch.Page2M)
-			if err != nil {
-				return nil, err
-			}
-			r.Rows = append(r.Rows, XSweepRow{
-				Workload:              name,
-				Footprint:             r4.Footprint,
-				WCPI4K:                r4.Metrics.WCPI,
-				WCPI2M:                r2.Metrics.WCPI,
-				MissesPerKiloAccess4K: r4.Metrics.TLBMissesPerKiloAccess,
-				MissesPerKiloAccess2M: r2.Metrics.TLBMissesPerKiloAccess,
-				AvgWalkCycles4K:       r4.Metrics.AvgWalkCycles,
-			})
+			units = append(units, unit{spec, param})
 		}
+	}
+	pages := [2]arch.PageSize{arch.Page4K, arch.Page2M}
+	results := make([][2]RunResult, len(units))
+	err := forEachUnit(&cfg, len(units)*2, func(i int) error {
+		u := units[i/2]
+		r, err := Run(&cfg, u.spec, u.param, pages[i%2])
+		if err != nil {
+			return err
+		}
+		results[i/2][i%2] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &XSweepResult{}
+	for i, u := range units {
+		r4, r2 := results[i][0], results[i][1]
+		r.Rows = append(r.Rows, XSweepRow{
+			Workload:              u.spec.Name(),
+			Footprint:             r4.Footprint,
+			WCPI4K:                r4.Metrics.WCPI,
+			WCPI2M:                r2.Metrics.WCPI,
+			MissesPerKiloAccess4K: r4.Metrics.TLBMissesPerKiloAccess,
+			MissesPerKiloAccess2M: r2.Metrics.TLBMissesPerKiloAccess,
+			AvgWalkCycles4K:       r4.Metrics.AvgWalkCycles,
+		})
 	}
 	return r, nil
 }

@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"atscale/internal/workloads"
 )
@@ -166,30 +167,49 @@ func (g hostCSR) relabelByDegree() hostCSR {
 // generated graph, and regeneration dominates setup time at large scales.
 // Total cache size across both generators and all ladder scales is a few
 // hundred megabytes of host memory.
-var genCache = map[string]hostCSR{}
+//
+// Concurrent run units (the core campaign scheduler builds instances from
+// many goroutines) coalesce per key: the first requester generates, later
+// ones wait on its entry and share the finished CSR, which is immutable
+// once built.
+var (
+	genMu    sync.Mutex
+	genCache = map[string]*genEntry{}
+)
+
+type genEntry struct {
+	once sync.Once
+	h    hostCSR
+}
+
+// cached returns the memoized CSR for key, building it at most once even
+// under concurrent callers.
+func cached(key string, build func() hostCSR) hostCSR {
+	genMu.Lock()
+	e, ok := genCache[key]
+	if !ok {
+		e = &genEntry{}
+		genCache[key] = e
+	}
+	genMu.Unlock()
+	e.once.Do(func() { e.h = build() })
+	return e.h
+}
 
 // generate builds the host CSR for a generator name and scale,
 // deterministically per (generator, scale).
 func generate(gen string, scale uint64) hostCSR {
-	key := fmt.Sprintf("%s-%d", gen, scale)
-	if h, ok := genCache[key]; ok {
-		return h
-	}
-	h := generateUncached(gen, scale)
-	genCache[key] = h
-	return h
+	return cached(fmt.Sprintf("%s-%d", gen, scale), func() hostCSR {
+		return generateUncached(gen, scale)
+	})
 }
 
 // generateRelabeled is generate followed by the degree relabel (tc's
 // input), cached separately.
 func generateRelabeled(gen string, scale uint64) hostCSR {
-	key := fmt.Sprintf("%s-%d-relabel", gen, scale)
-	if h, ok := genCache[key]; ok {
-		return h
-	}
-	h := generate(gen, scale).relabelByDegree()
-	genCache[key] = h
-	return h
+	return cached(fmt.Sprintf("%s-%d-relabel", gen, scale), func() hostCSR {
+		return generate(gen, scale).relabelByDegree()
+	})
 }
 
 func generateUncached(gen string, scale uint64) hostCSR {

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite at the tiny preset and archive the
+# results for before/after comparison across commits.
+#
+# Usage:
+#
+#	scripts/bench.sh                 # tiny preset, 1 iteration per bench
+#	ATSCALE_BENCH_PRESET=small scripts/bench.sh
+#	BENCHTIME=5x COUNT=3 scripts/bench.sh
+#
+# Writes two artifacts named after the current commit:
+#
+#	BENCH_<sha>.txt    raw `go test -bench` output — feed two of these
+#	                   to benchstat to compare commits:
+#	                       benchstat BENCH_old.txt BENCH_new.txt
+#	BENCH_<sha>.json   the same run as a test2json event stream for
+#	                   machine consumption (dashboards, regression gates)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo workdir)
+preset=${ATSCALE_BENCH_PRESET:-tiny}
+benchtime=${BENCHTIME:-1x}
+count=${COUNT:-1}
+txt="BENCH_${sha}.txt"
+json="BENCH_${sha}.json"
+
+echo "bench: preset=$preset benchtime=$benchtime count=$count -> $txt, $json" >&2
+
+ATSCALE_BENCH_PRESET="$preset" go test -run '^$' -bench . \
+	-benchtime "$benchtime" -count "$count" -benchmem . | tee "$txt" |
+	go tool test2json -p atscale >"$json"
+
+echo "bench: wrote $(grep -c '^Benchmark' "$txt" || true) result lines" >&2
