@@ -6,6 +6,7 @@
 //
 //	atperf -w bfs-urand -param 16 -pages 4KB -budget 2000000
 //	atperf -w gups-rand -param 24 -pages all     # §III overhead methodology
+//	atperf -w uniform-synth -param 26 -virt -ept-pages 2MB   # nested-paging run
 //
 // With -pages all, the three policy runs (4KB, 2MB, 1GB) are one small
 // campaign: they execute concurrently on the scheduler's worker pool
@@ -42,6 +43,10 @@ func run() error {
 		par    = flag.Int("p", 0, "max concurrent simulations with -pages all (0: one per core)")
 		all    = flag.Bool("counters", true, "print the full counter listing")
 		events = flag.String("e", "", "comma-separated event names to print (perf spellings); overrides -counters")
+
+		virt       = flag.Bool("virt", false, "run under nested paging (guest tables over a host EPT)")
+		guestPages = flag.String("guest-pages", "", "with -virt: guest page size (4KB|2MB|1GB); overrides -pages")
+		eptPages   = flag.String("ept-pages", "4KB", "with -virt: EPT leaf size (4KB|2MB|1GB)")
 	)
 	flag.Parse()
 
@@ -56,6 +61,18 @@ func run() error {
 	cfg.Budget = *budget
 	cfg.Seed = *seed
 	cfg.Parallelism = *par
+	if *virt {
+		cfg.System.Virt = arch.DefaultVirt()
+		cfg.System.Virt.EPTPages, err = arch.ParsePageSize(*eptPages)
+		if err != nil {
+			return fmt.Errorf("-ept-pages: %w", err)
+		}
+		if *guestPages != "" {
+			*pages = *guestPages
+		}
+	} else if *guestPages != "" {
+		return fmt.Errorf("-guest-pages requires -virt (use -pages for the native policy)")
+	}
 
 	if *pages == "all" {
 		return measureAllPages(&cfg, spec, *param)
@@ -69,8 +86,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload %s  param %d  pages %s  footprint %s\n\n",
-		r.Workload, r.Param, r.PageSize, arch.FormatBytes(r.Footprint))
+	if *virt {
+		fmt.Printf("workload %s  param %d  guest pages %s  EPT pages %s  footprint %s\n\n",
+			r.Workload, r.Param, r.PageSize, cfg.System.Virt.EPTPages, arch.FormatBytes(r.Footprint))
+	} else {
+		fmt.Printf("workload %s  param %d  pages %s  footprint %s\n\n",
+			r.Workload, r.Param, r.PageSize, arch.FormatBytes(r.Footprint))
+	}
 	switch {
 	case *events != "":
 		for _, name := range strings.Split(*events, ",") {
@@ -106,6 +128,22 @@ derived:
 		m.AvgWalkCycles, m.STLBHitRate,
 		100*m.PTELocation[0], 100*m.PTELocation[1], 100*m.PTELocation[2], 100*m.PTELocation[3],
 		100*ret, 100*wp, 100*ab)
+	if *virt {
+		fmt.Printf(`
+virtualization:
+  guest walk cycles            %8d
+  EPT walk cycles              %8d
+  EPT walk share               %8.3f
+  nTLB hit rate                %8.3f
+  EPT walks completed          %8d
+  EPT walker loads             %8d
+  EPT PTE loc L1/L2/L3/M       %6.1f%% %6.1f%% %6.1f%% %6.1f%%
+`,
+			m.GuestWalkCycles, m.EPTWalkCycles, m.EPTShare, m.NTLBHitRate,
+			r.Counters.Get(perf.EPTWalkCompleted), m.EPTWalkerLoads,
+			100*m.EPTPTELocation[0], 100*m.EPTPTELocation[1],
+			100*m.EPTPTELocation[2], 100*m.EPTPTELocation[3])
+	}
 	return nil
 }
 

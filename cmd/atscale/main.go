@@ -10,6 +10,8 @@
 //	atscale -p 8 -size medium all            # 8 concurrent simulations
 //	atscale -p 1 fig1                        # force the serial schedule
 //	atscale -cpuprofile cpu.out fig1         # profile the simulator itself
+//	atscale -size small virt                 # nested-paging sweep family
+//	atscale -virt -ept-pages 2MB fig1        # re-run a paper artifact inside a VM
 //
 // Each experiment id names one artifact of the paper's evaluation
 // (fig1..fig10, table4..table6, tables). Experiments run within one
@@ -31,6 +33,7 @@ import (
 	"strings"
 	"sync"
 
+	"atscale/internal/arch"
 	"atscale/internal/core"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
@@ -55,6 +58,9 @@ func run() error {
 		csvDir     = flag.String("csv", "", "also write each experiment's data as <dir>/<id>.csv")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at campaign end to this file")
+		virt       = flag.Bool("virt", false, "run every simulation under nested paging (guest tables over a host EPT)")
+		guestPages = flag.String("guest-pages", "", "with -virt: pin the guest page size (4KB|2MB|1GB), overriding each experiment's policy axis")
+		eptPages   = flag.String("ept-pages", "4KB", "with -virt: EPT leaf size (4KB|2MB|1GB)")
 	)
 	flag.Parse()
 
@@ -109,6 +115,22 @@ func run() error {
 	cfg.Budget = *budget
 	cfg.Seed = *seed
 	cfg.Parallelism = *par
+	if *virt {
+		cfg.System.Virt = arch.DefaultVirt()
+		cfg.System.Virt.EPTPages, err = arch.ParsePageSize(*eptPages)
+		if err != nil {
+			return fmt.Errorf("-ept-pages: %w", err)
+		}
+	} else if *guestPages != "" {
+		return fmt.Errorf("-guest-pages requires -virt (native runs take the experiments' own page-size policies)")
+	}
+	if *guestPages != "" {
+		gp, err := arch.ParsePageSize(*guestPages)
+		if err != nil {
+			return fmt.Errorf("-guest-pages: %w", err)
+		}
+		cfg.GuestPages = &gp
+	}
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}

@@ -87,6 +87,43 @@ type PSCGeometry struct {
 	PDEntries   int // caches PDEs, tagged by VA[47:21]
 }
 
+// VirtConfig configures nested paging (hardware-assisted virtualization):
+// the machine's address space becomes a guest over a hypervisor's extended
+// page tables, and every TLB miss takes a two-dimensional walk.
+type VirtConfig struct {
+	// Enabled turns virtualization on; the zero value is a native machine.
+	Enabled bool
+	// GuestPages is the guest OS heap mapping policy (the native machine's
+	// page-size knob, restated per dimension).
+	GuestPages PageSize
+	// EPTPages is the hypervisor's EPT leaf size: every guest-physical
+	// block is backed by a host frame of this size.
+	EPTPages PageSize
+	// NTLBEntries sizes the EPT translation cache (nTLB) that
+	// short-circuits whole EPT walks for warm guest-physical pages.
+	NTLBEntries int
+	// EPTPSC sizes the EPT-dimension paging-structure caches.
+	EPTPSC PSCGeometry
+}
+
+// DefaultVirt returns the nested-paging configuration used by the
+// virtualization sweeps: 4 KB in both dimensions (the worst case the
+// 24-load bound comes from), an nTLB of 32 entries, and EPT PSCs sized
+// like the guest's.
+func DefaultVirt() VirtConfig {
+	return VirtConfig{
+		Enabled:     true,
+		GuestPages:  Page4K,
+		EPTPages:    Page4K,
+		NTLBEntries: 32,
+		EPTPSC: PSCGeometry{
+			PML4Entries: 2,
+			PDPTEntries: 4,
+			PDEntries:   24,
+		},
+	}
+}
+
 // SystemConfig describes the whole simulated machine. The zero value is not
 // usable; start from DefaultSystem().
 type SystemConfig struct {
@@ -129,6 +166,9 @@ type SystemConfig struct {
 
 	// PhysMemBytes bounds the simulated physical memory.
 	PhysMemBytes uint64
+
+	// Virt configures nested paging; the zero value is a native machine.
+	Virt VirtConfig
 
 	// CPU holds the core timing/speculation parameters.
 	CPU CPUParams
@@ -223,6 +263,23 @@ func (c *SystemConfig) Validate() error {
 	}
 	if c.PageTable == "hashed" && c.PagingLevels != 4 {
 		return errf("hashed page tables pair with PagingLevels=4")
+	}
+	if c.Virt.Enabled {
+		if c.PagingLevels != 4 {
+			return errf("virtualization pairs with PagingLevels=4")
+		}
+		if c.PageTable == "hashed" {
+			return errf("virtualization pairs with radix page tables")
+		}
+		if c.Virt.GuestPages >= NumPageSizes {
+			return errf("Virt.GuestPages: invalid page size %d", c.Virt.GuestPages)
+		}
+		if c.Virt.EPTPages >= NumPageSizes {
+			return errf("Virt.EPTPages: invalid page size %d", c.Virt.EPTPages)
+		}
+		if c.Virt.NTLBEntries <= 0 {
+			return errf("Virt.NTLBEntries must be positive when virtualized")
+		}
 	}
 	return nil
 }

@@ -82,6 +82,7 @@ func Experiments() []Experiment {
 		{"hashedpt", "Extension: hashed vs radix page tables (paper §VI proposal)", wrap(HashedPTExperiment)},
 		{"xsweep", "Extension: synthetic streams swept to tens-of-GB virtual footprints", wrap(XSweep)},
 		{"stability", "Extension: metric dispersion across simulation seeds", wrap(StabilityExperiment)},
+		{"virt", "Extension: nested paging — native-vs-nested sweep, page-size matrix, multi-tenant EPT sharing", wrap(VirtExperiment)},
 	}
 }
 

@@ -53,6 +53,12 @@ type RunConfig struct {
 	// SampleBuffer overrides the sample ring capacity (records);
 	// <= 0 uses perf.DefaultSampleCapacity.
 	SampleBuffer int
+	// GuestPages, when non-nil, overrides every run's page-size policy.
+	// Under nested paging (System.Virt.Enabled) the policy is the guest
+	// OS page size, so this pins the guest dimension while experiments
+	// vary everything else; page-size-sweep artifacts degenerate to one
+	// policy under the override.
+	GuestPages *arch.PageSize
 	// Parallelism bounds how many simulations a campaign runs at once.
 	// Zero (the default) means runtime.GOMAXPROCS(0); 1 forces the
 	// serial schedule. Parallel and serial campaigns produce
@@ -121,6 +127,9 @@ type RunResult struct {
 // Run executes one measurement: build the instance on a fresh machine
 // backed with the given page size, then run the measured region.
 func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (RunResult, error) {
+	if cfg.GuestPages != nil {
+		ps = *cfg.GuestPages
+	}
 	sys := cfg.System
 	// Synthetic sweeps reach virtual footprints beyond the default
 	// physical memory; give the simulated machine DRAM headroom (it is

@@ -236,7 +236,7 @@ func (c *Core) demandWalk(va arch.VAddr, isStore bool) (arch.PAddr, arch.PageSiz
 	wr := c.walker.Walk(va, c.cr3, walker.NoBudget)
 	c.accountWalk(isStore, wr)
 	c.charge(float64(wr.Cycles) * c.cfg.CPU.WalkVisibility)
-	walkCycles := wr.Cycles
+	walkCycles, eptCycles := wr.Cycles, wr.EPTCycles
 	if !wr.OK {
 		// Demand page fault: the OS maps the page and the access
 		// re-walks. The fault and retry count as one walk (one
@@ -255,13 +255,14 @@ func (c *Core) demandWalk(va arch.VAddr, isStore bool) (arch.PAddr, arch.PageSiz
 		c.accountWalk(isStore, wr)
 		c.charge(float64(wr.Cycles) * c.cfg.CPU.WalkVisibility)
 		walkCycles += wr.Cycles
+		eptCycles += wr.EPTCycles
 		if !wr.OK {
 			panic(fmt.Sprintf("cpu: fault handler did not map %#x", uint64(va)))
 		}
 	}
 	c.countWalkCompleted(isStore)
 	c.lastWalkCycles, c.lastWalkLevel = walkCycles, pteLevel(wr.LeafLoc)
-	c.sampleWalk(isStore, va, walkCycles, wr.LeafLoc, perf.OutcomeRetired)
+	c.sampleWalk(isStore, va, walkCycles, eptCycles, wr.LeafLoc, perf.OutcomeRetired)
 	c.tlbs.Fill(va, wr.Frame, wr.Size)
 	if c.cfg.TLBPrefetchNextPage {
 		c.prefetchNextPage(va, wr.Size)
@@ -348,11 +349,11 @@ func (c *Core) wrongPathAccess(budget uint64) {
 		wr := c.walker.Walk(va, c.cr3, budget)
 		c.accountWalk(false, wr)
 		if !wr.Completed {
-			c.sampleWalk(false, va, wr.Cycles, wr.LeafLoc, perf.OutcomeAborted)
+			c.sampleWalk(false, va, wr.Cycles, wr.EPTCycles, wr.LeafLoc, perf.OutcomeAborted)
 			return // aborted: initiated but never completed
 		}
 		c.countWalkCompleted(false)
-		c.sampleWalk(false, va, wr.Cycles, wr.LeafLoc, perf.OutcomeWrongPath)
+		c.sampleWalk(false, va, wr.Cycles, wr.EPTCycles, wr.LeafLoc, perf.OutcomeWrongPath)
 		if !wr.OK {
 			return // speculative fault is suppressed, no fill
 		}
@@ -465,9 +466,11 @@ func pteLevel(loc cache.HitLoc) perf.PTELevel {
 }
 
 // sampleWalk offers one walk's record to every attached sampler, under
-// both the walk-count and walk-cycle event domains. Called at walk
-// completion and abort; with no sampler attached it is one len check.
-func (c *Core) sampleWalk(isStore bool, va arch.VAddr, cycles uint64, leaf cache.HitLoc, outcome perf.SampleOutcome) {
+// both the walk-count and walk-cycle event domains — plus the EPT
+// walk-duration domain when the walk spent cycles in the EPT dimension.
+// Called at walk completion and abort; with no sampler attached it is
+// one len check.
+func (c *Core) sampleWalk(isStore bool, va arch.VAddr, cycles, eptCycles uint64, leaf cache.HitLoc, outcome perf.SampleOutcome) {
 	if len(c.smp) == 0 {
 		return
 	}
@@ -486,6 +489,9 @@ func (c *Core) sampleWalk(isStore bool, va arch.VAddr, cycles uint64, leaf cache
 	for _, sp := range c.smp {
 		sp.Offer(miss, 1, s)
 		sp.Offer(dur, cycles, s)
+		if eptCycles > 0 {
+			sp.Offer(perf.EPTWalkDuration, eptCycles, s)
+		}
 	}
 }
 
@@ -523,17 +529,36 @@ func (c *Core) sampleRetire(isStore bool, va arch.VAddr) {
 	}
 }
 
-// accountWalk books a walk's cycles and PTE-load locations.
+// accountWalk books a walk's cycles and PTE-load locations, split per
+// dimension when virtualized. The invariant, native walks included, is
+// walk_duration == walk_duration_guest + ept_misses.walk_duration
+// (native walks have no EPT share, so they count fully as guest).
 func (c *Core) accountWalk(isStore bool, wr walker.Result) {
+	guestCycles := wr.Cycles - wr.EPTCycles
 	if isStore {
 		c.ctr.Add(perf.DTLBStoreWalkDuration, wr.Cycles)
+		c.ctr.Add(perf.DTLBStoreWalkDurationGuest, guestCycles)
 	} else {
 		c.ctr.Add(perf.DTLBLoadWalkDuration, wr.Cycles)
+		c.ctr.Add(perf.DTLBLoadWalkDurationGuest, guestCycles)
+	}
+	if wr.GuestPSCHit {
+		c.ctr.Inc(perf.GuestWalkSTLBHit)
 	}
 	c.ctr.Add(perf.WalkerLoadsL1, uint64(wr.Locs[cache.HitL1]))
 	c.ctr.Add(perf.WalkerLoadsL2, uint64(wr.Locs[cache.HitL2]))
 	c.ctr.Add(perf.WalkerLoadsL3, uint64(wr.Locs[cache.HitL3]))
 	c.ctr.Add(perf.WalkerLoadsMem, uint64(wr.Locs[cache.HitMem]))
+
+	// EPT dimension (all zero for native walks).
+	c.ctr.Add(perf.EPTMissWalk, uint64(wr.NTLBMisses))
+	c.ctr.Add(perf.EPTWalkCompleted, uint64(wr.EPTWalks))
+	c.ctr.Add(perf.EPTWalkDuration, wr.EPTCycles)
+	c.ctr.Add(perf.EPTWalkSTLBHit, uint64(wr.NTLBHits))
+	c.ctr.Add(perf.EPTWalkerLoadsL1, uint64(wr.EPTLocs[cache.HitL1]))
+	c.ctr.Add(perf.EPTWalkerLoadsL2, uint64(wr.EPTLocs[cache.HitL2]))
+	c.ctr.Add(perf.EPTWalkerLoadsL3, uint64(wr.EPTLocs[cache.HitL3]))
+	c.ctr.Add(perf.EPTWalkerLoadsMem, uint64(wr.EPTLocs[cache.HitMem]))
 }
 
 func (c *Core) countWalkInitiated(isStore bool) {

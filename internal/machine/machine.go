@@ -22,6 +22,7 @@ import (
 	"atscale/internal/pagetable"
 	"atscale/internal/perf"
 	"atscale/internal/tlb"
+	"atscale/internal/virt"
 	"atscale/internal/vm"
 	"atscale/internal/walker"
 )
@@ -32,6 +33,13 @@ type Machine struct {
 	phys *mem.Phys
 	as   *vm.AddrSpace
 	core *cpu.Core
+
+	// Virtualization layer (nil on native machines). All tenants share
+	// hyp's EPT; as always aliases tenants[tenant].
+	hyp     *virt.Hypervisor
+	gphys   *virt.GuestPhys
+	tenants []*vm.AddrSpace
+	tenant  int
 
 	// quiet-access translation cache (setup-phase fast path).
 	quietValid bool
@@ -90,7 +98,27 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 	var as *vm.AddrSpace
 	var engine walker.Engine
 	var err error
-	if cfg.PageTable == "hashed" {
+	if cfg.Virt.Enabled {
+		// Nested paging: the machine's address space becomes a guest. Its
+		// page tables are built in guest-physical memory, so the walker
+		// must cross into the EPT dimension to resolve every guest level.
+		// The policy argument is the guest OS heap policy; keep the config
+		// mirror coherent for reports.
+		m.cfg.Virt.GuestPages = policy
+		hyp, herr := virt.NewHypervisor(m.phys, cfg.Virt.EPTPages)
+		if herr != nil {
+			return nil, fmt.Errorf("machine: %w", herr)
+		}
+		m.hyp = hyp
+		m.gphys = virt.NewGuestPhys(hyp, cfg.PhysMemBytes)
+		pt, perr := pagetable.New(m.gphys)
+		if perr != nil {
+			return nil, fmt.Errorf("machine: %w", perr)
+		}
+		as, err = vm.NewAddrSpaceTables(m.gphys, policy, pt)
+		nc := mmucache.NewNested(m.cfg.PSC, m.cfg.Virt.EPTPSC, m.cfg.Virt.NTLBEntries)
+		engine = walker.NewNested(m.phys, hyp.Root(), cfg.Virt.EPTPages, nc, caches)
+	} else if cfg.PageTable == "hashed" {
 		if policy != arch.Page4K {
 			return nil, fmt.Errorf("machine: hashed page tables support the 4KB policy only, got %s", policy)
 		}
@@ -110,8 +138,81 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 	m.as = as
 	tlbs := tlb.NewHierarchy(&m.cfg)
 	m.core = cpu.New(&m.cfg, tlbs, caches, engine, seed)
-	m.core.SetAddressSpace(as.PageTable().Root(), as.HandleFault)
+	m.core.SetAddressSpace(as.PageTable().Root(), m.faultHandler(as))
+	if m.hyp != nil {
+		m.tenants = []*vm.AddrSpace{as}
+	}
 	return m, nil
+}
+
+// faultHandler wraps an address space's demand-fault path. On virtualized
+// machines it additionally books the EPT violations the guest fault
+// induced (first touches of guest-physical blocks) as the ept.violations
+// software event; quiet setup-path faults intentionally bypass this.
+func (m *Machine) faultHandler(as *vm.AddrSpace) cpu.FaultHandler {
+	if m.hyp == nil {
+		return as.HandleFault
+	}
+	return func(va arch.VAddr) (arch.PageSize, error) {
+		before := m.hyp.EPTViolations()
+		ps, err := as.HandleFault(va)
+		if d := m.hyp.EPTViolations() - before; d > 0 {
+			m.core.CountSoftware(perf.EPTViolations, d)
+		}
+		return ps, err
+	}
+}
+
+// Virtualized reports whether the machine runs under nested paging.
+func (m *Machine) Virtualized() bool { return m.hyp != nil }
+
+// Hypervisor exposes the virtualization layer (nil on native machines).
+func (m *Machine) Hypervisor() *virt.Hypervisor { return m.hyp }
+
+// AddTenant creates an additional guest address space on a virtualized
+// machine — same heap policy, same guest-physical memory, same (shared)
+// EPT — and returns its tenant index. The new tenant is not scheduled
+// until SwitchTenant selects it.
+func (m *Machine) AddTenant() (int, error) {
+	if m.hyp == nil {
+		return 0, fmt.Errorf("machine: AddTenant on a native machine")
+	}
+	pt, err := pagetable.New(m.gphys)
+	if err != nil {
+		return 0, fmt.Errorf("machine: %w", err)
+	}
+	as, err := vm.NewAddrSpaceTables(m.gphys, m.as.Policy(), pt)
+	if err != nil {
+		return 0, fmt.Errorf("machine: %w", err)
+	}
+	m.tenants = append(m.tenants, as)
+	return len(m.tenants) - 1, nil
+}
+
+// Tenants returns the number of guest address spaces (1 on a freshly
+// built virtualized machine, 0 native).
+func (m *Machine) Tenants() int { return len(m.tenants) }
+
+// SwitchTenant performs a guest context switch to tenant i: CR3 changes,
+// so the TLBs and guest-dimension walk caches flush — but the nTLB and
+// EPT paging-structure caches, keyed by guest-physical addresses under
+// the shared EPT, stay warm. That retained state is the EPT-sharing
+// benefit the multi-tenant sweeps quantify.
+func (m *Machine) SwitchTenant(i int) error {
+	if m.hyp == nil {
+		return fmt.Errorf("machine: SwitchTenant on a native machine")
+	}
+	if i < 0 || i >= len(m.tenants) {
+		return fmt.Errorf("machine: no tenant %d (have %d)", i, len(m.tenants))
+	}
+	if i == m.tenant {
+		return nil
+	}
+	m.tenant = i
+	m.as = m.tenants[i]
+	m.quietValid = false // quiet cache holds the old tenant's frames
+	m.core.SetAddressSpace(m.as.PageTable().Root(), m.faultHandler(m.as))
+	return nil
 }
 
 // Config returns the machine's configuration.
@@ -270,6 +371,16 @@ func (m *Machine) quietTranslate(va arch.VAddr) arch.PAddr {
 		if !ok {
 			panic("machine: fault handler did not map page")
 		}
+	}
+	if m.hyp != nil {
+		// The guest page table yielded a guest-physical address; compose
+		// with the EPT to reach the host bytes (backing is eager, so a
+		// mapped gPA always translates).
+		hpa, hok := m.hyp.Translate(pa)
+		if !hok {
+			panic(fmt.Sprintf("machine: mapped gPA %#x not EPT-backed", uint64(pa)))
+		}
+		pa = hpa
 	}
 	m.quietPage = page
 	m.quietFrame = pa - arch.PAddr(va-page)

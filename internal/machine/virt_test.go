@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+func newVirtM(t *testing.T, guest, ept arch.PageSize) *Machine {
+	t.Helper()
+	cfg := arch.DefaultSystem()
+	cfg.Virt = arch.DefaultVirt()
+	cfg.Virt.EPTPages = ept
+	m, err := New(cfg, guest, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestVirtMemoryConsistencyOracle is the end-to-end correctness property
+// under nested paging: loads and stores through the 2D translation stack
+// must never scramble or alias data, for every guest x EPT page-size
+// combination the sweeps use.
+func TestVirtMemoryConsistencyOracle(t *testing.T) {
+	for _, tc := range []struct{ guest, ept arch.PageSize }{
+		{arch.Page4K, arch.Page4K},
+		{arch.Page4K, arch.Page2M},
+		{arch.Page2M, arch.Page4K},
+		{arch.Page2M, arch.Page1G},
+	} {
+		t.Run(tc.guest.String()+"/"+tc.ept.String(), func(t *testing.T) {
+			m := newVirtM(t, tc.guest, tc.ept)
+			if !m.Virtualized() {
+				t.Fatal("machine not virtualized")
+			}
+			rng := rand.New(rand.NewSource(7))
+			base := m.MustMalloc(8 * arch.MB)
+			oracle := map[arch.VAddr]uint64{}
+			for i := 0; i < 10000; i++ {
+				va := base + arch.VAddr(rng.Uint64()%(8*arch.MB/8)*8)
+				if rng.Intn(2) == 0 {
+					v := rng.Uint64()
+					m.Store64(va, v)
+					oracle[va] = v
+				} else if got, want := m.Load64(va), oracle[va]; got != want {
+					t.Fatalf("load %#x = %#x, want %#x", uint64(va), got, want)
+				}
+			}
+			// Poke/Peek must agree with the simulated path too.
+			for va, want := range oracle {
+				if got := m.Peek64(va); got != want {
+					t.Fatalf("peek %#x = %#x, want %#x", uint64(va), got, want)
+				}
+				break
+			}
+		})
+	}
+}
+
+// TestVirtCounterInvariants checks the nested event family: the
+// guest/EPT walk-duration split sums to walk_duration, EPT activity is
+// visible, violations were booked, and the Eq1 product still equals
+// WCPI with EPT loads folded into the walker-load total.
+func TestVirtCounterInvariants(t *testing.T) {
+	m := newVirtM(t, arch.Page4K, arch.Page4K)
+	rng := rand.New(rand.NewSource(9))
+	base := m.MustMalloc(32 * arch.MB)
+	for i := 0; i < 30000; i++ {
+		m.Load64(base + arch.VAddr(rng.Uint64()%(32*arch.MB/8)*8))
+	}
+	c := m.Counters()
+
+	dur := c.Get(perf.DTLBLoadWalkDuration) + c.Get(perf.DTLBStoreWalkDuration)
+	guest := c.Get(perf.DTLBLoadWalkDurationGuest) + c.Get(perf.DTLBStoreWalkDurationGuest)
+	ept := c.Get(perf.EPTWalkDuration)
+	if dur == 0 {
+		t.Fatal("no walk cycles accrued")
+	}
+	if guest+ept != dur {
+		t.Errorf("walk_duration split: guest %d + ept %d != total %d", guest, ept, dur)
+	}
+	if ept == 0 {
+		t.Error("no EPT walk cycles under 4KB/4KB nested paging")
+	}
+	for _, e := range []perf.Event{
+		perf.EPTMissWalk, perf.EPTWalkCompleted, perf.EPTWalkSTLBHit,
+		perf.EPTWalkerLoadsMem, perf.EPTViolations,
+	} {
+		if c.Get(e) == 0 {
+			t.Errorf("%s = 0, want > 0", e)
+		}
+	}
+
+	mt := perf.Compute(c)
+	if mt.EPTWalkCycles+mt.GuestWalkCycles != mt.WalkCycles {
+		t.Errorf("Metrics split %d+%d != %d", mt.EPTWalkCycles, mt.GuestWalkCycles, mt.WalkCycles)
+	}
+	if p := mt.Eq1.Product(); !closeEnough(p, mt.WCPI) {
+		t.Errorf("Eq1 product %g != WCPI %g", p, mt.WCPI)
+	}
+	if mt.NTLBHitRate <= 0 || mt.NTLBHitRate >= 1 {
+		t.Errorf("nTLB hit rate = %v, want in (0,1)", mt.NTLBHitRate)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	s := a
+	if b > s {
+		s = b
+	}
+	return d <= 1e-9*s
+}
+
+// TestNativeCountersKeepGuestInvariant: on a native machine the guest
+// split must equal the full duration (walks have no EPT share) and the
+// ept_* family stays zero.
+func TestNativeCountersKeepGuestInvariant(t *testing.T) {
+	m := newM(t, arch.Page4K)
+	rng := rand.New(rand.NewSource(9))
+	base := m.MustMalloc(16 * arch.MB)
+	for i := 0; i < 10000; i++ {
+		m.Load64(base + arch.VAddr(rng.Uint64()%(16*arch.MB/8)*8))
+	}
+	c := m.Counters()
+	dur := c.Get(perf.DTLBLoadWalkDuration) + c.Get(perf.DTLBStoreWalkDuration)
+	guest := c.Get(perf.DTLBLoadWalkDurationGuest) + c.Get(perf.DTLBStoreWalkDurationGuest)
+	if dur == 0 || guest != dur {
+		t.Errorf("native guest split %d != walk_duration %d", guest, dur)
+	}
+	for _, e := range []perf.Event{perf.EPTMissWalk, perf.EPTWalkDuration, perf.EPTViolations} {
+		if c.Get(e) != 0 {
+			t.Errorf("native machine counted %s = %d", e, c.Get(e))
+		}
+	}
+}
+
+// TestMultiTenantEPTSharing runs two tenants round-robin and checks the
+// machinery: tenant switches flush guest state but keep the shared EPT
+// dimension warm, and the tenants' data stays isolated.
+func TestMultiTenantEPTSharing(t *testing.T) {
+	m := newVirtM(t, arch.Page4K, arch.Page4K)
+	second, err := m.AddTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tenants() != 2 {
+		t.Fatalf("tenants = %d", m.Tenants())
+	}
+
+	// Tenant 0 writes its pattern.
+	base0 := m.MustMalloc(1 * arch.MB)
+	for off := uint64(0); off < arch.MB; off += 4096 {
+		m.Store64(base0+arch.VAddr(off), 0xAAAA_0000+off)
+	}
+
+	if err := m.SwitchTenant(second); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 1 has its own address space: same VA range starts unmapped,
+	// and its heap often lands on the same VAs without aliasing tenant 0.
+	base1 := m.MustMalloc(1 * arch.MB)
+	for off := uint64(0); off < arch.MB; off += 4096 {
+		m.Store64(base1+arch.VAddr(off), 0xBBBB_0000+off)
+	}
+
+	if err := m.SwitchTenant(0); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < arch.MB; off += 4096 {
+		if got := m.Load64(base0 + arch.VAddr(off)); got != 0xAAAA_0000+off {
+			t.Fatalf("tenant 0 data clobbered at +%#x: %#x", off, got)
+		}
+	}
+
+	// Both tenants draw from one hypervisor: guest table pages and data
+	// of both are EPT-backed by the same shared table.
+	if m.Hypervisor().HostMappedBytes() < 2*arch.MB {
+		t.Errorf("host mapped %d, want >= both tenants' heaps", m.Hypervisor().HostMappedBytes())
+	}
+
+	if err := m.SwitchTenant(99); err == nil {
+		t.Error("SwitchTenant(99) accepted")
+	}
+}
+
+// TestNativeMachineRejectsTenantAPI pins the API contract on native
+// machines.
+func TestNativeMachineRejectsTenantAPI(t *testing.T) {
+	m := newM(t, arch.Page4K)
+	if m.Virtualized() || m.Hypervisor() != nil || m.Tenants() != 0 {
+		t.Error("native machine claims virtualization state")
+	}
+	if _, err := m.AddTenant(); err == nil {
+		t.Error("AddTenant on native machine accepted")
+	}
+	if err := m.SwitchTenant(0); err == nil {
+		t.Error("SwitchTenant on native machine accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package mmucache
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+func TestNTLBLookupInsert(t *testing.T) {
+	n := NewNTLB(4)
+	if _, _, ok := n.Lookup(0x1000); ok {
+		t.Fatal("empty nTLB hit")
+	}
+	n.Insert(0x1000, 0xa000, arch.Page4K)
+	if hbase, size, ok := n.Lookup(0x1000); !ok || hbase != 0xa000 || size != arch.Page4K {
+		t.Fatalf("lookup = %#x,%v,%v", uint64(hbase), size, ok)
+	}
+	// Any offset within the cached mapping's page hits.
+	if _, _, ok := n.Lookup(0x1ff8); !ok {
+		t.Error("interior offset missed")
+	}
+	if _, _, ok := n.Lookup(0x2000); ok {
+		t.Error("neighbouring page hit")
+	}
+
+	// A 2MB mapping covers all its 4KB chunks.
+	n.Insert(0x20_0000, 0x40_0000, arch.Page2M)
+	if hbase, size, ok := n.Lookup(0x20_0000 + 0x5432); !ok || hbase != 0x40_0000 || size != arch.Page2M {
+		t.Fatalf("2MB lookup = %#x,%v,%v", uint64(hbase), size, ok)
+	}
+}
+
+func TestNTLBLRUEviction(t *testing.T) {
+	n := NewNTLB(2)
+	n.Insert(0x1000, 0xa000, arch.Page4K)
+	n.Insert(0x2000, 0xb000, arch.Page4K)
+	n.Lookup(0x1000) // make 0x1000 the MRU
+	n.Insert(0x3000, 0xc000, arch.Page4K)
+	if _, _, ok := n.Lookup(0x2000); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, _, ok := n.Lookup(0x1000); !ok {
+		t.Error("MRU entry was evicted")
+	}
+	if n.Live() != 2 {
+		t.Errorf("live = %d, want 2", n.Live())
+	}
+}
+
+func TestNTLBDisabledAndFlush(t *testing.T) {
+	off := NewNTLB(0)
+	off.Insert(0x1000, 0xa000, arch.Page4K)
+	if _, _, ok := off.Lookup(0x1000); ok {
+		t.Error("0-entry nTLB cached something")
+	}
+
+	n := NewNTLB(4)
+	n.Insert(0x1000, 0xa000, arch.Page4K)
+	n.Flush()
+	if n.Live() != 0 {
+		t.Errorf("live after flush = %d", n.Live())
+	}
+}
+
+// TestNestedFlushScopes pins the cache-retention contract: FlushGuest
+// (guest context switch) keeps the EPT dimension warm, Flush (EPTP
+// change) drops everything.
+func TestNestedFlushScopes(t *testing.T) {
+	g := arch.DefaultSystem().PSC
+	nc := NewNested(g, g, 8)
+	nc.Guest.Insert(arch.LevelPD, 0x1000_0000, 0xa000)
+	nc.EPT.Insert(arch.LevelPD, 0x2000_0000, 0xb000)
+	nc.NTLB.Insert(0x3000, 0xc000, arch.Page4K)
+
+	nc.FlushGuest()
+	if nc.Guest.Live(arch.LevelPD) != 0 {
+		t.Error("FlushGuest kept guest PSC entries")
+	}
+	if nc.EPT.Live(arch.LevelPD) != 1 || nc.NTLB.Live() != 1 {
+		t.Error("FlushGuest dropped EPT-dimension state")
+	}
+
+	nc.Flush()
+	if nc.EPT.Live(arch.LevelPD) != 0 || nc.NTLB.Live() != 0 {
+		t.Error("Flush kept EPT-dimension state")
+	}
+}

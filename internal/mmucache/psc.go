@@ -171,3 +171,6 @@ func (p *PSC) Flush() {
 // Live returns the number of valid entries in the cache of level-l entries
 // (test/debug helper).
 func (p *PSC) Live(l arch.Level) int { return p.byLevel[l].live() }
+
+// Top returns the radix root level the PSCs were built for.
+func (p *PSC) Top() arch.Level { return p.top }

@@ -27,7 +27,7 @@ import (
 // tables or cuckoo ways, which this model omits (the comparison
 // experiment runs 4 KB heaps).
 type HashedTable struct {
-	phys *mem.Phys
+	phys mem.Memory
 
 	// segments are the 2 MB physical chunks holding clusters.
 	segments []arch.PAddr
@@ -62,7 +62,7 @@ const clustersPerSegment = (2 * arch.MB) / clusterBytes
 
 // NewHashed creates a hashed page table with capacity for at least
 // initialSlots page translations (rounded up to whole 2 MB segments).
-func NewHashed(phys *mem.Phys, initialSlots uint64) (*HashedTable, error) {
+func NewHashed(phys mem.Memory, initialSlots uint64) (*HashedTable, error) {
 	n := uint64(clustersPerSegment)
 	for n*clusterSpan < initialSlots {
 		n *= 2

@@ -10,8 +10,14 @@ import (
 // Table is one address space's radix page table. The OS layer calls Map and
 // Unmap; the hardware walker reads entries through EntryAddr + the physical
 // memory, exactly as a real MMU reads the tables the OS maintains.
+//
+// The table is built over a mem.Memory, not *mem.Phys directly: over host
+// physical memory it is a native table (or an EPT); over the
+// guest-physical memory of internal/virt its table pages — root included —
+// are guest-physical addresses, which is what makes nested walks walk the
+// EPT once per guest level.
 type Table struct {
-	phys   *mem.Phys
+	phys   mem.Memory
 	root   arch.PAddr
 	top    arch.Level // radix root level (PML4 or PML5)
 	levels int
@@ -21,11 +27,11 @@ type Table struct {
 }
 
 // New allocates an empty 4-level page table (just the PML4 root page).
-func New(phys *mem.Phys) (*Table, error) { return NewWithDepth(phys, 4) }
+func New(phys mem.Memory) (*Table, error) { return NewWithDepth(phys, 4) }
 
 // NewWithDepth allocates an empty page table with the given radix depth
 // (4 for classic x86-64, 5 for LA57).
-func NewWithDepth(phys *mem.Phys, levels int) (*Table, error) {
+func NewWithDepth(phys mem.Memory, levels int) (*Table, error) {
 	top := arch.RootLevel(levels) // panics on unsupported depth
 	root, err := phys.AllocPage(arch.Page4K)
 	if err != nil {

@@ -121,6 +121,28 @@ type Metrics struct {
 	MachineClearsPerKiloInstruction float64
 	// BranchMispredictRate is mispredicts over retired branches.
 	BranchMispredictRate float64
+
+	// The remaining fields split translation work between the guest and
+	// EPT dimensions (all zero on native runs).
+
+	// EPTWalkCycles is the host-dimension share of WalkCycles; the guest
+	// share is GuestWalkCycles. The universal invariant, native runs
+	// included, is WalkCycles == GuestWalkCycles + EPTWalkCycles.
+	EPTWalkCycles   uint64
+	GuestWalkCycles uint64
+	// EPTShare is EPTWalkCycles / WalkCycles — the fraction of
+	// translation time spent walking the EPT.
+	EPTShare float64
+	// EPTWalks is the number of EPT walks started; NTLBHitRate is the
+	// fraction of gPA translations the EPT translation cache served
+	// without a walk.
+	EPTWalks    uint64
+	NTLBHitRate float64
+	// EPTWalkerLoads is the EPT-dimension share of WalkerLoads.
+	EPTWalkerLoads uint64
+	// EPTPTELocation is the fraction of EPT-entry loads satisfied by each
+	// cache level: L1, L2, L3, memory — the host-dimension Figure 8.
+	EPTPTELocation [4]float64
 }
 
 func ratio(num, den uint64) float64 {
@@ -140,8 +162,14 @@ func Compute(c Counters) Metrics {
 	m.WalkCycles = c.Get(DTLBLoadWalkDuration) + c.Get(DTLBStoreWalkDuration)
 	m.Outcomes = Outcomes(c)
 	m.Walks = m.Outcomes.Initiated
+	// WalkerLoads totals both dimensions: guest PTE loads land in
+	// page_walker_loads.dtlb_*, EPT-entry loads in the ept_dtlb_* umasks.
+	// The total must include both so the Eq1 product still equals WCPI
+	// (walk_duration includes EPT-walk cycles).
+	m.EPTWalkerLoads = c.Get(EPTWalkerLoadsL1) + c.Get(EPTWalkerLoadsL2) +
+		c.Get(EPTWalkerLoadsL3) + c.Get(EPTWalkerLoadsMem)
 	m.WalkerLoads = c.Get(WalkerLoadsL1) + c.Get(WalkerLoadsL2) +
-		c.Get(WalkerLoadsL3) + c.Get(WalkerLoadsMem)
+		c.Get(WalkerLoadsL3) + c.Get(WalkerLoadsMem) + m.EPTWalkerLoads
 
 	m.CPI = ratio(m.Cycles, m.Instructions)
 	m.WCPI = ratio(m.WalkCycles, m.Instructions)
@@ -163,10 +191,25 @@ func Compute(c Counters) Metrics {
 	}
 
 	if m.WalkerLoads > 0 {
-		for i, e := range []Event{WalkerLoadsL1, WalkerLoadsL2, WalkerLoadsL3, WalkerLoadsMem} {
-			m.PTELocation[i] = ratio(c.Get(e), m.WalkerLoads)
+		// Combined over both dimensions, mirroring WalkerLoads.
+		guest := [4]Event{WalkerLoadsL1, WalkerLoadsL2, WalkerLoadsL3, WalkerLoadsMem}
+		ept := [4]Event{EPTWalkerLoadsL1, EPTWalkerLoadsL2, EPTWalkerLoadsL3, EPTWalkerLoadsMem}
+		for i := range guest {
+			m.PTELocation[i] = ratio(c.Get(guest[i])+c.Get(ept[i]), m.WalkerLoads)
 		}
 	}
+	if m.EPTWalkerLoads > 0 {
+		for i, e := range []Event{EPTWalkerLoadsL1, EPTWalkerLoadsL2, EPTWalkerLoadsL3, EPTWalkerLoadsMem} {
+			m.EPTPTELocation[i] = ratio(c.Get(e), m.EPTWalkerLoads)
+		}
+	}
+
+	m.EPTWalkCycles = c.Get(EPTWalkDuration)
+	m.GuestWalkCycles = c.Get(DTLBLoadWalkDurationGuest) + c.Get(DTLBStoreWalkDurationGuest)
+	m.EPTShare = ratio(m.EPTWalkCycles, m.WalkCycles)
+	m.EPTWalks = c.Get(EPTMissWalk)
+	ntlbHits := c.Get(EPTWalkSTLBHit)
+	m.NTLBHitRate = ratio(ntlbHits, ntlbHits+m.EPTWalks)
 
 	m.MachineClearsPerKiloInstruction = 1000 * ratio(c.Get(MachineClears), m.Instructions)
 	m.BranchMispredictRate = ratio(c.Get(BranchMispredicts), c.Get(Branches))

@@ -97,6 +97,57 @@ const (
 	// WCPI-guided promotion policy (sw event, khugepaged analogue).
 	THPPromotions
 
+	// The ept_* family extends the Haswell naming scheme to nested paging
+	// (virtualized runs only; all zero natively). An "EPT walk" is one
+	// gPA -> hPA translation performed inside a nested guest walk — up to
+	// n_g+1 of them per guest walk.
+
+	// EPTMissWalk counts gPA translations that missed the EPT translation
+	// cache (nTLB) and started an EPT walk
+	// (ept_misses.miss_causes_a_walk).
+	EPTMissWalk
+	// EPTWalkCompleted counts EPT walks that ran to completion
+	// (ept_misses.walk_completed).
+	EPTWalkCompleted
+	// EPTWalkDuration accumulates cycles spent inside EPT walks — the
+	// host-dimension share of walk_duration
+	// (ept_misses.walk_duration).
+	EPTWalkDuration
+	// EPTWalkSTLBHit counts gPA translations served by the EPT
+	// translation cache, skipping the EPT walk entirely
+	// (ept_misses.walk_stlb_hit).
+	EPTWalkSTLBHit
+	// GuestWalkSTLBHit counts guest walks that entered below the guest
+	// radix root thanks to a guest paging-structure-cache hit
+	// (dtlb_misses.walk_stlb_hit_guest).
+	GuestWalkSTLBHit
+	// DTLBLoadWalkDurationGuest is the guest-dimension share of
+	// dtlb_load_misses.walk_duration: cycles spent loading guest PTEs,
+	// EPT-walk cycles excluded. Equals walk_duration on native runs
+	// (dtlb_load_misses.walk_duration_guest).
+	DTLBLoadWalkDurationGuest
+	// DTLBStoreWalkDurationGuest is the store counterpart
+	// (dtlb_store_misses.walk_duration_guest).
+	DTLBStoreWalkDurationGuest
+
+	// EPTWalkerLoadsL1 counts EPT-entry loads satisfied by the L1 data
+	// cache (page_walker_loads.ept_dtlb_l1).
+	EPTWalkerLoadsL1
+	// EPTWalkerLoadsL2 is the L2 counterpart
+	// (page_walker_loads.ept_dtlb_l2).
+	EPTWalkerLoadsL2
+	// EPTWalkerLoadsL3 is the L3 counterpart
+	// (page_walker_loads.ept_dtlb_l3).
+	EPTWalkerLoadsL3
+	// EPTWalkerLoadsMem counts EPT-entry loads that went to DRAM
+	// (page_walker_loads.ept_dtlb_memory).
+	EPTWalkerLoadsMem
+
+	// EPTViolations counts EPT violations serviced by the hypervisor —
+	// first touches of guest-physical blocks during the measured region
+	// (sw event, the guest's "host page fault").
+	EPTViolations
+
 	// NumEvents is the number of defined events.
 	NumEvents
 )
@@ -129,6 +180,19 @@ var eventNames = [NumEvents]string{
 	TLBPrefetchFills:       "tlb_prefetch.fills",
 	TLBPrefetchCycles:      "tlb_prefetch.walk_duration",
 	THPPromotions:          "thp.promotions",
+
+	EPTMissWalk:                "ept_misses.miss_causes_a_walk",
+	EPTWalkCompleted:           "ept_misses.walk_completed",
+	EPTWalkDuration:            "ept_misses.walk_duration",
+	EPTWalkSTLBHit:             "ept_misses.walk_stlb_hit",
+	GuestWalkSTLBHit:           "dtlb_misses.walk_stlb_hit_guest",
+	DTLBLoadWalkDurationGuest:  "dtlb_load_misses.walk_duration_guest",
+	DTLBStoreWalkDurationGuest: "dtlb_store_misses.walk_duration_guest",
+	EPTWalkerLoadsL1:           "page_walker_loads.ept_dtlb_l1",
+	EPTWalkerLoadsL2:           "page_walker_loads.ept_dtlb_l2",
+	EPTWalkerLoadsL3:           "page_walker_loads.ept_dtlb_l3",
+	EPTWalkerLoadsMem:          "page_walker_loads.ept_dtlb_memory",
+	EPTViolations:              "ept.violations",
 }
 
 // String returns the perf-tool spelling of the event name.

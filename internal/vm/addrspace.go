@@ -68,7 +68,7 @@ type Tables interface {
 
 // AddrSpace is one process's virtual address space.
 type AddrSpace struct {
-	phys   *mem.Phys
+	phys   mem.Memory
 	pt     Tables
 	policy arch.PageSize
 
@@ -91,13 +91,13 @@ type AddrSpace struct {
 
 // NewAddrSpace creates an empty 4-level address space whose heap is backed
 // according to the given page-size policy.
-func NewAddrSpace(phys *mem.Phys, policy arch.PageSize) (*AddrSpace, error) {
+func NewAddrSpace(phys mem.Memory, policy arch.PageSize) (*AddrSpace, error) {
 	return NewAddrSpaceDepth(phys, policy, 4)
 }
 
 // NewAddrSpaceDepth is NewAddrSpace with an explicit paging depth (4 or 5
 // levels).
-func NewAddrSpaceDepth(phys *mem.Phys, policy arch.PageSize, levels int) (*AddrSpace, error) {
+func NewAddrSpaceDepth(phys mem.Memory, policy arch.PageSize, levels int) (*AddrSpace, error) {
 	pt, err := pagetable.NewWithDepth(phys, levels)
 	if err != nil {
 		return nil, err
@@ -107,7 +107,7 @@ func NewAddrSpaceDepth(phys *mem.Phys, policy arch.PageSize, levels int) (*AddrS
 
 // NewAddrSpaceTables builds an address space over a caller-supplied
 // page-table organization (the hashed-table extension's entry point).
-func NewAddrSpaceTables(phys *mem.Phys, policy arch.PageSize, pt Tables) (*AddrSpace, error) {
+func NewAddrSpaceTables(phys mem.Memory, policy arch.PageSize, pt Tables) (*AddrSpace, error) {
 	if !pt.Superpages() && policy != arch.Page4K {
 		return nil, fmt.Errorf("vm: %s backing requires a page-table organization with superpages", policy)
 	}

@@ -1,0 +1,112 @@
+package walker
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+// The golden tests lock the walker's exact observable behaviour — the
+// touched physical frames, the per-level PTE-load counts, and the cycle
+// totals — for a fixed seed, in both the native 4-level and the nested
+// 24-step configuration. Any change to walk order, PSC behaviour,
+// allocation order, or latency accounting shows up as a golden diff, so
+// model changes are always deliberate.
+
+// goldenVAs derives a deterministic, seeded set of page-aligned virtual
+// addresses in a heap-like region.
+func goldenVAs(seed int64, n int) []arch.VAddr {
+	rng := rand.New(rand.NewSource(seed))
+	vas := make([]arch.VAddr, n)
+	for i := range vas {
+		vas[i] = arch.VAddr(0x0000_0100_0000_0000 + uint64(rng.Intn(1<<18))<<arch.PageShift4K)
+	}
+	return vas
+}
+
+func formatWalk(va arch.VAddr, r Result) string {
+	return fmt.Sprintf("va=%#x ok=%v frame=%#x size=%s loads=%d guest=%d ept=%d locs=%v eptlocs=%v ntlb=%d/%d cycles=%d",
+		uint64(va), r.OK, uint64(r.Frame), r.Size, r.Loads, r.GuestLoads, r.EPTLoads,
+		r.Locs, r.EPTLocs, r.NTLBHits, r.NTLBMisses, r.Cycles)
+}
+
+func diffGolden(t *testing.T, name, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Errorf("%s: line %d:\n got  %s\n want %s", name, i+1, g, w)
+		}
+	}
+}
+
+const goldenNative = `va=0x100364b1000 ok=true frame=0x2000 size=4KB loads=4 guest=4 ept=0 locs=[0 0 0 4] eptlocs=[0 0 0 0] ntlb=0/0 cycles=848
+va=0x1002b44b000 ok=true frame=0x6000 size=4KB loads=2 guest=2 ept=0 locs=[0 0 0 2] eptlocs=[0 0 0 0] ntlb=0/0 cycles=424
+va=0x1002f284000 ok=true frame=0x8000 size=4KB loads=2 guest=2 ept=0 locs=[0 0 0 2] eptlocs=[0 0 0 0] ntlb=0/0 cycles=424
+va=0x1002923e000 ok=true frame=0xa000 size=4KB loads=2 guest=2 ept=0 locs=[0 0 0 2] eptlocs=[0 0 0 0] ntlb=0/0 cycles=424
+va=0x100364b1000 ok=true frame=0x2000 size=4KB loads=1 guest=1 ept=0 locs=[1 0 0 0] eptlocs=[0 0 0 0] ntlb=0/0 cycles=6
+va=0x1002b44b000 ok=true frame=0x6000 size=4KB loads=1 guest=1 ept=0 locs=[1 0 0 0] eptlocs=[0 0 0 0] ntlb=0/0 cycles=6
+va=0x1002f284000 ok=true frame=0x8000 size=4KB loads=1 guest=1 ept=0 locs=[1 0 0 0] eptlocs=[0 0 0 0] ntlb=0/0 cycles=6
+va=0x1002923e000 ok=true frame=0xa000 size=4KB loads=1 guest=1 ept=0 locs=[1 0 0 0] eptlocs=[0 0 0 0] ntlb=0/0 cycles=6`
+
+// TestGoldenNativeWalks locks the native 4-level walker: one fully cold
+// walk (4 loads), three sharing the warmed PDPT cache (2 loads, the VAs
+// fall in one 1 GB region), then four PDE-cache warm walks (1 L1-hit
+// load each). Frames follow bump-allocation order.
+func TestGoldenNativeWalks(t *testing.T) {
+	f := newFixture(t)
+	vas := goldenVAs(42, 4)
+	for _, va := range vas {
+		f.mapPage(t, va, arch.Page4K)
+	}
+	var lines []string
+	for pass := 0; pass < 2; pass++ {
+		for _, va := range vas {
+			r := f.w.Walk(va, f.pt.Root(), NoBudget)
+			lines = append(lines, formatWalk(va, r))
+		}
+	}
+	diffGolden(t, "native", strings.Join(lines, "\n"), goldenNative)
+}
+
+const goldenNested = `va=0x100364b1000 ok=true frame=0x6000 size=4KB loads=24 guest=4 ept=20 locs=[0 0 0 4] eptlocs=[16 0 0 4] ntlb=0/5 cycles=1792
+va=0x1002b44b000 ok=true frame=0xa000 size=4KB loads=24 guest=4 ept=20 locs=[2 0 0 2] eptlocs=[20 0 0 0] ntlb=0/5 cycles=556
+va=0x1002f284000 ok=true frame=0xc000 size=4KB loads=24 guest=4 ept=20 locs=[2 0 0 2] eptlocs=[19 0 0 1] ntlb=0/5 cycles=762
+va=0x1002923e000 ok=true frame=0xe000 size=4KB loads=24 guest=4 ept=20 locs=[2 0 0 2] eptlocs=[20 0 0 0] ntlb=0/5 cycles=556
+va=0x100364b1000 ok=true frame=0x6000 size=4KB loads=24 guest=4 ept=20 locs=[4 0 0 0] eptlocs=[20 0 0 0] ntlb=0/5 cycles=144
+va=0x1002b44b000 ok=true frame=0xa000 size=4KB loads=24 guest=4 ept=20 locs=[4 0 0 0] eptlocs=[20 0 0 0] ntlb=0/5 cycles=144
+va=0x1002f284000 ok=true frame=0xc000 size=4KB loads=24 guest=4 ept=20 locs=[4 0 0 0] eptlocs=[20 0 0 0] ntlb=0/5 cycles=144
+va=0x1002923e000 ok=true frame=0xe000 size=4KB loads=24 guest=4 ept=20 locs=[4 0 0 0] eptlocs=[20 0 0 0] ntlb=0/5 cycles=144`
+
+// TestGoldenNestedWalks locks the 2D walker with every walk-serving
+// cache disabled: each 4KB/4KB walk is the full 24-step sequence (4
+// guest loads, 5 EPT walks of 4), and the second pass differs only in
+// data-cache hit locations.
+func TestGoldenNestedWalks(t *testing.T) {
+	f := newNestedFixture(t, arch.Page4K, true)
+	vas := goldenVAs(42, 4)
+	for _, va := range vas {
+		f.mapGuestPage(t, va, arch.Page4K)
+	}
+	var lines []string
+	for pass := 0; pass < 2; pass++ {
+		for _, va := range vas {
+			r := f.w.Walk(va, f.pt.Root(), NoBudget)
+			lines = append(lines, formatWalk(va, r))
+		}
+	}
+	diffGolden(t, "nested", strings.Join(lines, "\n"), goldenNested)
+}

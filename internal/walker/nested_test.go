@@ -1,0 +1,238 @@
+package walker
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/mem"
+	"atscale/internal/mmucache"
+	"atscale/internal/pagetable"
+	"atscale/internal/virt"
+)
+
+type nestedFixture struct {
+	host  *mem.Phys
+	hyp   *virt.Hypervisor
+	gphys *virt.GuestPhys
+	pt    *pagetable.Table // guest table, pages in guest-physical memory
+	nc    *mmucache.Nested
+	w     *Nested
+}
+
+// newNestedFixture builds the full virtualization stack. With uncached
+// true, every walk-serving cache has zero entries, so each walk performs
+// the full analytic load count.
+func newNestedFixture(t *testing.T, eptPages arch.PageSize, uncached bool) *nestedFixture {
+	t.Helper()
+	cfg := arch.DefaultSystem()
+	vc := arch.DefaultVirt()
+	host := mem.NewPhys(64 * arch.GB)
+	hyp, err := virt.NewHypervisor(host, eptPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gphys := virt.NewGuestPhys(hyp, 32*arch.GB)
+	pt, err := pagetable.New(gphys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nc *mmucache.Nested
+	if uncached {
+		nc = mmucache.NewNested(arch.PSCGeometry{}, arch.PSCGeometry{}, 0)
+	} else {
+		nc = mmucache.NewNested(cfg.PSC, vc.EPTPSC, vc.NTLBEntries)
+	}
+	w := NewNested(host, hyp.Root(), eptPages, nc, cache.NewHierarchy(&cfg))
+	return &nestedFixture{host: host, hyp: hyp, gphys: gphys, pt: pt, nc: nc, w: w}
+}
+
+func (f *nestedFixture) mapGuestPage(t *testing.T, va arch.VAddr, ps arch.PageSize) arch.PAddr {
+	t.Helper()
+	gframe, err := f.gphys.AllocPage(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.pt.Map(va, gframe, ps); err != nil {
+		t.Fatal(err)
+	}
+	return gframe
+}
+
+// oracle composes the two software lookups: guest table then EPT.
+func (f *nestedFixture) oracle(t *testing.T, va arch.VAddr) arch.PAddr {
+	t.Helper()
+	gpa, _, ok := f.pt.Lookup(va)
+	if !ok {
+		t.Fatalf("oracle: %#x unmapped in guest", uint64(va))
+	}
+	hpa, ok := f.hyp.Translate(gpa)
+	if !ok {
+		t.Fatalf("oracle: gPA %#x unmapped in EPT", uint64(gpa))
+	}
+	return hpa
+}
+
+// TestNestedColdWalkLoadCounts pins the analytic 2D load counts: an
+// uncached n_g-level guest walk over an n_e-level EPT performs
+// n_g + (n_g+1)*n_e PTE loads — 24 in the 4KB/4KB worst case.
+func TestNestedColdWalkLoadCounts(t *testing.T) {
+	cases := []struct {
+		guest, ept arch.PageSize
+	}{
+		{arch.Page4K, arch.Page4K}, // 4 + 5*4 = 24
+		{arch.Page4K, arch.Page2M}, // 4 + 5*3 = 19
+		{arch.Page4K, arch.Page1G}, // 4 + 5*2 = 14
+		{arch.Page2M, arch.Page4K}, // 3 + 4*4 = 19
+		{arch.Page2M, arch.Page2M}, // 3 + 4*3 = 15
+		{arch.Page1G, arch.Page4K}, // 2 + 3*4 = 14
+	}
+	for _, tc := range cases {
+		t.Run(tc.guest.String()+"/"+tc.ept.String(), func(t *testing.T) {
+			f := newNestedFixture(t, tc.ept, true)
+			va := arch.VAddr(arch.AlignUp(0x7f00_0000_0000, tc.guest.Bytes()))
+			f.mapGuestPage(t, va, tc.guest)
+			r := f.w.Walk(va, f.pt.Root(), NoBudget)
+			if !r.OK || !r.Completed {
+				t.Fatalf("walk failed: %+v", r)
+			}
+			gl := tc.guest.WalkLength()
+			el := tc.ept.WalkLength()
+			want := gl + (gl+1)*el
+			if r.Loads != want {
+				t.Errorf("total loads = %d, want %d", r.Loads, want)
+			}
+			if r.GuestLoads != gl {
+				t.Errorf("guest loads = %d, want %d", r.GuestLoads, gl)
+			}
+			if r.EPTLoads != (gl+1)*el {
+				t.Errorf("EPT loads = %d, want %d", r.EPTLoads, (gl+1)*el)
+			}
+			if r.EPTWalks != gl+1 {
+				t.Errorf("EPT walks = %d, want %d", r.EPTWalks, gl+1)
+			}
+			if r.NTLBMisses != gl+1 || r.NTLBHits != 0 {
+				t.Errorf("nTLB hits/misses = %d/%d, want 0/%d", r.NTLBHits, r.NTLBMisses, gl+1)
+			}
+			if got := f.oracle(t, va); r.Frame+arch.PAddr(uint64(va)&r.Size.Mask()) != got {
+				t.Errorf("hPA = %#x, oracle %#x", uint64(r.Frame), uint64(got))
+			}
+		})
+	}
+}
+
+// TestNestedEffectivePageSize checks the nested TLB-entry granularity is
+// the smaller of the two dimensions' mapping sizes.
+func TestNestedEffectivePageSize(t *testing.T) {
+	// 2MB guest page over a 4KB EPT: gVA->hPA is linear over 4KB only.
+	f := newNestedFixture(t, arch.Page4K, false)
+	va := arch.VAddr(arch.AlignUp(0x7f00_0000_0000, arch.Page2M.Bytes()))
+	f.mapGuestPage(t, va, arch.Page2M)
+	r := f.w.Walk(va+0x1000, f.pt.Root(), NoBudget)
+	if !r.OK {
+		t.Fatalf("walk failed: %+v", r)
+	}
+	if r.Size != arch.Page4K {
+		t.Errorf("effective size = %s, want 4KB", r.Size)
+	}
+	if want := f.oracle(t, va+0x1000); r.Frame+arch.PAddr(uint64(va+0x1000)&r.Size.Mask()) != want {
+		t.Errorf("hPA mismatch")
+	}
+
+	// 4KB guest page over a 1GB EPT: still a 4KB translation.
+	f2 := newNestedFixture(t, arch.Page1G, false)
+	va2 := arch.VAddr(0x5000_0000_0000)
+	f2.mapGuestPage(t, va2, arch.Page4K)
+	r2 := f2.w.Walk(va2, f2.pt.Root(), NoBudget)
+	if !r2.OK || r2.Size != arch.Page4K {
+		t.Fatalf("walk = %+v, want OK 4KB", r2)
+	}
+}
+
+// TestNestedWarmCachesShortenWalks checks the nTLB and both PSC
+// dimensions engage: a second walk of a neighbouring page reuses the
+// guest PDE entry and the table pages' EPT translations.
+func TestNestedWarmCachesShortenWalks(t *testing.T) {
+	f := newNestedFixture(t, arch.Page4K, false)
+	va1 := arch.VAddr(0x7f00_0000_0000)
+	va2 := va1 + 0x1000 // same guest PT page
+	f.mapGuestPage(t, va1, arch.Page4K)
+	f.mapGuestPage(t, va2, arch.Page4K)
+
+	r1 := f.w.Walk(va1, f.pt.Root(), NoBudget)
+	if r1.GuestLoads != 4 || r1.GuestPSCHit {
+		t.Fatalf("cold walk: %+v", r1)
+	}
+	r2 := f.w.Walk(va2, f.pt.Root(), NoBudget)
+	if !r2.OK {
+		t.Fatalf("warm walk failed: %+v", r2)
+	}
+	if !r2.GuestPSCHit || r2.GuestLoads != 1 {
+		t.Errorf("warm walk guest loads = %d (PSC hit %v), want 1 via PDE cache", r2.GuestLoads, r2.GuestPSCHit)
+	}
+	// The guest PT page's gPA was nTLB-filled by walk 1; only the new
+	// data page's gPA needs an EPT walk.
+	if r2.NTLBHits < 1 {
+		t.Errorf("warm walk nTLB hits = %d, want >= 1", r2.NTLBHits)
+	}
+	if r2.Loads >= r1.Loads {
+		t.Errorf("warm walk loads = %d, not below cold %d", r2.Loads, r1.Loads)
+	}
+	if r2.EPTCycles >= r2.Cycles {
+		t.Errorf("EPTCycles %d must be a strict subset of Cycles %d (guest dimension loaded too)", r2.EPTCycles, r2.Cycles)
+	}
+}
+
+// TestNestedFlushKeepsEPTDimension checks Flush (guest context switch)
+// drops guest PSCs but keeps the nTLB warm, while FlushAll drops both.
+func TestNestedFlushKeepsEPTDimension(t *testing.T) {
+	f := newNestedFixture(t, arch.Page4K, false)
+	va := arch.VAddr(0x7f00_0000_0000)
+	f.mapGuestPage(t, va, arch.Page4K)
+	f.w.Walk(va, f.pt.Root(), NoBudget)
+	if f.nc.NTLB.Live() == 0 {
+		t.Fatal("walk did not fill the nTLB")
+	}
+
+	f.w.Flush()
+	if f.nc.NTLB.Live() == 0 {
+		t.Error("guest-context-switch Flush emptied the nTLB")
+	}
+	if f.nc.Guest.Live(arch.LevelPD) != 0 {
+		t.Error("Flush kept guest PSC entries")
+	}
+	r := f.w.Walk(va, f.pt.Root(), NoBudget)
+	if r.GuestLoads != 4 {
+		t.Errorf("post-switch guest loads = %d, want 4 (guest PSCs cold)", r.GuestLoads)
+	}
+	if r.NTLBHits == 0 {
+		t.Errorf("post-switch walk got no nTLB hits; EPT dimension should stay warm")
+	}
+
+	f.w.FlushAll()
+	if f.nc.NTLB.Live() != 0 {
+		t.Error("FlushAll kept nTLB entries")
+	}
+}
+
+// TestNestedPageFaultAndAbort covers the non-OK exits: a guest
+// not-present leaf is a completed fault; a tiny budget aborts mid-walk.
+func TestNestedPageFaultAndAbort(t *testing.T) {
+	f := newNestedFixture(t, arch.Page4K, false)
+	va := arch.VAddr(0x7f00_0000_0000)
+	f.mapGuestPage(t, va, arch.Page4K)
+
+	miss := f.w.Walk(va+0x1000, f.pt.Root(), NoBudget)
+	if miss.OK || !miss.Completed {
+		t.Errorf("unmapped neighbour: got %+v, want completed fault", miss)
+	}
+
+	f.w.FlushAll()
+	aborted := f.w.Walk(va, f.pt.Root(), 1)
+	if aborted.OK || aborted.Completed {
+		t.Errorf("budget-1 walk: got %+v, want aborted", aborted)
+	}
+	if aborted.Loads == 0 || aborted.Cycles == 0 {
+		t.Errorf("aborted walk accrued no work: %+v", aborted)
+	}
+}

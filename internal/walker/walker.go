@@ -41,13 +41,53 @@ type Result struct {
 	Size arch.PageSize
 	// Cycles is the latency accrued, including partial work on aborts.
 	Cycles uint64
-	// Loads is the number of PTE loads performed.
+	// Loads is the number of PTE loads performed, both dimensions
+	// included for nested walks (GuestLoads + EPTLoads).
 	Loads int
-	// Locs counts Loads by the cache level that satisfied them.
+	// Locs counts the guest-dimension loads by the cache level that
+	// satisfied them (every load, for native walks).
 	Locs [cache.NumHitLocs]uint16
-	// LeafLoc is the cache level that served the final (leaf) PTE load —
-	// the per-walk datum behind PEBS-style sample attribution.
+	// LeafLoc is the cache level that served the final (leaf) PTE load
+	// of the guest dimension — the per-walk datum behind PEBS-style
+	// sample attribution.
 	LeafLoc cache.HitLoc
+
+	// The remaining fields are populated by the nested (2D) walker only
+	// and stay zero for native walks, except GuestLoads, which always
+	// mirrors the guest-dimension load count.
+
+	// GuestLoads is the number of guest page-table entry loads.
+	GuestLoads int
+	// EPTLoads is the number of EPT entry loads across all the walk's
+	// EPT walks.
+	EPTLoads int
+	// EPTCycles is the latency accrued inside EPT walks (a subset of
+	// Cycles; the guest-dimension share is Cycles - EPTCycles).
+	EPTCycles uint64
+	// EPTLocs counts EPTLoads by the cache level that satisfied them.
+	EPTLocs [cache.NumHitLocs]uint16
+	// EPTWalks is the number of completed EPT walks.
+	EPTWalks int
+	// NTLBHits / NTLBMisses count EPT translations served by the nTLB
+	// versus requiring an EPT walk.
+	NTLBHits, NTLBMisses int
+	// GuestPSCHit is true when the guest dimension started below the
+	// root thanks to a paging-structure-cache hit.
+	GuestPSCHit bool
+}
+
+// sizeAtLevel maps a leaf level to its page size (PT->4KB, PD->2MB,
+// PDPT->1GB).
+func sizeAtLevel(level arch.Level) arch.PageSize {
+	switch level {
+	case arch.LevelPT:
+		return arch.Page4K
+	case arch.LevelPD:
+		return arch.Page2M
+	case arch.LevelPDPT:
+		return arch.Page1G
+	}
+	panic("walker: no page size at level " + level.String())
 }
 
 // Engine is the hardware translation engine the core drives on a TLB
@@ -93,10 +133,12 @@ func (w *Walker) InvalidateBlock(va arch.VAddr) {
 func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 	var r Result
 	level, base := w.psc.LookupDeepest(va, arch.LevelPT, cr3)
+	r.GuestPSCHit = level != w.psc.Top()
 	for {
 		lat, loc := w.caches.Access(pagetable.EntryAddr(base, level, va))
 		r.Cycles += lat + stepOverhead
 		r.Loads++
+		r.GuestLoads++
 		r.Locs[loc]++
 		r.LeafLoc = loc
 		if r.Cycles > budget {
@@ -111,14 +153,7 @@ func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 			r.OK = true
 			r.Completed = true
 			r.Frame = e.Frame()
-			switch level {
-			case arch.LevelPT:
-				r.Size = arch.Page4K
-			case arch.LevelPD:
-				r.Size = arch.Page2M
-			case arch.LevelPDPT:
-				r.Size = arch.Page1G
-			}
+			r.Size = sizeAtLevel(level)
 			return r
 		}
 		w.psc.Insert(level, va, e.Frame())

@@ -13,13 +13,17 @@
 #	BENCH_<sha>.txt    raw `go test -bench` output — feed two of these
 #	                   to benchstat to compare commits:
 #	                       benchstat BENCH_old.txt BENCH_new.txt
-#	BENCH_<sha>.json   the same run as a test2json event stream for
-#	                   machine consumption (dashboards, regression gates)
+#	BENCH_<sha>.json   the same results in the schema-stable benchjson
+#	                   format (one object per benchmark: name, iterations,
+#	                   ns_op, bytes_op, allocs_op; plus sha and date) —
+#	                   see scripts/benchjson. Validate with:
+#	                       go run ./scripts/benchjson -validate BENCH_<sha>.json
 set -eu
 
 cd "$(dirname "$0")/.."
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo workdir)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 preset=${ATSCALE_BENCH_PRESET:-tiny}
 benchtime=${BENCHTIME:-1x}
 count=${COUNT:-1}
@@ -30,6 +34,7 @@ echo "bench: preset=$preset benchtime=$benchtime count=$count -> $txt, $json" >&
 
 ATSCALE_BENCH_PRESET="$preset" go test -run '^$' -bench . \
 	-benchtime "$benchtime" -count "$count" -benchmem . | tee "$txt" |
-	go tool test2json -p atscale >"$json"
+	go run ./scripts/benchjson -sha "$sha" -date "$date" >"$json"
 
+go run ./scripts/benchjson -validate "$json" >&2
 echo "bench: wrote $(grep -c '^Benchmark' "$txt" || true) result lines" >&2

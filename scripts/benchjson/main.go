@@ -1,0 +1,189 @@
+// Command benchjson converts `go test -bench` text output into a
+// schema-stable JSON document for dashboards and regression gates, and
+// validates such documents in CI.
+//
+// Emit (stdin -> stdout):
+//
+//	go test -run '^$' -bench . -benchmem . |
+//	    go run ./scripts/benchjson -sha "$(git rev-parse --short HEAD)" -date "$(date -u +%FT%TZ)"
+//
+// Validate (CI gate — non-zero exit unless the file holds at least one
+// well-formed result):
+//
+//	go run ./scripts/benchjson -validate BENCH_abc123.json
+//
+// The schema is one top-level object:
+//
+//	{
+//	  "schema": 1,
+//	  "sha":  "<commit>",
+//	  "date": "<RFC 3339 UTC>",
+//	  "benchmarks": [
+//	    {"name": "...", "iterations": N, "ns_op": F,
+//	     "bytes_op": N, "allocs_op": N},
+//	    ...
+//	  ]
+//	}
+//
+// bytes_op/allocs_op are -1 when the run lacked -benchmem. Unlike the
+// test2json event stream this format is stable across Go releases and
+// directly consumable with jq (`.benchmarks[].ns_op`).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Schema is the current document schema version.
+const Schema = 1
+
+// Benchmark is one result line of a `go test -bench` run.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations uint64  `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	// BytesOp and AllocsOp are -1 when -benchmem was off.
+	BytesOp  int64 `json:"bytes_op"`
+	AllocsOp int64 `json:"allocs_op"`
+}
+
+// Document is the top-level JSON object.
+type Document struct {
+	Schema     int         `json:"schema"`
+	SHA        string      `json:"sha"`
+	Date       string      `json:"date"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sha      = flag.String("sha", "unknown", "commit identifier recorded in the document")
+		date     = flag.String("date", "unknown", "timestamp recorded in the document (RFC 3339 UTC)")
+		validate = flag.Bool("validate", false, "validate the JSON documents named as arguments instead of emitting")
+	)
+	flag.Parse()
+
+	if *validate {
+		if flag.NArg() == 0 {
+			return fmt.Errorf("-validate needs at least one file argument")
+		}
+		for _, path := range flag.Args() {
+			if err := validateFile(path); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		return nil
+	}
+
+	doc := Document{Schema: Schema, SHA: *sha, Date: *date}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if doc.Benchmarks == nil {
+		// Keep the field an array (not null) even when empty, so jq
+		// consumers can always iterate.
+		doc.Benchmarks = []Benchmark{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parseLine recognizes one benchmark result line:
+//
+//	BenchmarkWalk4K-8   1000   11943 ns/op   128 B/op   3 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix stays part of the name (benchstat
+// convention).
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Minimum shape: name, iterations, value, "ns/op".
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], BytesOp: -1, AllocsOp: -1}
+	iters, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsOp, err = strconv.ParseFloat(val, 64)
+			seenNs = err == nil
+		case "B/op":
+			b.BytesOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if !seenNs {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// validateFile enforces the schema: current version, non-empty sha and
+// date, at least one benchmark, every benchmark named with positive
+// iteration count and non-negative ns/op.
+func validateFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var doc Document
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	if doc.Schema != Schema {
+		return fmt.Errorf("schema %d, want %d", doc.Schema, Schema)
+	}
+	if doc.SHA == "" || doc.Date == "" {
+		return fmt.Errorf("missing sha/date")
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results")
+	}
+	for i, b := range doc.Benchmarks {
+		if b.Name == "" || !strings.HasPrefix(b.Name, "Benchmark") {
+			return fmt.Errorf("benchmark %d: bad name %q", i, b.Name)
+		}
+		if b.Iterations == 0 {
+			return fmt.Errorf("benchmark %q: zero iterations", b.Name)
+		}
+		if b.NsOp < 0 {
+			return fmt.Errorf("benchmark %q: negative ns/op", b.Name)
+		}
+	}
+	fmt.Printf("%s: ok (%d benchmarks, sha %s)\n", path, len(doc.Benchmarks), doc.SHA)
+	return nil
+}
