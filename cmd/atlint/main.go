@@ -1,0 +1,46 @@
+// Command atlint is the project's domain-specific multichecker. It
+// enforces at lint time the invariants the test suite can only check at
+// runtime: deterministic iteration in the campaign-critical packages
+// (detrange), no wall-clock or global randomness in simulator code
+// (nondet), counter mutation only through the perf API (counterwrite),
+// and perf event / workload names that actually exist (eventname).
+//
+// Usage:
+//
+//	go run ./cmd/atlint ./...
+//	go run ./cmd/atlint -list
+//
+// Exit status is 0 for a clean tree, 1 when there are findings, 2 on
+// load or internal errors. Findings are suppressed site-by-site with
+// //atlint:ordered (detrange) or //atlint:allow <analyzer> <reason>;
+// unused suppressions are themselves findings.
+package main
+
+import (
+	"atscale/internal/analysis"
+	"atscale/internal/analysis/counterwrite"
+	"atscale/internal/analysis/detrange"
+	"atscale/internal/analysis/eventname"
+	"atscale/internal/analysis/nondet"
+	"atscale/internal/perf"
+	"atscale/internal/workloads"
+	_ "atscale/internal/workloads/all"
+)
+
+func main() {
+	// Feed eventname from the live registries: linking against the
+	// simulator means the linter's notion of a valid name can never
+	// drift from the event table or the registered workload set.
+	for _, e := range perf.Events() {
+		eventname.KnownEvents[e.String()] = true
+	}
+	for _, s := range workloads.All() {
+		eventname.KnownWorkloads[s.Name()] = true
+	}
+	analysis.Main(
+		detrange.Analyzer,
+		nondet.Analyzer,
+		counterwrite.Analyzer,
+		eventname.Analyzer,
+	)
+}

@@ -1,0 +1,100 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis surface this repo needs: an
+// Analyzer value, a Pass handed to each analyzer with parsed syntax and
+// full type information, and a Diagnostic stream. The build environment
+// is offline, so instead of depending on x/tools the loader shells out
+// to `go list -export` and type-checks with the compiler's export data
+// (see load.go). Analyzers written against this package look exactly
+// like go/analysis analyzers and could be ported by changing imports.
+//
+// The suite exists to turn the repo's runtime guarantees into lint-time
+// law: byte-identical serial/parallel campaign output, the Eq. 1 WCPI
+// identity, and the walk_duration = guest + ept split all break through
+// bug classes (map-iteration order, wall-clock reads, ad-hoc counter
+// mutation, typo'd event names) that are statically detectable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run is called once per loaded
+// package with a fully populated Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //atlint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the check, reporting findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one package's worth of parsed, type-checked input to an
+// analyzer, plus the Report sink for findings.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path as the build system sees it, with any
+	// " [foo.test]" test-variant suffix stripped.
+	PkgPath string
+	// Report records a finding. Findings suppressed by an
+	// //atlint: directive are counted against the directive and
+	// dropped; everything else reaches the checker's output.
+	Report func(Diagnostic)
+}
+
+// Reportf is a printf convenience over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether pos is inside a _test.go file. Analyzers
+// whose contract covers only non-test simulator code (nondet, detrange)
+// use it to skip test files, which the loader deliberately includes so
+// that eventname can vet string literals in tests too.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the checker
+}
+
+// Posn renders a diagnostic's position under fset.
+func (d Diagnostic) Posn(fset *token.FileSet) token.Position { return fset.Position(d.Pos) }
+
+// sortDiagnostics orders findings by file, line, column, then message,
+// so checker output is stable regardless of analyzer or package order.
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

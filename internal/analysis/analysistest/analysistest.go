@@ -1,0 +1,257 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of this repo's
+// stdlib-only analysis framework.
+//
+// Fixtures live under testdata/src/<importpath>/ next to the analyzer's
+// test file. Imports inside fixtures resolve first against other
+// fixture directories (type-checked from source), then against the real
+// build's export data via `go list -export`. Expectations are written
+// on the offending line:
+//
+//	for k, v := range m { // want "non-deterministic map iteration"
+//
+// Each quoted string is a regexp that must match exactly one diagnostic
+// reported on that line; diagnostics without a matching want, and wants
+// without a matching diagnostic, fail the test. Diagnostics from the
+// directive machinery itself (unused suppressions, malformed
+// directives) participate like any other, so fixtures can assert them.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"atscale/internal/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, comparing diagnostics against // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		src:     filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*analysis.Package),
+		exports: make(map[string]string),
+	}
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("fixture %s has type errors: %v", path, pkg.TypeErrors)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, l.fset, pkgs, diags)
+}
+
+// loader resolves fixture import paths from testdata/src and everything
+// else from the surrounding build's export data.
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	pkgs    map[string]*analysis.Package
+	exports map[string]string // non-fixture import path -> export file
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	pkg := &analysis.Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	l.pkgs[path] = pkg
+
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(p))); err == nil {
+				dep, err := l.load(p)
+				if err != nil {
+					return nil, err
+				}
+				return dep.Types, nil
+			}
+			return l.importExport(p)
+		}),
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// importExport serves a non-fixture import from compiler export data,
+// listing each requested package (with its dependencies) on demand.
+func (l *loader) importExport(path string) (*types.Package, error) {
+	if _, ok := l.exports[path]; !ok {
+		if err := l.list(path); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := l.exports[path]; !ok {
+		return nil, fmt.Errorf("no export data for %q (fixture imports must be fixture packages or stdlib)", path)
+	}
+	imp := importer.ForCompiler(l.fset, "gc", func(p string) (io.ReadCloser, error) {
+		e, ok := l.exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(e)
+	})
+	return imp.Import(path)
+}
+
+func (l *loader) list(path string) error {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list std: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if lp.Export != "" {
+			l.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation: a regexp anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants parses // want comments from the fixture files and
+// reconciles them with the diagnostics.
+func checkWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, fset, c)...)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		var hit *want
+		for _, w := range wants {
+			if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", p, d.Message, d.Analyzer)
+			continue
+		}
+		hit.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps of a // want comment.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	t.Helper()
+	text := c.Text
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil
+	}
+	p := fset.Position(c.Pos())
+	rest := strings.TrimSpace(text[i+len("// want "):])
+	var out []*want
+	for rest != "" {
+		lit, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed // want: %q", p.Filename, p.Line, rest)
+		}
+		raw, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed // want literal %q", p.Filename, p.Line, lit)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s:%d: bad // want regexp %q: %v", p.Filename, p.Line, raw, err)
+		}
+		out = append(out, &want{file: p.Filename, line: p.Line, re: re, raw: raw})
+		rest = strings.TrimSpace(rest[len(lit):])
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+)
+
+// Run applies every analyzer to every package, resolves //atlint:
+// suppressions, and returns the surviving diagnostics in stable
+// (file, line, column) order. Unused or malformed directives come back
+// as diagnostics too, attributed to the pseudo-analyzer "atlint".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
+	var (
+		all  []Diagnostic
+		fset *token.FileSet
+	)
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		sup := newSuppressor(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				PkgPath:   pkg.PkgPath,
+			}
+			pass.Report = func(d Diagnostic) {
+				if sup.suppresses(a.Name, d.Pos) {
+					return
+				}
+				d.Analyzer = a.Name
+				all = append(all, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		all = append(all, sup.leftovers(ran)...)
+	}
+	if fset != nil {
+		sortDiagnostics(fset, all)
+		all = dedupe(fset, all)
+	}
+	return all, nil
+}
+
+// dedupe drops identical findings at identical positions; they occur
+// when a package and one of its test variants both contain a file.
+func dedupe(fset *token.FileSet, ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	seen := make(map[string]bool, len(ds))
+	for _, d := range ds {
+		key := fmt.Sprintf("%s\x00%s\x00%s", fset.Position(d.Pos), d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// Main is the multichecker entry point cmd/atlint delegates to: parse
+// patterns from argv, load, run, print, and exit non-zero on findings.
+func Main(analyzers ...*Analyzer) {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: atlint [-list] [packages]\n\nAnalyzers:\n")
+		sorted := append([]*Analyzer(nil), analyzers...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, a := range sorted {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		flag.Usage()
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	code, err := Lint(os.Stdout, "", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// Lint loads patterns, runs the analyzers, and writes findings to w.
+// It returns 0 for a clean tree and 1 when there are findings.
+func Lint(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset // Load shares one FileSet across packages
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s [%s]\n", d.Posn(fset), d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+package counterwrite_test
+
+import (
+	"testing"
+
+	"atscale/internal/analysis/analysistest"
+	"atscale/internal/analysis/counterwrite"
+)
+
+func TestCounterwrite(t *testing.T) {
+	// "internal/perf" itself is exempt (it may mutate its own state);
+	// the consumer package is where the discipline bites.
+	analysistest.Run(t, "testdata", counterwrite.Analyzer,
+		"internal/perf", "consumer")
+}

@@ -1,0 +1,44 @@
+// Package consumer imports the perf fixture and pokes at it.
+package consumer
+
+import "internal/perf"
+
+type wrapper struct {
+	perf.Counters
+}
+
+func violations(c *perf.Counters, w *wrapper) {
+	c.Total++      // want `direct write to Counters.Total outside perf`
+	c.Total = 0    // want `direct write to Counters.Total outside perf`
+	c.Vals[2] += 7 // want `direct write to Counters.Vals outside perf`
+	w.Total++      // want `direct write to wrapper.Total outside perf`
+	p := &c.Total  // want `taking the address of Counters.Total aliases perf counter state`
+	_ = p
+}
+
+func sanctioned(c *perf.Counters) {
+	c.Inc(1)
+	_ = c.Total
+}
+
+func construction() perf.Counters {
+	// Composite literals are construction, not mutation.
+	return perf.Counters{Total: 0}
+}
+
+func records(s *perf.Sample) {
+	// Data records are perf types too: post-construction mutation from
+	// outside the package is still flagged.
+	s.Weight = 1 // want `direct write to Sample.Weight outside perf`
+}
+
+func justified(c *perf.Counters) {
+	//atlint:allow counterwrite restoring a snapshot in a checkpoint path
+	c.Total = 42
+}
+
+func localStructFine() {
+	type local struct{ Total uint64 }
+	var l local
+	l.Total++
+}

@@ -1,0 +1,24 @@
+// Package perf is a fixture standing in for the real internal/perf: a
+// counter type with exported fields, so the analyzer has something to
+// protect.
+package perf
+
+// Counters is counter state with exported fields (the real package
+// keeps them unexported; the analyzer guards the day one is exported
+// for serialization).
+type Counters struct {
+	Vals  [4]uint64
+	Total uint64
+}
+
+// Inc is the sanctioned mutation path.
+func (c *Counters) Inc(e int) {
+	c.Vals[e]++
+	c.Total++
+}
+
+// Sample is a data record emitted by the PMU.
+type Sample struct {
+	VA     uint64
+	Weight uint64
+}

@@ -1,0 +1,127 @@
+// Package detrange flags `for … range` over maps in the repo's
+// deterministic packages. Map iteration order is randomized by the
+// runtime, so any map range whose body feeds rendered tables, CSV rows,
+// scheduling decisions, or counter aggregation can silently break the
+// campaign scheduler's serial-identical guarantee (DESIGN.md §8). The
+// fix is to iterate a sorted key slice; sites whose order provably does
+// not matter carry an //atlint:ordered justification.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"atscale/internal/analysis"
+)
+
+// Deterministic lists the package-path suffixes whose iteration order
+// is contractual. A package outside this list can opt in with a
+// //atlint:deterministic marker comment.
+var Deterministic = []string{
+	"internal/core",
+	"internal/perf",
+	"internal/machine",
+	"internal/walker",
+	"internal/mmucache",
+	"internal/virt",
+}
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag map iteration in deterministic packages\n\n" +
+		"Ranging over a map yields a randomized order. In packages that must\n" +
+		"produce byte-identical output across serial and parallel campaign\n" +
+		"runs, every map range must either be the canonical sort-keys prelude\n" +
+		"(for k := range m { keys = append(keys, k) }) or carry an\n" +
+		"//atlint:ordered justification.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !deterministic(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollection(rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"non-deterministic map iteration in deterministic package %s: iterate sorted keys, or justify with //atlint:ordered",
+				pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}
+
+func deterministic(pass *analysis.Pass) bool {
+	for _, suffix := range Deterministic {
+		if pass.PkgPath == suffix || strings.HasSuffix(pass.PkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return analysis.HasDeterministicMarker(pass.Fset, pass.Files)
+}
+
+// isKeyCollection recognizes the one map range that is always safe on
+// its own: a body that does nothing but append the key to a slice,
+// which the surrounding code then sorts. Any use of the map value, or
+// any second statement, disqualifies the site — at that point order
+// can leak.
+func isKeyCollection(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if !sameChain(asg.Lhs[0], call.Args[0]) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// sameChain reports whether two expressions are the same chain of
+// plain identifiers and field selections (keys, r.Workloads, a.b.c).
+func sameChain(a, b ast.Expr) bool {
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		return ok && ae.Name == be.Name
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		return ok && ae.Sel.Name == be.Sel.Name && sameChain(ae.X, be.X)
+	}
+	return false
+}

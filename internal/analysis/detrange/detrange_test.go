@@ -1,0 +1,13 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"atscale/internal/analysis/analysistest"
+	"atscale/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer,
+		"detfix", "internal/core", "freepkg")
+}

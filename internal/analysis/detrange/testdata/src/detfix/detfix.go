@@ -1,0 +1,80 @@
+// Package detfix opts into the deterministic set via the marker below.
+//
+//atlint:deterministic
+package detfix
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "non-deterministic map iteration"
+		total += v
+	}
+	return total
+}
+
+func flaggedKeyValue(m map[string]int, out *[]string) {
+	for k, v := range m { // want "non-deterministic map iteration"
+		if v > 0 {
+			*out = append(*out, k)
+		}
+	}
+}
+
+func keyCollectionExempt(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type result struct {
+	Names []string
+}
+
+func keyCollectionFieldExempt(m map[string]int) *result {
+	r := &result{}
+	for k := range m {
+		r.Names = append(r.Names, k)
+	}
+	sort.Strings(r.Names)
+	return r
+}
+
+func sortedSliceFine(m map[string]int) int {
+	total := 0
+	for _, k := range keyCollectionExempt(m) {
+		total += m[k]
+	}
+	return total
+}
+
+func justified(m map[string]int) int {
+	best := 0
+	//atlint:ordered max over values is order-independent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func justifiedTrailing(m map[string]int) int {
+	n := 0
+	for range m { //atlint:ordered cardinality only
+		n++
+	}
+	return n
+}
+
+func staleDirective(xs []int) int {
+	total := 0
+	//atlint:ordered slice iteration never needed this // want "unused //atlint:ordered directive"
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package freepkg is neither listed nor marked deterministic, so map
+// ranges here are fine.
+package freepkg
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

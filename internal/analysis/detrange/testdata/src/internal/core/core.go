@@ -1,0 +1,11 @@
+// Package core matches the built-in deterministic list by path suffix;
+// no //atlint:deterministic marker is needed.
+package core
+
+func render(rows map[int]string) []string {
+	var out []string
+	for _, r := range rows { // want "non-deterministic map iteration"
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one //atlint: control comment.
+//
+//	//atlint:ordered <why>          suppress detrange at this site
+//	//atlint:allow <analyzer> <why> suppress the named analyzer here
+//	//atlint:deterministic          mark the package deterministic
+//
+// Suppression directives cover diagnostics on their own line and the
+// line immediately below, so both trailing-comment and
+// comment-above-the-statement styles work. A suppression that matches
+// no diagnostic in a run that includes its analyzer is itself reported:
+// stale justifications are how invariant rot starts.
+type directive struct {
+	pos      token.Pos
+	analyzer string // analyzer it addresses; "" for markers
+	verb     string // "ordered", "allow", "deterministic"
+	reason   string
+	used     bool
+	bad      string // non-empty if malformed: the error message
+}
+
+// DirectivePrefix is the comment prefix all control comments share.
+const DirectivePrefix = "atlint:"
+
+// parseDirectives extracts every atlint directive from the files,
+// keyed by file name and line.
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]*directive {
+	out := make(map[string]map[int][]*directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				d := parseDirective(c.Pos(), strings.TrimPrefix(text, DirectivePrefix))
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*directive)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return out
+}
+
+func parseDirective(pos token.Pos, body string) *directive {
+	verb, rest, _ := strings.Cut(body, " ")
+	d := &directive{pos: pos, verb: verb, reason: strings.TrimSpace(rest)}
+	switch verb {
+	case "ordered":
+		d.analyzer = "detrange"
+		if d.reason == "" {
+			d.bad = "//atlint:ordered needs a justification (why is this iteration order-safe?)"
+		}
+	case "allow":
+		name, why, _ := strings.Cut(d.reason, " ")
+		d.analyzer, d.reason = name, strings.TrimSpace(why)
+		if d.analyzer == "" {
+			d.bad = "//atlint:allow needs an analyzer name and a justification"
+		} else if d.reason == "" {
+			d.bad = "//atlint:allow " + d.analyzer + " needs a justification"
+		}
+	case "deterministic":
+		// Package marker consumed by detrange; nothing to validate.
+	default:
+		d.bad = "unknown directive //atlint:" + verb
+	}
+	return d
+}
+
+// suppressor answers "is this diagnostic covered by a directive?" and
+// tracks which directives fired.
+type suppressor struct {
+	fset       *token.FileSet
+	directives map[string]map[int][]*directive
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	return &suppressor{fset: fset, directives: parseDirectives(fset, files)}
+}
+
+// suppresses reports whether a diagnostic from the named analyzer at
+// pos is covered, marking the covering directive used.
+func (s *suppressor) suppresses(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	byLine := s.directives[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.bad == "" && d.analyzer == analyzer {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// leftovers returns diagnostics for malformed directives and for unused
+// suppressions addressed to an analyzer in the run set.
+func (s *suppressor) leftovers(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, byLine := range s.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				switch {
+				case d.bad != "":
+					out = append(out, Diagnostic{Pos: d.pos, Message: d.bad, Analyzer: "atlint"})
+				case d.verb == "deterministic" || d.used:
+					// markers have no use tracking; fired suppressions are fine
+				case ran[d.analyzer]:
+					out = append(out, Diagnostic{
+						Pos: d.pos,
+						Message: "unused //atlint:" + d.verb + " directive for " + d.analyzer +
+							" (nothing suppressed; delete it or fix the justification placement)",
+						Analyzer: "atlint",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasDeterministicMarker reports whether any file carries a
+// package-level //atlint:deterministic marker. detrange uses it so new
+// packages can opt into the deterministic set without editing the
+// analyzer's built-in list.
+func HasDeterministicMarker(fset *token.FileSet, files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == DirectivePrefix+"deterministic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestDirectiveParsing(t *testing.T) {
+	for _, tc := range []struct {
+		body     string
+		analyzer string
+		bad      bool
+	}{
+		{"ordered totally justified", "detrange", false},
+		{"ordered", "detrange", true}, // missing justification
+		{"allow nondet logging only", "nondet", false},
+		{"allow nondet", "", true},   // missing justification
+		{"allow", "", true},          // missing analyzer
+		{"deterministic", "", false}, // package marker
+		{"frobnicate", "", true},     // unknown verb
+	} {
+		d := parseDirective(token.NoPos, tc.body)
+		if (d.bad != "") != tc.bad {
+			t.Errorf("parseDirective(%q): bad=%q, want bad=%v", tc.body, d.bad, tc.bad)
+		}
+		if !tc.bad && tc.analyzer != "" && d.analyzer != tc.analyzer {
+			t.Errorf("parseDirective(%q): analyzer=%q, want %q", tc.body, d.analyzer, tc.analyzer)
+		}
+	}
+}
+
+func TestMalformedAndUnusedDirectivesReported(t *testing.T) {
+	src := `package p
+
+//atlint:ordered
+func a() {}
+
+//atlint:allow detrange justified but nothing here to suppress
+func b() {}
+
+//atlint:bogusverb
+func c() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := newSuppressor(fset, []*ast.File{f})
+	diags := sup.leftovers(map[string]bool{"detrange": true})
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, wantSub := range []string{
+		"needs a justification",
+		"unused //atlint:allow directive for detrange",
+		"unknown directive //atlint:bogusverb",
+	} {
+		if !strings.Contains(joined, wantSub) {
+			t.Errorf("leftovers missing %q in:\n%s", wantSub, joined)
+		}
+	}
+	if len(diags) != 3 {
+		t.Errorf("got %d leftover diagnostics, want 3:\n%s", len(diags), joined)
+	}
+}
+
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	src := `package p
+
+//atlint:allow nondet covered below
+func a() {}
+
+func b() {} //atlint:allow nondet covered same line
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := newSuppressor(fset, []*ast.File{f})
+	// Line 4 is covered by the directive on line 3; line 6 by its own.
+	if !sup.suppresses("nondet", posAtLine(fset, f.Pos(), 4)) {
+		t.Error("directive on previous line did not suppress")
+	}
+	if !sup.suppresses("nondet", posAtLine(fset, f.Pos(), 6)) {
+		t.Error("same-line directive did not suppress")
+	}
+	if sup.suppresses("detrange", posAtLine(fset, f.Pos(), 4)) {
+		t.Error("directive suppressed the wrong analyzer")
+	}
+	if len(sup.leftovers(map[string]bool{"nondet": true})) != 0 {
+		t.Error("used directives reported as leftovers")
+	}
+}
+
+// posAtLine fabricates a Pos on the given line of the file containing base.
+func posAtLine(fset *token.FileSet, base token.Pos, line int) token.Pos {
+	return fset.File(base).LineStart(line)
+}

@@ -1,0 +1,202 @@
+// Package eventname resolves constant string arguments passed to the
+// perf event registry and the workload registry against the statically
+// known name sets. A typo'd event name ("dtlb_load_misses.walk_durtion")
+// compiles fine and only fails when the one experiment path that uses
+// it runs; this analyzer fails the build instead. cmd/atlint populates
+// the name sets from the real registries at startup, so the analyzer
+// can never drift from the simulator's actual event table.
+package eventname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"atscale/internal/analysis"
+)
+
+// Target identifies one registry lookup function and which argument
+// carries the name.
+type Target struct {
+	// PkgSuffix matches the declaring package path ("internal/perf").
+	PkgSuffix string
+	// Func is the function name ("ByName").
+	Func string
+	// Arg is the index of the name argument.
+	Arg int
+	// Set chooses the name set: "event" or "workload".
+	Set string
+}
+
+// Targets lists the lookups the analyzer vets. cmd/atlint and the tests
+// may extend it.
+var Targets = []Target{
+	{PkgSuffix: "internal/perf", Func: "ByName", Arg: 0, Set: "event"},
+	{PkgSuffix: "internal/workloads", Func: "ByName", Arg: 0, Set: "workload"},
+	{PkgSuffix: "atscale", Func: "WorkloadByName", Arg: 0, Set: "workload"},
+}
+
+// KnownEvents and KnownWorkloads are the valid name sets. When a set is
+// empty the corresponding targets are skipped — the analyzer refuses to
+// guess. cmd/atlint fills both from the live registries.
+var (
+	KnownEvents    = map[string]bool{}
+	KnownWorkloads = map[string]bool{}
+)
+
+// Analyzer is the eventname check.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventname",
+	Doc: "flag unknown perf event and workload names in registry lookups\n\n" +
+		"Constant strings passed to perf.ByName / workloads.ByName must name a\n" +
+		"registered event or workload. The valid sets come from the live\n" +
+		"registries, so adding an event automatically teaches the linter.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			t := matchTarget(pass, call)
+			if t == nil || t.Arg >= len(call.Args) {
+				return true
+			}
+			set := KnownEvents
+			if t.Set == "workload" {
+				set = KnownWorkloads
+			}
+			if len(set) == 0 {
+				return true
+			}
+			name, ok := constString(pass, call.Args[t.Arg])
+			if !ok || set[name] {
+				return true
+			}
+			msg := "unknown " + t.Set + " name " + strconv(name)
+			if near := nearest(name, set); near != "" {
+				msg += " (did you mean " + strconv(near) + "?)"
+			}
+			pass.Reportf(call.Args[t.Arg].Pos(), "%s in call to %s.%s", msg, pathBase(t.PkgSuffix), t.Func)
+			return true
+		})
+	}
+	return nil
+}
+
+// matchTarget resolves call's callee and returns the Target it matches.
+func matchTarget(pass *analysis.Pass, call *ast.CallExpr) *Target {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	for i := range Targets {
+		t := &Targets[i]
+		if fn.Name() != t.Func {
+			continue
+		}
+		if path == t.PkgSuffix || strings.HasSuffix(path, "/"+t.PkgSuffix) {
+			return t
+		}
+	}
+	return nil
+}
+
+// constString extracts the constant string value of e, covering
+// literals, named constants, and constant concatenations.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// nearest returns the set entry with the smallest Levenshtein distance
+// from name, when that distance is small enough to be a plausible typo.
+func nearest(name string, set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best, bestD := "", len(name)/2+2
+	for _, n := range names {
+		if d := levenshtein(name, n, bestD); d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+// levenshtein computes edit distance with an early-out bound.
+func levenshtein(a, b string, bound int) int {
+	if abs(len(a)-len(b)) >= bound {
+		return bound
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin >= bound {
+			return bound
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func strconv(s string) string { return `"` + s + `"` }
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

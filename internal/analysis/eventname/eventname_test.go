@@ -1,0 +1,38 @@
+package eventname_test
+
+import (
+	"testing"
+
+	"atscale/internal/analysis/analysistest"
+	"atscale/internal/analysis/eventname"
+)
+
+func TestEventname(t *testing.T) {
+	// The fixture registries match the default Targets by path suffix;
+	// only the name sets need populating (cmd/atlint fills them from
+	// the live registries).
+	defer func(e, w map[string]bool) {
+		eventname.KnownEvents, eventname.KnownWorkloads = e, w
+	}(eventname.KnownEvents, eventname.KnownWorkloads)
+	eventname.KnownEvents = map[string]bool{
+		"inst_retired.any": true,
+		"cycles":           true,
+	}
+	eventname.KnownWorkloads = map[string]bool{
+		"bfs-urand": true,
+		"gups-rand": true,
+	}
+	analysistest.Run(t, "testdata", eventname.Analyzer, "user")
+}
+
+// TestEmptySetSkips proves the analyzer refuses to guess when a name
+// set is not populated: no diagnostics at all, rather than flagging
+// every literal as unknown.
+func TestEmptySetSkips(t *testing.T) {
+	defer func(e, w map[string]bool) {
+		eventname.KnownEvents, eventname.KnownWorkloads = e, w
+	}(eventname.KnownEvents, eventname.KnownWorkloads)
+	eventname.KnownEvents = map[string]bool{}
+	eventname.KnownWorkloads = map[string]bool{}
+	analysistest.Run(t, "testdata", eventname.Analyzer, "emptyset")
+}

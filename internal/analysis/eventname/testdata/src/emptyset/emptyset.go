@@ -1,0 +1,9 @@
+// Package emptyset calls a lookup with a junk name; with no known-name
+// set loaded the analyzer must stay silent rather than guess.
+package emptyset
+
+import "internal/perf"
+
+func lookup() {
+	perf.ByName("utterly.unknown")
+}

@@ -1,0 +1,10 @@
+// Package perf is a fixture exposing the event registry lookup the
+// analyzer vets.
+package perf
+
+import "errors"
+
+// ByName resolves a perf-tool event name.
+func ByName(name string) (int, error) {
+	return 0, errors.New("fixture")
+}

@@ -1,0 +1,10 @@
+// Package workloads is a fixture exposing the workload registry lookup
+// the analyzer vets.
+package workloads
+
+import "errors"
+
+// ByName finds a workload by its program-generator name.
+func ByName(name string) (int, error) {
+	return 0, errors.New("fixture")
+}

@@ -1,0 +1,25 @@
+// Package user calls the registry lookups with good and bad names.
+package user
+
+import (
+	"internal/perf"
+	"internal/workloads"
+)
+
+const aliasedName = "cycles"
+
+func lookups(dynamic string) {
+	perf.ByName("inst_retired.any")                     // known: fine
+	perf.ByName("cycles")                               // known: fine
+	perf.ByName(aliasedName)                            // constant propagation: fine
+	perf.ByName("inst_retired.anyy")                    // want `unknown event name "inst_retired.anyy" \(did you mean "inst_retired.any"\?\)`
+	perf.ByName("no.such.event.at.all.whatsoever.here") // want `unknown event name`
+	perf.ByName(dynamic)                                // not a constant: fine
+	perf.ByName("prefix." + dynamic)                    // not a constant: fine
+
+	workloads.ByName("bfs-urand")  // known: fine
+	workloads.ByName("bfs-urandd") // want `unknown workload name "bfs-urandd" \(did you mean "bfs-urand"\?\)`
+
+	//atlint:allow eventname exercising the unknown-name error path
+	workloads.ByName("bogus-bogus")
+}

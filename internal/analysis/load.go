@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path with any test-variant suffix
+	// (" [foo.test]") stripped; ForTest is non-empty for test variants.
+	PkgPath string
+	ForTest string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors holds type-checker soft failures. Analysis proceeds on
+	// a best-effort basis when non-empty, mirroring go vet.
+	TypeErrors []error
+}
+
+// listedPackage mirrors the subset of `go list -json` output the loader
+// consumes. ImportMap carries the per-package import rewrites that make
+// test variants work: inside "p_test [p.test]", the source-level import
+// "p" resolves to "p [p.test]".
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ForTest    string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command and type-checks every
+// non-dependency package (including in-package and external test
+// variants) against compiler export data, so no source of any
+// dependency is ever re-type-checked. It is the offline stand-in for
+// golang.org/x/tools/go/packages.Load in LoadAllSyntax mode.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(listed)) // ImportPath -> export file
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	// Prefer the test variant when both "p" and "p [p.test]" are
+	// listed: the variant's GoFiles are a superset (sources plus
+	// in-package tests), so analyzing both would duplicate findings.
+	hasVariant := make(map[string]bool)
+	for _, lp := range listed {
+		if lp.ForTest != "" && stripVariant(lp.ImportPath) == lp.ForTest {
+			hasVariant[lp.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		// Skip synthesized test-main packages ("p.test").
+		if lp.ForTest == "" && strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if lp.ForTest == "" && hasVariant[lp.ImportPath] {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		pkg, err := typeCheck(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -export -deps -test -json` and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var out []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// typeCheck parses lp's files and type-checks them with imports served
+// from export data. Each package gets a fresh gc importer: cross-package
+// type identity is not needed by the analyzers (they compare package
+// paths, not *types.Package pointers), and per-package importers keep
+// the ImportMap remapping local.
+func typeCheck(fset *token.FileSet, lp *listedPackage, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+
+	pkg := &Package{
+		PkgPath: stripVariant(lp.ImportPath),
+		ForTest: lp.ForTest,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Info:    newInfo(),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(stripVariant(lp.ImportPath), fset, files, pkg.Info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("%s: type-checking failed: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// stripVariant drops the " [foo.test]" suffix go list appends to
+// test-variant import paths.
+func stripVariant(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

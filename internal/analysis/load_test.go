@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadPerf proves the export-data loader round trip: list the perf
+// package (test variant included), type-check it against compiler
+// export data, and confirm full type information came back.
+func TestLoadPerf(t *testing.T) {
+	pkgs, err := Load("", "atscale/internal/perf")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var perf *Package
+	for _, p := range pkgs {
+		if p.PkgPath == "atscale/internal/perf" {
+			perf = p
+		}
+	}
+	if perf == nil {
+		t.Fatalf("perf package not loaded; got %d packages", len(pkgs))
+	}
+	if len(perf.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", perf.TypeErrors)
+	}
+	if perf.ForTest == "" {
+		t.Errorf("expected the test variant of internal/perf, got the plain package")
+	}
+	var sawTestFile bool
+	for _, f := range perf.Files {
+		if strings.HasSuffix(perf.Fset.File(f.Pos()).Name(), "_test.go") {
+			sawTestFile = true
+		}
+	}
+	if !sawTestFile {
+		t.Errorf("test variant should include _test.go files")
+	}
+	if obj := perf.Types.Scope().Lookup("Counters"); obj == nil {
+		t.Errorf("perf.Counters not found in type info")
+	}
+}
+
+// TestLoadExternalTestPackage checks ImportMap remapping: an external
+// test package imports the package under test and must resolve it to
+// the test-variant export data.
+func TestLoadExternalTestPackage(t *testing.T) {
+	pkgs, err := Load("", "atscale/internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.PkgPath, p.TypeErrors)
+		}
+	}
+}

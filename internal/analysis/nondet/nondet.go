@@ -1,0 +1,116 @@
+// Package nondet flags wall-clock reads and global or entropy-seeded
+// randomness in non-test simulator code. The simulator's contract is
+// that a (workload, seed, config) triple fully determines every counter
+// value; time.Now, the shared math/rand source, and crypto/rand all
+// smuggle host state into that function.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"atscale/internal/analysis"
+)
+
+// ExemptPackages lists package-path suffixes nondet skips entirely.
+// Command-line frontends may read the wall clock for progress output;
+// the simulator proper may not.
+var ExemptPackages = []string{
+	"cmd/atscale", "cmd/atperf", "cmd/atprof", "cmd/attrace", "cmd/atgen", "cmd/atlint",
+	"internal/analysis",
+}
+
+// wallClock lists time package functions that read host time.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// sourceConstructors lists math/rand functions that build explicitly
+// seeded generators; every other exported function in math/rand and
+// math/rand/v2 either uses the global source or harvests entropy.
+var sourceConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 seeded constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the nondet check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc: "flag wall-clock and global/unseeded randomness in simulator code\n\n" +
+		"Simulator output must be a pure function of (workload, seed, config).\n" +
+		"time.Now/Since/Until, package-level math/rand functions (the global\n" +
+		"source), and crypto/rand are all non-deterministic inputs. Construct\n" +
+		"generators with rand.New(rand.NewSource(seed)) from a config seed.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, suffix := range ExemptPackages {
+		if pass.PkgPath == suffix || strings.HasSuffix(pass.PkgPath, "/"+suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "crypto/rand" {
+				pass.Reportf(imp.Pos(), "crypto/rand in simulator code: entropy breaks run reproducibility; derive randomness from the config seed")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, obj := pkgLevelUse(pass, sel)
+			if obj == nil {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if wallClock[obj.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s in simulator code: wall-clock reads make runs irreproducible; thread simulated time or a config seed instead", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := obj.Type().(*types.Signature); isFunc && !sourceConstructors[obj.Name()] {
+					pass.Reportf(sel.Pos(), "%s.%s uses the global random source: construct a seeded *rand.Rand from the config seed instead", pathBase(pkgPath), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgLevelUse resolves sel to (package path, object) when sel is a
+// qualified identifier like time.Now; otherwise ("", nil).
+func pkgLevelUse(pass *analysis.Pass, sel *ast.SelectorExpr) (string, types.Object) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", nil
+	}
+	return pn.Imported().Path(), pass.TypesInfo.Uses[sel.Sel]
+}
+
+func pathBase(p string) string {
+	// Keep version-suffixed paths readable: math/rand/v2 -> rand/v2.
+	if strings.HasSuffix(p, "/v2") {
+		p = strings.TrimSuffix(p, "/v2")
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			p = p[i+1:]
+		}
+		return p + "/v2"
+	}
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"atscale/internal/analysis/analysistest"
+	"atscale/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, "testdata", nondet.Analyzer, "sim", "cmd/atscale")
+}

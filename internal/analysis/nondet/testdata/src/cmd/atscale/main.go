@@ -1,0 +1,9 @@
+// Package main matches nondet's frontend exemption list: CLIs may read
+// the wall clock for progress output.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}

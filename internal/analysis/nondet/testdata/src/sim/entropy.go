@@ -1,0 +1,9 @@
+package sim
+
+import (
+	crand "crypto/rand" // want `crypto/rand in simulator code`
+)
+
+func entropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}

@@ -1,0 +1,45 @@
+// Package sim stands in for simulator code: wall-clock reads and
+// global randomness are violations here.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in simulator code`
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in simulator code`
+}
+
+func constantsFine() time.Duration {
+	// Durations and time arithmetic that never read the host clock are
+	// fine; only Now/Since/Until are wall-clock reads.
+	return 5 * time.Millisecond
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn uses the global random source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global random source`
+}
+
+func seededFine(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func seededUse(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func justified() int64 {
+	//atlint:allow nondet progress logging only, value never reaches counters
+	return time.Now().UnixNano()
+}

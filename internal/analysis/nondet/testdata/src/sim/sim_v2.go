@@ -1,0 +1,13 @@
+package sim
+
+import (
+	randv2 "math/rand/v2"
+)
+
+func globalV2() int {
+	return randv2.IntN(10) // want `rand/v2.IntN uses the global random source`
+}
+
+func seededV2Fine() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2))
+}

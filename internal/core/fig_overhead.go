@@ -142,11 +142,7 @@ func Table4(s *Session) (*Table4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var names []string
-	for n := range all {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := sortedSweepNames(all)
 	r := &Table4Result{}
 	for _, n := range names {
 		r.Fits = append(r.Fits, FitLogLinear(n, all[n]))

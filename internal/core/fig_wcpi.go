@@ -68,17 +68,9 @@ func Table5(s *Session) (*Table5Result, error) {
 		return nil, err
 	}
 	r := &Table5Result{}
-	// Flatten AT-sensitive points.
-	var pts []OverheadPoint
-	for _, sweep := range all {
-		for _, p := range sweep {
-			if p.RelOverhead < 0 {
-				r.Excluded++
-				continue
-			}
-			pts = append(pts, p)
-		}
-	}
+	names := sortedSweepNames(all)
+	pts, excluded := flattenSweeps(all, names)
+	r.Excluded = excluded
 	var overhead []float64
 	for _, p := range pts {
 		overhead = append(overhead, p.RelOverhead)
@@ -103,11 +95,6 @@ func Table5(s *Session) (*Table5Result, error) {
 		r.Inter = append(r.Inter, row)
 	}
 	// Intra-workload WCPI monotonicity.
-	var names []string
-	for n := range all {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	for _, n := range names {
 		var xs, ys []float64
 		for _, p := range all[n] {
@@ -123,6 +110,26 @@ func Table5(s *Session) (*Table5Result, error) {
 		r.Intra = append(r.Intra, row)
 	}
 	return r, nil
+}
+
+// flattenSweeps concatenates the AT-sensitive points of every sweep in
+// the given workload order, counting points excluded for negative
+// measured overhead. Callers must pass a deterministic order (use
+// sortedSweepNames): BootstrapCorrelation resamples positions in the
+// returned slice with a fixed seed, so flattening in map-iteration
+// order would make the rendered Table V confidence intervals vary run
+// to run — exactly the bug atlint's detrange analyzer exists to catch.
+func flattenSweeps(all map[string][]OverheadPoint, names []string) (pts []OverheadPoint, excluded int) {
+	for _, n := range names {
+		for _, p := range all[n] {
+			if p.RelOverhead < 0 {
+				excluded++
+				continue
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts, excluded
 }
 
 // Tables exposes Table V and the intra-workload Spearman supplement.

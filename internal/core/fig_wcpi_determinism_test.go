@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"atscale/internal/stats"
+)
+
+// TestFlattenSweepsOrderIndependent is the regression test for the
+// Table V nondeterminism atlint's detrange analyzer surfaced: the old
+// code flattened SweepAll's map in map-iteration order, and because
+// BootstrapCorrelation resamples positions of the flattened slice with
+// a fixed seed, the rendered Pearson confidence intervals differed run
+// to run. Flattening must follow sortedSweepNames and nothing else.
+func TestFlattenSweepsOrderIndependent(t *testing.T) {
+	// Many trials: a map-iteration-order implementation produces the
+	// sorted order only by chance, so any revert fails almost surely.
+	const trials = 25
+	var refCI stats.Interval
+	for trial := 0; trial < trials; trial++ {
+		all := make(map[string][]OverheadPoint)
+		for w := 0; w < 8; w++ {
+			name := fmt.Sprintf("wl-%c", 'a'+w)
+			var pts []OverheadPoint
+			for i := 0; i < 4; i++ {
+				p := OverheadPoint{
+					Footprint:   uint64(1) << (20 + i),
+					RelOverhead: float64(w)*0.01 + float64(i)*0.1,
+				}
+				p.M4K.WCPI = float64(w) + float64(i)*0.25
+				if w == 3 && i == 0 {
+					p.RelOverhead = -0.05 // excluded as not AT-sensitive
+				}
+				pts = append(pts, p)
+			}
+			all[name] = pts
+		}
+
+		pts, excluded := flattenSweeps(all, sortedSweepNames(all))
+		if excluded != 1 {
+			t.Fatalf("trial %d: excluded = %d, want 1", trial, excluded)
+		}
+		if len(pts) != 8*4-1 {
+			t.Fatalf("trial %d: %d points, want %d", trial, len(pts), 8*4-1)
+		}
+		// The flattened order must be exactly sorted-name concatenation.
+		idx := 0
+		for w := 0; w < 8; w++ {
+			for i := 0; i < 4; i++ {
+				if w == 3 && i == 0 {
+					continue
+				}
+				wantWCPI := float64(w) + float64(i)*0.25
+				if pts[idx].M4K.WCPI != wantWCPI {
+					t.Fatalf("trial %d: pts[%d].M4K.WCPI = %v, want %v (order leaked map iteration)",
+						trial, idx, pts[idx].M4K.WCPI, wantWCPI)
+				}
+				idx++
+			}
+		}
+
+		// And the position-sensitive bootstrap CI must be identical
+		// across trials, which is what the rendered Table V needs.
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.M4K.WCPI)
+			ys = append(ys, p.RelOverhead)
+		}
+		ci, err := stats.BootstrapCorrelation(xs, ys, stats.Pearson, 100, 0.05, 7)
+		if err != nil {
+			t.Fatalf("trial %d: bootstrap: %v", trial, err)
+		}
+		if trial == 0 {
+			refCI = ci
+		} else if ci != refCI {
+			t.Fatalf("trial %d: bootstrap CI %+v != %+v: flattening order is not deterministic", trial, ci, refCI)
+		}
+	}
+}

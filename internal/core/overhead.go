@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"atscale/internal/arch"
@@ -203,4 +204,18 @@ func (s *Session) SweepAll() (map[string][]OverheadPoint, error) {
 		out[spec.Name()] = pts[i]
 	}
 	return out, nil
+}
+
+// sortedSweepNames returns a SweepAll result's workload names in sorted
+// order. Every consumer that flattens or renders sweep results iterates
+// this slice: position-sensitive downstream math (bootstrap resampling
+// in Table V) and rendered row order must not inherit map iteration
+// order.
+func sortedSweepNames(all map[string][]OverheadPoint) []string {
+	var names []string
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

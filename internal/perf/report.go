@@ -97,6 +97,7 @@ func NewReport(samples []Sample, dropped, droppedWeight uint64, topK int) Report
 		}
 	}
 	r.HotPages = make([]PageStat, 0, len(pages))
+	//atlint:ordered collection order is erased by the total-order sort (cycles, samples, page) below
 	for p, a := range pages {
 		r.HotPages = append(r.HotPages, PageStat{Page: p, Cycles: a.cycles, Samples: a.samples})
 	}
@@ -133,6 +134,7 @@ func HotBlocks(samples []Sample, blockShift uint, k int) []uint64 {
 		w     uint64
 	}
 	all := make([]hb, 0, len(heat))
+	//atlint:ordered collection order is erased by the total-order sort (weight, block) below
 	for b, w := range heat {
 		all = append(all, hb{b, w})
 	}
