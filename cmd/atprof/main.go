@@ -20,6 +20,7 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/core"
 	"atscale/internal/perf"
+	"atscale/internal/telemetry"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
 )
@@ -45,6 +46,7 @@ func run() error {
 		buffer   = flag.Int("buf", 0, "sample ring capacity (0: default)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of text")
 		csvOut   = flag.String("csv", "", "write PREFIX.timeline.csv and PREFIX.samples.csv alongside the text output")
+		timeline = flag.String("timeline", "", "write the run's deterministic timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
 	)
 	flag.Parse()
 
@@ -75,11 +77,23 @@ func run() error {
 		}
 	}
 
+	var tracer *telemetry.Tracer
+	if *timeline != "" {
+		tracer = telemetry.New()
+		cfg.Trace = tracer
+	}
+
 	r, err := core.Run(&cfg, spec, *param, ps)
 	if err != nil {
 		return err
 	}
 	report := perf.NewReport(r.Samples, r.SampleDropped, r.SampleDroppedWeight, *topK)
+
+	if tracer != nil {
+		if err := exportTimeline(tracer, *timeline); err != nil {
+			return err
+		}
+	}
 
 	if *csvOut != "" {
 		if err := writeCSVs(*csvOut, r); err != nil {
@@ -173,6 +187,19 @@ func writeJSON(w *os.File, r core.RunResult, report perf.Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// exportTimeline writes the tracer's timeline to path.
+func exportTimeline(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSVs(prefix string, r core.RunResult) error {

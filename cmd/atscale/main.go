@@ -35,6 +35,7 @@ import (
 
 	"atscale/internal/arch"
 	"atscale/internal/core"
+	"atscale/internal/telemetry"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
 )
@@ -61,6 +62,10 @@ func run() error {
 		virt       = flag.Bool("virt", false, "run every simulation under nested paging (guest tables over a host EPT)")
 		guestPages = flag.String("guest-pages", "", "with -virt: pin the guest page size (4KB|2MB|1GB), overriding each experiment's policy axis")
 		eptPages   = flag.String("ept-pages", "4KB", "with -virt: EPT leaf size (4KB|2MB|1GB)")
+		runIDs     = flag.String("run", "", "experiment id(s) to run, comma-separated (alternative to positional ids)")
+		timeline   = flag.String("timeline", "", "write the campaign's deterministic timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
+		tlVerify   = flag.Bool("timeline-verify", false, "validate the exported timeline's structure after writing it (requires -timeline)")
+		telem      = flag.String("telemetry", "", `live campaign telemetry: "stderr" for JSONL heartbeats, or a listen address (e.g. :8344) for an HTTP /stats endpoint`)
 	)
 	flag.Parse()
 
@@ -76,6 +81,13 @@ func run() error {
 		return nil
 	}
 	ids := flag.Args()
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
 	if len(ids) == 0 {
 		return fmt.Errorf("no experiments given (try -list, or: atscale fig1)")
 	}
@@ -134,6 +146,23 @@ func run() error {
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
+	var tracer *telemetry.Tracer
+	if *timeline != "" {
+		tracer = telemetry.New()
+		cfg.Trace = tracer
+	} else if *tlVerify {
+		return fmt.Errorf("-timeline-verify requires -timeline")
+	}
+	var stopTelemetry func()
+	if *telem != "" {
+		mon := telemetry.NewMonitor()
+		cfg.Monitor = mon
+		stop, err := startTelemetry(*telem, mon)
+		if err != nil {
+			return err
+		}
+		stopTelemetry = stop
+	}
 	session := core.NewSession(cfg)
 
 	parallelism := *par
@@ -181,6 +210,14 @@ func run() error {
 			if err := emit(exp, result); err != nil {
 				return err
 			}
+		}
+	}
+	if stopTelemetry != nil {
+		stopTelemetry()
+	}
+	if tracer != nil {
+		if err := writeTimeline(tracer, *timeline, *tlVerify); err != nil {
+			return err
 		}
 	}
 	if *out != "" {

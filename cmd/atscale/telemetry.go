@@ -1,0 +1,94 @@
+package main
+
+// Frontend half of the telemetry subsystem: everything that touches the
+// wall clock or the network lives here, in an exempt cmd package, so the
+// simulator proper (internal/telemetry included) stays free of
+// nondeterminism. The heartbeat loop and the HTTP endpoint only ever
+// *snapshot* the monitor's atomics; they perturb no simulation state.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"atscale/internal/telemetry"
+)
+
+// heartbeatPeriod is how often the stderr mode emits a JSONL snapshot.
+const heartbeatPeriod = time.Second
+
+// startTelemetry starts live telemetry in the requested mode — "stderr"
+// for JSONL heartbeat lines, anything else a TCP listen address serving
+// GET /stats — and returns a stop function that emits/serves a final
+// consistent snapshot before returning.
+func startTelemetry(mode string, mon *telemetry.Monitor) (func(), error) {
+	if mode == "stderr" {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(heartbeatPeriod)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					os.Stderr.Write(append(mon.Snapshot().JSON(), '\n'))
+				}
+			}
+		}()
+		return func() {
+			close(done)
+			wg.Wait()
+			// Final heartbeat so short campaigns still emit one line.
+			os.Stderr.Write(append(mon.Snapshot().JSON(), '\n'))
+		}, nil
+	}
+	ln, err := net.Listen("tcp", mode)
+	if err != nil {
+		return nil, fmt.Errorf("-telemetry %q: %w", mode, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(mon.Snapshot().JSON(), '\n'))
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "telemetry: serving campaign stats on http://%s/stats\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// writeTimeline exports the tracer to path and, when verify is set,
+// parses the written file back through the shared structural validator.
+func writeTimeline(tr *telemetry.Tracer, path string, verify bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !verify {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	stats, err := telemetry.Validate(data)
+	if err != nil {
+		return fmt.Errorf("timeline %s failed validation: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "timeline %s: %s\n", path, stats)
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/machine"
 	"atscale/internal/perf"
+	"atscale/internal/telemetry"
 	"atscale/internal/trace"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
@@ -97,6 +98,7 @@ func replay(args []string) error {
 	stlb := fs.Int("stlb", 0, "override STLB entries (what-if)")
 	pde := fs.Int("pde", 0, "override PDE-cache entries (what-if)")
 	maxEvents := fs.Uint64("n", 0, "replay at most n events (0 = all)")
+	timeline := fs.String("timeline", "", "write the replay's deterministic timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
 	fs.Parse(args)
 
 	ps, err := arch.ParsePageSize(*pages)
@@ -119,11 +121,40 @@ func replay(args []string) error {
 		return err
 	}
 	defer f.Close()
+	var tracer *telemetry.Tracer
+	unit := fmt.Sprintf("replay %s %s seed=%d", *in, ps, *seed)
+	if *timeline != "" {
+		tracer = telemetry.New()
+		m.EnableTrace(tracer, unit)
+		m.BeginPhase("replay")
+	}
 	n, err := trace.Replay(m, f, *maxEvents)
 	if err != nil {
 		return err
 	}
 	met := perf.Compute(m.Counters())
+	if tracer != nil {
+		m.EndPhase()
+		tracer.FinishUnit(telemetry.Unit{
+			Name:   unit,
+			Cycles: m.CycleCount(),
+			Stats: []telemetry.UnitStat{
+				{Name: "wcpi", Val: met.WCPI},
+				{Name: "cpi", Val: met.CPI},
+			},
+		})
+		tf, err := os.Create(*timeline)
+		if err != nil {
+			return err
+		}
+		if err := tracer.Export(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(os.Stderr, "replayed %d events\n", n)
 	fmt.Printf("CPI %.3f  WCPI %.4f  misses/kacc %.2f  walk-lat %.1f\n",
 		met.CPI, met.WCPI, met.TLBMissesPerKiloAccess, met.AvgWalkCycles)

@@ -24,6 +24,7 @@ var Deterministic = []string{
 	"internal/machine",
 	"internal/walker",
 	"internal/mmucache",
+	"internal/telemetry",
 	"internal/virt",
 }
 

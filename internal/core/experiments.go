@@ -83,6 +83,7 @@ func Experiments() []Experiment {
 		{"xsweep", "Extension: synthetic streams swept to tens-of-GB virtual footprints", wrap(XSweep)},
 		{"stability", "Extension: metric dispersion across simulation seeds", wrap(StabilityExperiment)},
 		{"virt", "Extension: nested paging — native-vs-nested sweep, page-size matrix, multi-tenant EPT sharing", wrap(VirtExperiment)},
+		{"wcpi", "Headline WCPI ladder for bc-urand (shares fig5's sweep; pairs with -timeline)", wrap(WCPIExperiment)},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/machine"
 	"atscale/internal/perf"
+	"atscale/internal/telemetry"
 	"atscale/internal/workloads"
 )
 
@@ -68,6 +69,17 @@ type RunConfig struct {
 	// atomically (one Write per line), so a parallel campaign's log is
 	// interleaved per-run but never corrupted mid-line.
 	Log io.Writer
+	// Trace, when non-nil, records every run unit's timeline (walker
+	// spans, speculation instants, workload phases) plus the campaign
+	// schedule; export it with Trace.Export. Timelines are clocked in
+	// simulated cycles, so the exported file is byte-identical across
+	// runs and across serial/parallel schedules. Nil leaves tracing off
+	// at zero allocation cost on the simulation hot paths.
+	Trace *telemetry.Tracer
+	// Monitor, when non-nil, receives live campaign progress (unit
+	// starts/completions, worker occupancy, aggregate counter deltas);
+	// the CLIs' heartbeat loops snapshot it. Nil disables the hooks.
+	Monitor *telemetry.Monitor
 
 	// pool is the worker pool shared by every config copied from one
 	// session; NewSession creates it (see schedule.go).
@@ -144,7 +156,14 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 	if cfg.EnablePromotion && ps == arch.Page4K {
 		m.EnablePromotion(machine.DefaultPromotionConfig())
 	}
-	inst, err := spec.Build(m, param)
+	// Tracing attaches before the build so the setup phase is on the
+	// timeline too; the unit name doubles as the process name, so it
+	// carries every config variant that distinguishes otherwise-equal
+	// (workload, param, page size) units within one campaign.
+	unit := unitName(cfg, spec, param, ps)
+	m.EnableTrace(cfg.Trace, unit)
+	cfg.Monitor.UnitStarted()
+	inst, err := spec.Instantiate(m, param)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("core: building %s param %d: %w", spec.Name(), param, err)
 	}
@@ -170,7 +189,7 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 		}
 	}
 	start := m.Counters()
-	inst.Run(cfg.Budget)
+	workloads.RunPhased(m, inst, cfg.Budget)
 	delta := perf.Delta(start, m.Counters())
 	r := RunResult{
 		Workload:  spec.Name(),
@@ -188,9 +207,44 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 		r.SampleDropped = smp.Dropped()
 		r.SampleDroppedWeight = smp.DroppedWeight()
 	}
+	walkCycles := delta.Get(perf.DTLBLoadWalkDuration) + delta.Get(perf.DTLBStoreWalkDuration)
+	cfg.Trace.FinishUnit(telemetry.Unit{
+		// Cycles spans the machine's whole traced extent (warmup
+		// included), so the unit's detail tracks fit inside its
+		// campaign tile.
+		Name:   unit,
+		Cycles: m.CycleCount(),
+		Stats: []telemetry.UnitStat{
+			{Name: "wcpi", Val: r.Metrics.WCPI},
+			{Name: "cpi", Val: r.Metrics.CPI},
+			{Name: "walk_cycles", Val: float64(walkCycles)},
+			{Name: "instructions", Val: float64(delta.Get(perf.InstRetired))},
+		},
+	})
+	cfg.Monitor.UnitDone(delta.Get(perf.InstRetired), delta.Get(perf.Cycles), walkCycles)
 	cfg.logf("  run %-22s param=%-8d %-4s footprint=%-9s cpi=%.3f wcpi=%.4f",
 		r.Workload, r.Param, ps, arch.FormatBytes(r.Footprint), r.Metrics.CPI, r.Metrics.WCPI)
 	return r, nil
+}
+
+// unitName builds the campaign-unique run unit name: workload, size
+// parameter, page size, seed, plus a marker per config variant that can
+// coexist with the plain config in one campaign.
+func unitName(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) string {
+	name := fmt.Sprintf("%s p=%d %s seed=%d", spec.Name(), param, ps, cfg.Seed)
+	if cfg.System.Virt.Enabled {
+		name += " +virt"
+	}
+	if cfg.System.PageTable == "hashed" {
+		name += " +hashed"
+	}
+	if cfg.EnablePromotion {
+		name += " +promo"
+	}
+	if cfg.System.PagingLevels != 0 && cfg.System.PagingLevels != 4 {
+		name += fmt.Sprintf(" +lvl%d", cfg.System.PagingLevels)
+	}
+	return name
 }
 
 // paperSuites are the benchmark suites of the paper's Table I.

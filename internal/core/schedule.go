@@ -46,7 +46,10 @@ func forEachUnit(cfg *RunConfig, n int, fn func(i int) error) error {
 	}
 	if cfg.parallelism() == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			cfg.Monitor.WorkerBusy()
+			err := fn(i)
+			cfg.Monitor.WorkerIdle()
+			if err != nil {
 				return err
 			}
 		}
@@ -76,6 +79,8 @@ func forEachUnit(cfg *RunConfig, n int, fn func(i int) error) error {
 			if failed() {
 				return // cancelled: an earlier unit errored
 			}
+			cfg.Monitor.WorkerBusy()
+			defer cfg.Monitor.WorkerIdle()
 			if err := fn(i); err != nil {
 				mu.Lock()
 				if firstErr == nil {

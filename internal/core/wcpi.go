@@ -1,0 +1,41 @@
+package core
+
+import (
+	"atscale/internal/arch"
+)
+
+// This file drives the headline-WCPI experiment: the bc-urand ladder
+// reduced to the walk-cycles-per-instruction column the paper treats as
+// its overhead proxy. It shares Fig5's memoized sweep, so running both
+// in one session measures the workload once; it also pairs naturally
+// with -timeline (a small, representative campaign whose trace shows
+// the full track layout).
+
+// WCPIResult is the headline WCPI ladder.
+type WCPIResult struct {
+	Points []OverheadPoint
+}
+
+// WCPIExperiment sweeps bc-urand and reports WCPI next to the §III
+// overhead it proxies at every rung.
+func WCPIExperiment(s *Session) (*WCPIResult, error) {
+	pts, err := s.Sweep("bc-urand")
+	if err != nil {
+		return nil, err
+	}
+	return &WCPIResult{Points: pts}, nil
+}
+
+// Tables exposes the ladder.
+func (r *WCPIResult) Tables() []*Table {
+	t := NewTable("Headline WCPI: bc-urand ladder (4 KB policy)",
+		"param", "footprint", "WCPI", "CPI", "walk cycle fraction", "rel AT overhead")
+	for _, p := range r.Points {
+		t.Row(f(float64(p.Param), 0), arch.FormatBytes(p.Footprint),
+			f(p.M4K.WCPI, 4), f(p.CPI4K, 3), f(p.M4K.WalkCycleFraction, 4), pct(p.RelOverhead))
+	}
+	return []*Table{t}
+}
+
+// Render emits the ladder as a table.
+func (r *WCPIResult) Render() string { return RenderTables(r.Tables(), "") }

@@ -26,8 +26,17 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/cache"
 	"atscale/internal/perf"
+	"atscale/internal/telemetry"
 	"atscale/internal/tlb"
 	"atscale/internal/walker"
+)
+
+// Timeline instant names the core emits on its speculation track.
+const (
+	traceMispredict   = "mispredict"
+	traceMachineClear = "machine_clear"
+	traceWalkSquash   = "walk_squash"
+	traceWrongPath    = "wrongpath_walk"
 )
 
 // osFaultCycles is the cycle cost charged for a demand page fault (kernel
@@ -95,6 +104,11 @@ type Core struct {
 	// (zero / PTENone on TLB hits).
 	lastWalkCycles uint64
 	lastWalkLevel  perf.PTELevel
+
+	// trk, when non-nil, is the core's speculation timeline track:
+	// mispredict and machine-clear flushes, plus squashed and completed
+	// wrong-path walks, land on it as instants at core-cycle time.
+	trk *telemetry.Track
 }
 
 // New builds a core on top of the given translation and cache hardware.
@@ -124,6 +138,13 @@ func (c *Core) SetAddressSpace(cr3 arch.PAddr, fault FaultHandler) {
 
 // Counters returns a snapshot of the core's PMU.
 func (c *Core) Counters() perf.Counters { return c.ctr.Snapshot() }
+
+// CycleCount returns the core cycle counter — the simulated clock every
+// timeline track syncs to.
+func (c *Core) CycleCount() uint64 { return c.ctr.Get(perf.Cycles) }
+
+// SetTrace attaches the core's speculation timeline track.
+func (c *Core) SetTrace(trk *telemetry.Track) { c.trk = trk }
 
 // Accesses returns retired loads+stores so far (cheap progress gauge).
 func (c *Core) Accesses() uint64 {
@@ -302,6 +323,10 @@ func (c *Core) Branch(pc uint64, taken bool) {
 		return
 	}
 	c.ctr.Inc(perf.BranchMispredicts)
+	if c.trk != nil {
+		c.trk.Sync(c.CycleCount())
+		c.trk.Instant(traceMispredict)
+	}
 	c.flushEpisode()
 }
 
@@ -350,10 +375,18 @@ func (c *Core) wrongPathAccess(budget uint64) {
 		c.accountWalk(false, wr)
 		if !wr.Completed {
 			c.sampleWalk(false, va, wr.Cycles, wr.EPTCycles, wr.LeafLoc, perf.OutcomeAborted)
+			if c.trk != nil {
+				c.trk.Sync(c.CycleCount())
+				c.trk.Instant(traceWalkSquash)
+			}
 			return // aborted: initiated but never completed
 		}
 		c.countWalkCompleted(false)
 		c.sampleWalk(false, va, wr.Cycles, wr.EPTCycles, wr.LeafLoc, perf.OutcomeWrongPath)
+		if c.trk != nil {
+			c.trk.Sync(c.CycleCount())
+			c.trk.Instant(traceWrongPath)
+		}
 		if !wr.OK {
 			return // speculative fault is suppressed, no fill
 		}
@@ -414,6 +447,10 @@ func (c *Core) checkAlias(va arch.VAddr) {
 	}
 	c.ctr.Inc(perf.MachineClears)
 	c.ctr.Inc(perf.MachineClearsMemOrder)
+	if c.trk != nil {
+		c.trk.Sync(c.CycleCount())
+		c.trk.Instant(traceMachineClear)
+	}
 	c.flushEpisode()
 }
 

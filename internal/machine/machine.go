@@ -21,6 +21,7 @@ import (
 	"atscale/internal/mmucache"
 	"atscale/internal/pagetable"
 	"atscale/internal/perf"
+	"atscale/internal/telemetry"
 	"atscale/internal/tlb"
 	"atscale/internal/virt"
 	"atscale/internal/vm"
@@ -29,10 +30,11 @@ import (
 
 // Machine is one simulated single-core system running one process.
 type Machine struct {
-	cfg  arch.SystemConfig
-	phys *mem.Phys
-	as   *vm.AddrSpace
-	core *cpu.Core
+	cfg    arch.SystemConfig
+	phys   *mem.Phys
+	as     *vm.AddrSpace
+	core   *cpu.Core
+	engine walker.Engine
 
 	// Virtualization layer (nil on native machines). All tenants share
 	// hyp's EPT; as always aliases tenants[tenant].
@@ -58,6 +60,12 @@ type Machine struct {
 	// interval, when non-nil, streams counter rows every N retired
 	// instructions (perf stat -I keyed on instruction count).
 	interval *perf.IntervalReader
+
+	// phaseTrk, when non-nil, is the timeline track receiving the
+	// workload phase spans (setup / prefault / steady); prefaults counts
+	// quietly materialized pages for the phase-boundary counter sample.
+	phaseTrk  *telemetry.Track
+	prefaults uint64
 }
 
 // Tracer observes every workload-level event the machine executes, in
@@ -136,6 +144,7 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 		return nil, fmt.Errorf("machine: %w", err)
 	}
 	m.as = as
+	m.engine = engine
 	tlbs := tlb.NewHierarchy(&m.cfg)
 	m.core = cpu.New(&m.cfg, tlbs, caches, engine, seed)
 	m.core.SetAddressSpace(as.PageTable().Root(), m.faultHandler(as))
@@ -284,6 +293,53 @@ func (m *Machine) Branch(pc uint64, taken bool) {
 // Counters snapshots the PMU.
 func (m *Machine) Counters() perf.Counters { return m.core.Counters() }
 
+// CycleCount returns the core cycle counter — the simulated clock the
+// machine's timeline tracks sync to.
+func (m *Machine) CycleCount() uint64 { return m.core.CycleCount() }
+
+// EnableTrace attaches the machine to a timeline tracer under the given
+// campaign-unique unit name: the walker gets a track per dimension, the
+// core a speculation track, and the workload a phase track. A nil tracer
+// leaves the machine untraced (every hook stays a pointer compare).
+func (m *Machine) EnableTrace(tr *telemetry.Tracer, unit string) {
+	if tr == nil {
+		return
+	}
+	p := tr.Process(unit)
+	clock := m.core.CycleCount
+	switch e := m.engine.(type) {
+	case *walker.Walker:
+		e.SetTrace(p.Track("walker"), clock)
+	case *walker.Nested:
+		e.SetTrace(p.Track("walker (guest)"), p.Track("walker (ept)"), clock)
+	case *walker.Hashed:
+		e.SetTrace(p.Track("walker"), clock)
+	}
+	m.core.SetTrace(p.Track("speculation"))
+	m.phaseTrk = p.Track("phases")
+}
+
+// BeginPhase opens a workload phase span (setup / prefault / steady /
+// replay) on the machine's phase track at current core time.
+func (m *Machine) BeginPhase(name string) {
+	if m.phaseTrk == nil {
+		return
+	}
+	m.phaseTrk.Sync(m.core.CycleCount())
+	m.phaseTrk.Begin(name)
+}
+
+// EndPhase closes the innermost open phase span, annotating it with the
+// cumulative count of quietly prefaulted pages.
+func (m *Machine) EndPhase() {
+	if m.phaseTrk == nil {
+		return
+	}
+	m.phaseTrk.Sync(m.core.CycleCount())
+	m.phaseTrk.Counter("prefaulted_pages", float64(m.prefaults))
+	m.phaseTrk.End()
+}
+
 // Sampler returns the machine's PEBS-style sampler, creating and
 // attaching it with the default ring capacity on first use. Arm events
 // on it to start capturing; an unarmed sampler costs one len check per
@@ -364,6 +420,7 @@ func (m *Machine) quietTranslate(va arch.VAddr) arch.PAddr {
 		if _, err := m.as.HandleFault(va); err != nil {
 			panic(fmt.Sprintf("machine: quiet access to unmapped %#x: %v", uint64(va), err))
 		}
+		m.prefaults++
 		if m.tracer != nil {
 			m.tracer.Prefault(page)
 		}

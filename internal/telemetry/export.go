@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The exporter emits Chrome trace-event JSON (the Perfetto-loadable
+// array-of-events format). Everything about the emission is
+// deterministic: units are laid out in sorted-name order on the campaign
+// track, processes and tracks get pids/tids in sorted-name order, and
+// per-track events are written in recorded order. A campaign traced
+// twice with the same seed and config therefore exports byte-identical
+// files, whatever the scheduler did.
+
+// Timestamps are simulated cycles written into the "ts"/"dur"
+// microsecond fields: Perfetto renders 1 cycle as 1 µs, which is only a
+// display convention (the timeline has no wall-clock meaning at all).
+
+// campaignPid is the fixed pid of the scheduler's campaign process.
+const campaignPid = 1
+
+// jsonEvent is one trace event in Chrome trace-event order.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// sortedUnits returns the campaign units in name order, with their
+// serial-equivalent start offsets (the prefix sum of unit durations).
+func (tr *Tracer) sortedUnits() ([]Unit, []uint64) {
+	units := append([]Unit(nil), tr.units...)
+	sort.Slice(units, func(i, j int) bool { return units[i].Name < units[j].Name })
+	starts := make([]uint64, len(units))
+	var w uint64
+	for i, u := range units {
+		starts[i] = w
+		w += u.Cycles
+	}
+	return units, starts
+}
+
+// Export writes the timeline as Chrome trace-event JSON. A nil tracer
+// exports an empty (but valid) trace.
+func (tr *Tracer) Export(w io.Writer) error {
+	ew := &eventWriter{w: w}
+	ew.open()
+
+	if tr != nil {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+
+		units, starts := tr.sortedUnits()
+
+		// Campaign process: unit spans tiled in serial-equivalent time,
+		// queue-wait annotations, and counter snapshots at boundaries.
+		if len(units) > 0 {
+			ew.emit(jsonEvent{Name: "process_name", Ph: "M", Pid: campaignPid, Tid: 0,
+				Args: map[string]any{"name": "campaign (serial-equivalent schedule)"}})
+			ew.emit(jsonEvent{Name: "thread_name", Ph: "M", Pid: campaignPid, Tid: 1,
+				Args: map[string]any{"name": "run units"}})
+			for i, u := range units {
+				ew.emit(jsonEvent{Name: u.Name, Ph: "X", Ts: starts[i], Dur: u.Cycles,
+					Pid: campaignPid, Tid: 1,
+					Args: map[string]any{"queue_wait_cycles": starts[i]}})
+				// All begin-boundary samples precede all end-boundary
+				// samples: the lane's timestamps must never run backwards.
+				for _, s := range u.Stats {
+					ew.emit(jsonEvent{Name: s.Name, Ph: "C", Ts: starts[i],
+						Pid: campaignPid, Tid: 1, Args: map[string]any{"v": s.Val}})
+				}
+				for _, s := range u.Stats {
+					ew.emit(jsonEvent{Name: s.Name, Ph: "C", Ts: starts[i] + u.Cycles,
+						Pid: campaignPid, Tid: 1, Args: map[string]any{"v": s.Val}})
+				}
+			}
+		}
+
+		// Detail processes, sorted by name, shifted to their unit's
+		// campaign offset (0 when no matching unit — standalone traces).
+		procs := append([]*Process(nil), tr.procs...)
+		sort.Slice(procs, func(i, j int) bool { return procs[i].name < procs[j].name })
+		for pi, p := range procs {
+			pid := campaignPid + 1 + pi
+			offset := uint64(0)
+			for i, u := range units {
+				if u.Name == p.name {
+					offset = starts[i]
+					break
+				}
+			}
+			p.offset = offset
+			ew.emit(jsonEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": p.name}})
+			tracks := append([]*Track(nil), p.tracks...)
+			sort.Slice(tracks, func(i, j int) bool { return tracks[i].name < tracks[j].name })
+			for ti, t := range tracks {
+				tid := ti + 1
+				ew.emit(jsonEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": t.name}})
+				for _, e := range t.events {
+					je := jsonEvent{Name: e.Name, Ph: string(rune(e.Ph)), Ts: e.Ts + offset,
+						Pid: pid, Tid: tid}
+					switch e.Ph {
+					case PhComplete:
+						je.Dur = e.Dur
+					case PhInstant:
+						je.S = "t"
+					case PhCounter:
+						je.Args = map[string]any{"v": e.ArgF}
+					}
+					if e.ArgName != "" {
+						if je.Args == nil {
+							je.Args = map[string]any{}
+						}
+						je.Args[e.ArgName] = e.ArgStr
+					}
+					ew.emit(je)
+				}
+			}
+		}
+	}
+
+	ew.close()
+	return ew.err
+}
+
+// eventWriter streams the trace-event array with explicit separators so
+// the output is a single deterministic JSON document.
+type eventWriter struct {
+	w     io.Writer
+	n     int
+	err   error
+	wrote bool
+}
+
+func (ew *eventWriter) open() {
+	_, ew.err = io.WriteString(ew.w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+}
+
+func (ew *eventWriter) emit(e jsonEvent) {
+	if ew.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		ew.err = err
+		return
+	}
+	sep := ",\n"
+	if !ew.wrote {
+		sep = ""
+		ew.wrote = true
+	}
+	if _, err := fmt.Fprintf(ew.w, "%s%s", sep, b); err != nil {
+		ew.err = err
+		return
+	}
+	ew.n++
+}
+
+func (ew *eventWriter) close() {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = io.WriteString(ew.w, "\n]}\n")
+}

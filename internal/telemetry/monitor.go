@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync/atomic"
+)
+
+// Monitor is the live campaign telemetry hub: a set of atomic gauges and
+// counters the scheduler and run units publish into while a campaign
+// runs. It holds *no wall-clock state* — the heartbeat loops that
+// timestamp and emit snapshots live in the CLI frontends (which the
+// nondet analyzer exempts), keeping the simulator proper clock-free.
+//
+// All methods are safe for concurrent use and are no-ops on a nil
+// *Monitor, so the scheduler hooks cost one pointer compare when live
+// telemetry is off.
+type Monitor struct {
+	unitsStarted atomic.Uint64
+	unitsDone    atomic.Uint64
+	busyWorkers  atomic.Int64
+	instructions atomic.Uint64
+	cycles       atomic.Uint64
+	walkCycles   atomic.Uint64
+}
+
+// NewMonitor creates an enabled monitor.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// UnitStarted marks one run unit entering its measured region.
+func (m *Monitor) UnitStarted() {
+	if m == nil {
+		return
+	}
+	m.unitsStarted.Add(1)
+}
+
+// UnitDone publishes one completed unit's counter deltas.
+func (m *Monitor) UnitDone(instructions, cycles, walkCycles uint64) {
+	if m == nil {
+		return
+	}
+	m.unitsDone.Add(1)
+	m.instructions.Add(instructions)
+	m.cycles.Add(cycles)
+	m.walkCycles.Add(walkCycles)
+}
+
+// WorkerBusy marks one scheduler worker as occupied by a unit.
+func (m *Monitor) WorkerBusy() {
+	if m == nil {
+		return
+	}
+	m.busyWorkers.Add(1)
+}
+
+// WorkerIdle marks one scheduler worker as free again.
+func (m *Monitor) WorkerIdle() {
+	if m == nil {
+		return
+	}
+	m.busyWorkers.Add(-1)
+}
+
+// MonitorStats is one consistent-enough snapshot of the campaign (each
+// field is individually atomic; the set is not a transaction, which is
+// fine for progress reporting).
+type MonitorStats struct {
+	// UnitsStarted / UnitsDone count run units entering / leaving their
+	// measured regions.
+	UnitsStarted uint64 `json:"units_started"`
+	UnitsDone    uint64 `json:"units_done"`
+	// BusyWorkers is the number of scheduler workers currently running a
+	// unit (worker occupancy).
+	BusyWorkers int64 `json:"busy_workers"`
+	// Instructions / Cycles / WalkCycles aggregate the completed units'
+	// counter deltas.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	WalkCycles   uint64 `json:"walk_cycles"`
+	// WCPI is the campaign-aggregate walk cycles per instruction over
+	// completed units — the paper's headline proxy, live.
+	WCPI float64 `json:"wcpi"`
+}
+
+// Snapshot reads the current stats (zero value on a nil monitor).
+func (m *Monitor) Snapshot() MonitorStats {
+	if m == nil {
+		return MonitorStats{}
+	}
+	s := MonitorStats{
+		UnitsStarted: m.unitsStarted.Load(),
+		UnitsDone:    m.unitsDone.Load(),
+		BusyWorkers:  m.busyWorkers.Load(),
+		Instructions: m.instructions.Load(),
+		Cycles:       m.cycles.Load(),
+		WalkCycles:   m.walkCycles.Load(),
+	}
+	if s.Instructions > 0 {
+		s.WCPI = float64(s.WalkCycles) / float64(s.Instructions)
+	}
+	return s
+}
+
+// JSON renders the snapshot as one JSONL heartbeat line (no trailing
+// newline). Field order is fixed by the struct, so heartbeats diff
+// cleanly.
+func (s MonitorStats) JSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// MonitorStats contains only numeric fields; Marshal cannot fail.
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilSafety: every recording entry point must be a no-op on nil
+// receivers — the disabled-tracer contract the hot paths rely on.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	p := tr.Process("unit")
+	if p != nil {
+		t.Fatalf("nil tracer returned non-nil process")
+	}
+	trk := p.Track("walker")
+	if trk != nil {
+		t.Fatalf("nil process returned non-nil track")
+	}
+	trk.Sync(10)
+	trk.Advance(5)
+	trk.Begin("walk")
+	trk.Slice("PT", 4, "loc", "L1")
+	trk.Instant("mispredict")
+	trk.Counter("wcpi", 0.5)
+	trk.EndArg("outcome", "ok")
+	trk.End()
+	if trk.Now() != 0 {
+		t.Errorf("nil track Now = %d", trk.Now())
+	}
+	tr.FinishUnit(Unit{Name: "unit"})
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+	if _, err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("nil tracer export invalid: %v", err)
+	}
+
+	var m *Monitor
+	m.UnitStarted()
+	m.UnitDone(1, 2, 3)
+	m.WorkerBusy()
+	m.WorkerIdle()
+	if s := m.Snapshot(); s != (MonitorStats{}) {
+		t.Errorf("nil monitor snapshot = %+v", s)
+	}
+}
+
+// TestTrackClockDomain: Sync only moves forward, Slice advances the
+// cursor by its duration.
+func TestTrackClockDomain(t *testing.T) {
+	trk := &Track{name: "walker"}
+	trk.Sync(100)
+	if trk.Now() != 100 {
+		t.Fatalf("Now = %d after Sync(100)", trk.Now())
+	}
+	trk.Slice("PT", 7, "loc", "L2")
+	if trk.Now() != 107 {
+		t.Fatalf("Now = %d after 7-cycle slice", trk.Now())
+	}
+	trk.Sync(50) // backwards: must be ignored
+	if trk.Now() != 107 {
+		t.Fatalf("Sync moved the cursor backwards to %d", trk.Now())
+	}
+}
+
+// buildTrace records a small two-unit campaign timeline.
+func buildTrace() *Tracer {
+	tr := New()
+	for _, unit := range []string{"unit-b", "unit-a"} { // reverse order on purpose
+		p := tr.Process(unit)
+		w := p.Track("walker")
+		w.Sync(10)
+		w.Begin("walk")
+		w.Slice("PML4", 6, "loc", "L1")
+		w.Slice("PT", 40, "loc", "DRAM")
+		w.EndArg("outcome", "ok")
+		s := p.Track("speculation")
+		s.Sync(30)
+		s.Instant("mispredict")
+		tr.FinishUnit(Unit{Name: unit, Cycles: 100, Stats: []UnitStat{{Name: "wcpi", Val: 0.25}}})
+	}
+	return tr
+}
+
+// TestExportValidates: the exporter's output passes the structural
+// validator and counts what was recorded.
+func TestExportValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("export failed validation: %v\n%s", err, buf.String())
+	}
+	if stats.Spans != 2 || stats.Instants != 2 {
+		t.Errorf("stats = %+v, want 2 spans and 2 instants", stats)
+	}
+	// Two units on the campaign track plus 2x2 walker slices.
+	if stats.Slices != 6 {
+		t.Errorf("slices = %d, want 6 (2 unit tiles + 4 walk levels)", stats.Slices)
+	}
+	if stats.Counters != 4 { // wcpi at both boundaries of both units
+		t.Errorf("counters = %d, want 4", stats.Counters)
+	}
+}
+
+// TestExportDeterministicOrder: units recorded in any order export in
+// sorted-name order with serial-equivalent offsets, so two tracers fed
+// the same data in different completion orders export identical bytes.
+func TestExportDeterministicOrder(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTrace().Export(&a); err != nil {
+		t.Fatal(err)
+	}
+	tr := New()
+	for _, unit := range []string{"unit-a", "unit-b"} { // opposite insertion order
+		p := tr.Process(unit)
+		w := p.Track("walker")
+		w.Sync(10)
+		w.Begin("walk")
+		w.Slice("PML4", 6, "loc", "L1")
+		w.Slice("PT", 40, "loc", "DRAM")
+		w.EndArg("outcome", "ok")
+		s := p.Track("speculation")
+		s.Sync(30)
+		s.Instant("mispredict")
+		tr.FinishUnit(Unit{Name: unit, Cycles: 100, Stats: []UnitStat{{Name: "wcpi", Val: 0.25}}})
+	}
+	if err := tr.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("export depends on recording order:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+	// unit-b tiles after unit-a: its walker events shift by unit-a's
+	// 100-cycle duration.
+	if !strings.Contains(a.String(), `"name":"unit-b","ph":"X","ts":100`) {
+		t.Errorf("unit-b not tiled at ts=100:\n%s", a.String())
+	}
+}
+
+// TestExportIsChromeTraceJSON: the document parses as JSON with the
+// traceEvents array and pid/tid/ph fields Perfetto expects.
+func TestExportIsChromeTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	names := 0
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "M" {
+			names++
+			continue
+		}
+		if _, ok := e["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", e)
+		}
+		if e["ph"] == "i" && e["s"] != "t" {
+			t.Errorf("instant without thread scope: %v", e)
+		}
+	}
+	if names < 3 {
+		t.Errorf("only %d metadata name events", names)
+	}
+}
+
+// TestValidateRejectsUnmatchedBegin: a Begin with no End must fail.
+func TestValidateRejectsUnmatchedBegin(t *testing.T) {
+	doc := `{"traceEvents":[{"name":"walk","ph":"B","ts":0,"pid":2,"tid":1}]}`
+	if _, err := Validate([]byte(doc)); err == nil {
+		t.Fatal("unmatched Begin validated")
+	}
+}
+
+// TestValidateRejectsEndWithoutBegin.
+func TestValidateRejectsEndWithoutBegin(t *testing.T) {
+	doc := `{"traceEvents":[{"name":"","ph":"E","ts":5,"pid":2,"tid":1}]}`
+	if _, err := Validate([]byte(doc)); err == nil {
+		t.Fatal("End without Begin validated")
+	}
+}
+
+// TestValidateRejectsEscapingSlice: an X slice reaching past its
+// enclosing span's end must fail.
+func TestValidateRejectsEscapingSlice(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"walk","ph":"B","ts":0,"pid":2,"tid":1},
+		{"name":"PT","ph":"X","ts":5,"dur":20,"pid":2,"tid":1},
+		{"name":"","ph":"E","ts":10,"pid":2,"tid":1}]}`
+	if _, err := Validate([]byte(doc)); err == nil {
+		t.Fatal("slice escaping its parent span validated")
+	}
+}
+
+// TestValidateRejectsBackwardsTime.
+func TestValidateRejectsBackwardsTime(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"a","ph":"i","ts":10,"pid":2,"tid":1},
+		{"name":"b","ph":"i","ts":5,"pid":2,"tid":1}]}`
+	if _, err := Validate([]byte(doc)); err == nil {
+		t.Fatal("backwards timestamps validated")
+	}
+}
+
+// TestMonitorSnapshot: counters aggregate and WCPI derives from them.
+func TestMonitorSnapshot(t *testing.T) {
+	m := NewMonitor()
+	m.UnitStarted()
+	m.WorkerBusy()
+	m.UnitDone(1000, 2000, 250)
+	m.UnitStarted()
+	m.UnitDone(1000, 1000, 150)
+	m.WorkerIdle()
+	s := m.Snapshot()
+	if s.UnitsStarted != 2 || s.UnitsDone != 2 || s.BusyWorkers != 0 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.WCPI != 0.2 {
+		t.Errorf("WCPI = %v, want 0.2", s.WCPI)
+	}
+	var parsed MonitorStats
+	if err := json.Unmarshal(s.JSON(), &parsed); err != nil {
+		t.Fatalf("heartbeat not JSON: %v", err)
+	}
+	if parsed != s {
+		t.Errorf("JSON round-trip = %+v, want %+v", parsed, s)
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The validator checks an exported timeline for structural validity:
+// the document parses as Chrome trace-event JSON, every Begin has a
+// matching End on its track, per-track timestamps never run backwards,
+// and every complete slice and instant is bracketed by the span that is
+// open around it. Tests run it over every exported timeline, and
+// `atscale -timeline-verify` runs it over the file it just wrote.
+
+// Stats summarizes a validated timeline.
+type Stats struct {
+	// Events is the total event count, metadata included.
+	Events int
+	// Tracks is the number of distinct (pid, tid) lanes.
+	Tracks int
+	// Spans is the number of matched Begin/End pairs.
+	Spans int
+	// Slices is the number of complete ("X") slices.
+	Slices int
+	// Instants is the number of instant events.
+	Instants int
+	// Counters is the number of counter samples.
+	Counters int
+}
+
+// rawEvent is the subset of trace-event fields validation needs.
+type rawEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// traceDoc is the exported document shape.
+type traceDoc struct {
+	TraceEvents []rawEvent `json:"traceEvents"`
+}
+
+// trackKey identifies one timeline lane.
+type trackKey struct{ pid, tid int }
+
+// Validate parses an exported timeline and checks its structure,
+// returning summary statistics. It is the shared backstop of the
+// telemetry tests and the -timeline-verify CLI path.
+func Validate(data []byte) (Stats, error) {
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Stats{}, fmt.Errorf("telemetry: timeline does not parse: %w", err)
+	}
+	var stats Stats
+	stats.Events = len(doc.TraceEvents)
+
+	// Group events by lane, preserving the document's per-lane order
+	// (which is the recorded order — the invariant under test). Keys are
+	// collected in first-appearance order so validation output and
+	// errors are deterministic without ranging over the map.
+	lanes := make(map[trackKey][]rawEvent)
+	var keys []trackKey
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue // metadata carries no timing
+		}
+		k := trackKey{e.Pid, e.Tid}
+		if _, ok := lanes[k]; !ok {
+			keys = append(keys, k)
+		}
+		lanes[k] = append(lanes[k], e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	stats.Tracks = len(keys)
+
+	for _, k := range keys {
+		s, err := validateLane(k, lanes[k])
+		if err != nil {
+			return Stats{}, err
+		}
+		stats.Spans += s.Spans
+		stats.Slices += s.Slices
+		stats.Instants += s.Instants
+		stats.Counters += s.Counters
+	}
+	return stats, nil
+}
+
+// span is one matched Begin/End pair.
+type span struct {
+	name     string
+	beg, end float64
+}
+
+// validateLane checks one lane's event stream.
+func validateLane(k trackKey, events []rawEvent) (Stats, error) {
+	var stats Stats
+	// Pass 1: timestamps monotonic; match Begin/End pairs into spans,
+	// remembering each Begin's eventual end time.
+	prev := -1.0
+	type open struct {
+		name string
+		beg  float64
+		idx  int // index into spans
+	}
+	var stack []open
+	var spans []span
+	spanAt := make([]int, len(events)) // event index -> enclosing span index (-1 none)
+	for i, e := range events {
+		if e.Ts < prev {
+			return stats, fmt.Errorf("telemetry: track %d/%d: timestamp runs backwards at event %d (%v after %v)", k.pid, k.tid, i, e.Ts, prev)
+		}
+		prev = e.Ts
+		if len(stack) > 0 {
+			spanAt[i] = stack[len(stack)-1].idx
+		} else {
+			spanAt[i] = -1
+		}
+		switch e.Ph {
+		case "B":
+			spans = append(spans, span{name: e.Name, beg: e.Ts, end: -1})
+			stack = append(stack, open{name: e.Name, beg: e.Ts, idx: len(spans) - 1})
+		case "E":
+			if len(stack) == 0 {
+				return stats, fmt.Errorf("telemetry: track %d/%d: End without a Begin at event %d", k.pid, k.tid, i)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			spans[top.idx].end = e.Ts
+			stats.Spans++
+		case "X":
+			stats.Slices++
+		case "i":
+			stats.Instants++
+		case "C":
+			stats.Counters++
+		}
+	}
+	if len(stack) > 0 {
+		return stats, fmt.Errorf("telemetry: track %d/%d: %d span(s) never closed (innermost %q at %v)",
+			k.pid, k.tid, len(stack), stack[len(stack)-1].name, stack[len(stack)-1].beg)
+	}
+	// Pass 2: every slice/instant must sit inside its enclosing span's
+	// (now known) bounds.
+	for i, e := range events {
+		si := spanAt[i]
+		if si < 0 {
+			continue
+		}
+		parent := spans[si]
+		switch e.Ph {
+		case "X":
+			if e.Ts < parent.beg || e.Ts+e.Dur > parent.end {
+				return stats, fmt.Errorf("telemetry: track %d/%d: slice %q [%v,%v] escapes enclosing span %q [%v,%v]",
+					k.pid, k.tid, e.Name, e.Ts, e.Ts+e.Dur, parent.name, parent.beg, parent.end)
+			}
+		case "i":
+			if e.Ts < parent.beg || e.Ts > parent.end {
+				return stats, fmt.Errorf("telemetry: track %d/%d: instant %q at %v outside enclosing span %q [%v,%v]",
+					k.pid, k.tid, e.Name, e.Ts, parent.name, parent.beg, parent.end)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// String renders the stats one-line, for the -timeline-verify output.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d events on %d tracks: %d spans, %d slices, %d instants, %d counter samples",
+		s.Events, s.Tracks, s.Spans, s.Slices, s.Instants, s.Counters)
+}

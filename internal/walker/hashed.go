@@ -5,6 +5,7 @@ import (
 	"atscale/internal/cache"
 	"atscale/internal/mem"
 	"atscale/internal/pagetable"
+	"atscale/internal/telemetry"
 )
 
 // Hashed is the hardware walker for a hashed page table: one hash
@@ -17,6 +18,11 @@ type Hashed struct {
 	phys   *mem.Phys
 	caches *cache.Hierarchy
 	table  *pagetable.HashedTable
+
+	// trk, when non-nil, receives one span per walk with a "hash" slice
+	// for the hash computation and one "probe" slice per cluster load.
+	trk   *telemetry.Track
+	clock func() uint64
 }
 
 // hashCycles is the fixed cost of the hash computation preceding the
@@ -28,14 +34,26 @@ func NewHashed(phys *mem.Phys, caches *cache.Hierarchy, table *pagetable.HashedT
 	return &Hashed{phys: phys, caches: caches, table: table}
 }
 
+// SetTrace attaches the walker's timeline track; clock supplies
+// simulated-cycle timestamps for walk starts.
+func (h *Hashed) SetTrace(trk *telemetry.Track, clock func() uint64) {
+	h.trk, h.clock = trk, clock
+}
+
 // Walk implements Engine. cr3 is unused: the walker addresses clusters
 // through the table geometry (a real design would carry base and size in
 // control registers).
 func (h *Hashed) Walk(va arch.VAddr, _ arch.PAddr, budget uint64) Result {
 	var r Result
 	r.Cycles = hashCycles
+	if h.trk != nil {
+		h.trk.Sync(h.clock())
+		h.trk.Begin(traceWalk)
+		h.trk.Slice(traceHash, hashCycles, "", "")
+	}
 	if !h.table.Canonical(va) {
 		r.Completed = true
+		h.trk.EndArg(traceOutcome, outcomeFault)
 		return r
 	}
 	vpn := arch.PageNumber(va, arch.Page4K)
@@ -52,7 +70,11 @@ func (h *Hashed) Walk(va arch.VAddr, _ arch.PAddr, budget uint64) Result {
 		r.Loads++
 		r.Locs[loc]++
 		r.LeafLoc = loc
+		if h.trk != nil {
+			h.trk.Slice(traceProbe, lat, traceLocArg, locName(loc))
+		}
 		if r.Cycles > budget {
+			h.trk.EndArg(traceOutcome, outcomeAbort)
 			return r // aborted
 		}
 		switch h.phys.Read64(addr) {
@@ -60,19 +82,23 @@ func (h *Hashed) Walk(va arch.VAddr, _ arch.PAddr, budget uint64) Result {
 			frame := h.phys.Read64(addr + arch.PAddr(8+(vpn%4)*8))
 			r.Completed = true
 			if frame == 0 {
+				h.trk.EndArg(traceOutcome, outcomeFault)
 				return r // hole in the cluster: page fault
 			}
 			r.OK = true
 			r.Frame = arch.PAddr(frame) &^ arch.PAddr(arch.Page4K.Mask())
 			r.Size = arch.Page4K
+			h.trk.EndArg(traceOutcome, outcomeOK)
 			return r
 		case 0: // empty cluster terminates the chain
 			r.Completed = true
+			h.trk.EndArg(traceOutcome, outcomeFault)
 			return r
 		}
 		// Tombstone or other group: keep probing.
 	}
 	r.Completed = true
+	h.trk.EndArg(traceOutcome, outcomeFault)
 	return r
 }
 

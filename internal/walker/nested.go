@@ -6,6 +6,7 @@ import (
 	"atscale/internal/mem"
 	"atscale/internal/mmucache"
 	"atscale/internal/pagetable"
+	"atscale/internal/telemetry"
 )
 
 // Nested is the two-dimensional hardware walker of a machine running
@@ -27,6 +28,23 @@ type Nested struct {
 	eptLeaf arch.Level // leaf level of the EPT mapping policy
 	nc      *mmucache.Nested
 	caches  *cache.Hierarchy
+
+	// gtrk/etrk, when non-nil, are the guest-dimension and EPT-dimension
+	// timeline sub-tracks: guest walks span gtrk with one slice per
+	// guest PTE load; every EPT walk spans etrk with one slice per EPT
+	// entry load. The two tracks cross-sync so the dimensions interleave
+	// in walk order. clock supplies the shared simulated-cycle clock.
+	gtrk, etrk *telemetry.Track
+	clock      func() uint64
+}
+
+// eptOutcome maps a failed EPT translation to the guest walk span's
+// outcome argument.
+func eptOutcome(st eptStatus) string {
+	if st == eptViolation {
+		return outcomeNoWalk
+	}
+	return outcomeAbort
 }
 
 // eptStatus reports how an EPT translation inside a nested walk ended.
@@ -55,6 +73,12 @@ func NewNested(phys *mem.Phys, eptRoot arch.PAddr, eptPages arch.PageSize, nc *m
 // Caches exposes the nested walk-serving caches (machine wiring, tests).
 func (w *Nested) Caches() *mmucache.Nested { return w.nc }
 
+// SetTrace attaches the guest and EPT timeline sub-tracks. clock
+// supplies simulated-cycle timestamps for walk starts.
+func (w *Nested) SetTrace(guest, ept *telemetry.Track, clock func() uint64) {
+	w.gtrk, w.etrk, w.clock = guest, ept, clock
+}
+
 // Flush implements Engine. For a nested walker, Flush is the guest
 // context switch: guest-dimension PSCs drop, but the EPT PSCs and nTLB —
 // tagged by guest-physical addresses under an unchanged EPTP — stay
@@ -77,9 +101,20 @@ func (w *Nested) InvalidateBlock(va arch.VAddr) {
 func (w *Nested) eptTranslate(gpa arch.PAddr, r *Result, budget uint64) (arch.PAddr, arch.PageSize, eptStatus) {
 	if hbase, size, ok := w.nc.NTLB.Lookup(gpa); ok {
 		r.NTLBHits++
+		if w.etrk != nil {
+			w.etrk.Sync(w.gtrk.Now())
+			w.etrk.Instant(traceNTLBHit)
+		}
 		return hbase, size, eptOK
 	}
 	r.NTLBMisses++
+	if w.etrk != nil {
+		// The EPT dimension runs while the guest dimension is stalled:
+		// pull the EPT track up to guest time, walk, and (in Walk) pull
+		// the guest track back up to EPT time.
+		w.etrk.Sync(w.gtrk.Now())
+		w.etrk.Begin(traceEPTWalk)
+	}
 	// The EPT is a radix table whose input address is the guest-physical
 	// address; reuse the virtual-address slicing machinery on it.
 	gva := arch.VAddr(gpa)
@@ -92,17 +127,23 @@ func (w *Nested) eptTranslate(gpa arch.PAddr, r *Result, budget uint64) (arch.PA
 		r.Loads++
 		r.EPTLoads++
 		r.EPTLocs[loc]++
+		if w.etrk != nil {
+			w.etrk.Slice(levelName(level), lat+stepOverhead, traceLocArg, locName(loc))
+		}
 		if r.Cycles > budget {
+			w.etrk.EndArg(traceOutcome, outcomeAbort)
 			return 0, 0, eptAborted
 		}
 		e := pagetable.PTE(w.phys.Read64(a))
 		if !e.Present() {
+			w.etrk.EndArg(traceOutcome, outcomeNoWalk)
 			return 0, 0, eptViolation
 		}
 		if e.IsLeaf(level) {
 			size := sizeAtLevel(level)
 			w.nc.NTLB.Insert(arch.PAddr(arch.PageBase(gva, size)), e.Frame(), size)
 			r.EPTWalks++
+			w.etrk.EndArg(traceOutcome, outcomeOK)
 			return e.Frame(), size, eptOK
 		}
 		w.nc.EPT.Insert(level, gva, e.Frame())
@@ -115,6 +156,10 @@ func (w *Nested) eptTranslate(gpa arch.PAddr, r *Result, budget uint64) (arch.PA
 // guest page table root, a guest-physical address.
 func (w *Nested) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 	var r Result
+	if w.gtrk != nil {
+		w.gtrk.Sync(w.clock())
+		w.gtrk.Begin(traceWalk)
+	}
 	level, base := w.nc.Guest.LookupDeepest(va, arch.LevelPT, cr3)
 	r.GuestPSCHit = level != w.nc.Guest.Top()
 	for {
@@ -122,8 +167,12 @@ func (w *Nested) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 		// guest step.
 		entryGPA := pagetable.EntryAddr(base, level, va)
 		hbase, esize, st := w.eptTranslate(entryGPA, &r, budget)
+		if w.gtrk != nil {
+			w.gtrk.Sync(w.etrk.Now()) // EPT-dimension time elapsed first
+		}
 		if st != eptOK {
 			r.Completed = st == eptViolation
+			w.gtrk.EndArg(traceOutcome, eptOutcome(st))
 			return r
 		}
 		hpa := hbase + arch.PAddr(uint64(entryGPA)&esize.Mask())
@@ -135,12 +184,17 @@ func (w *Nested) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 		r.GuestLoads++
 		r.Locs[loc]++
 		r.LeafLoc = loc
+		if w.gtrk != nil {
+			w.gtrk.Slice(levelName(level), lat+stepOverhead, traceLocArg, locName(loc))
+		}
 		if r.Cycles > budget {
+			w.gtrk.EndArg(traceOutcome, outcomeAbort)
 			return r // aborted: Completed stays false
 		}
 		e := pagetable.PTE(w.phys.Read64(hpa))
 		if !e.Present() {
 			r.Completed = true
+			w.gtrk.EndArg(traceOutcome, outcomeFault)
 			return r // guest page fault
 		}
 		if e.IsLeaf(level) {
@@ -150,8 +204,12 @@ func (w *Nested) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 			// guest-physical address.
 			dataGPA := gframe + arch.PAddr(uint64(va)&gsize.Mask())
 			dbase, dsize, st := w.eptTranslate(dataGPA, &r, budget)
+			if w.gtrk != nil {
+				w.gtrk.Sync(w.etrk.Now())
+			}
 			if st != eptOK {
 				r.Completed = st == eptViolation
+				w.gtrk.EndArg(traceOutcome, eptOutcome(st))
 				return r
 			}
 			// The combined translation is linear only over the smaller
@@ -168,6 +226,7 @@ func (w *Nested) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 			r.Size = eff
 			r.OK = true
 			r.Completed = true
+			w.gtrk.EndArg(traceOutcome, outcomeOK)
 			return r
 		}
 		w.nc.Guest.Insert(level, va, e.Frame())

@@ -1,0 +1,100 @@
+package walker
+
+import (
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/telemetry"
+)
+
+// TestDisabledTracerZeroAllocs is the zero-overhead guard of the
+// telemetry subsystem: with no track attached (the default), the walk
+// hot path must not allocate — the tracing hooks reduce to one pointer
+// compare each.
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	f := newFixture(t)
+	va := arch.VAddr(0x7f00_0000_1000)
+	f.mapPage(t, va, arch.Page4K)
+	f.w.Walk(va, f.pt.Root(), NoBudget) // warm the PSCs and caches
+	root := f.pt.Root()
+	allocs := testing.AllocsPerRun(200, func() {
+		f.w.Walk(va, root, NoBudget)
+	})
+	if allocs != 0 {
+		t.Errorf("untraced Walk allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTracedWalkSpans: a traced walk records one span bracketing one
+// slice per radix level, each carrying its cache-outcome argument, and
+// the span's outcome argument reflects how the walk ended.
+func TestTracedWalkSpans(t *testing.T) {
+	f := newFixture(t)
+	va := arch.VAddr(0x7f00_0000_1000)
+	f.mapPage(t, va, arch.Page4K)
+
+	tr := telemetry.New()
+	trk := tr.Process("unit").Track("walker")
+	clock := uint64(0)
+	f.w.SetTrace(trk, func() uint64 { return clock })
+
+	r := f.w.Walk(va, f.pt.Root(), NoBudget)
+	if !r.OK {
+		t.Fatal("walk failed")
+	}
+	ev := trk.Events()
+	// B, 4 level slices, E.
+	if len(ev) != 6 {
+		t.Fatalf("recorded %d events, want 6: %+v", len(ev), ev)
+	}
+	if ev[0].Ph != telemetry.PhBegin || ev[0].Name != "walk" {
+		t.Errorf("first event = %+v, want Begin(walk)", ev[0])
+	}
+	wantLevels := []string{"PML4", "PDPT", "PD", "PT"}
+	var sliceCycles uint64
+	for i, name := range wantLevels {
+		e := ev[1+i]
+		if e.Ph != telemetry.PhComplete || e.Name != name {
+			t.Errorf("slice %d = %+v, want X %q", i, e, name)
+		}
+		if e.ArgName != "loc" || e.ArgStr == "" {
+			t.Errorf("slice %d missing loc arg: %+v", i, e)
+		}
+		sliceCycles += e.Dur
+	}
+	if sliceCycles != r.Cycles {
+		t.Errorf("slice durations sum to %d, walk took %d cycles", sliceCycles, r.Cycles)
+	}
+	end := ev[5]
+	if end.Ph != telemetry.PhEnd || end.ArgName != "outcome" || end.ArgStr != "ok" {
+		t.Errorf("end event = %+v, want End with outcome=ok", end)
+	}
+	if trk.Now() != r.Cycles {
+		t.Errorf("track cursor = %d, want %d", trk.Now(), r.Cycles)
+	}
+}
+
+// TestTracedWalkOutcomes: fault and abort walks close their spans with
+// the matching outcome argument (no dangling Begin).
+func TestTracedWalkOutcomes(t *testing.T) {
+	f := newFixture(t)
+	mapped := arch.VAddr(0x7f00_0000_1000)
+	f.mapPage(t, mapped, arch.Page4K)
+
+	tr := telemetry.New()
+	trk := tr.Process("unit").Track("walker")
+	f.w.SetTrace(trk, func() uint64 { return 0 })
+
+	f.w.Walk(0x5000_0000_0000, f.pt.Root(), NoBudget) // unmapped: fault
+	f.w.Walk(mapped, f.pt.Root(), 1)                  // budget 1: aborts
+
+	var outcomes []string
+	for _, e := range trk.Events() {
+		if e.Ph == telemetry.PhEnd {
+			outcomes = append(outcomes, e.ArgStr)
+		}
+	}
+	if len(outcomes) != 2 || outcomes[0] != "fault" || outcomes[1] != "aborted" {
+		t.Errorf("outcomes = %v, want [fault aborted]", outcomes)
+	}
+}

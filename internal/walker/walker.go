@@ -19,6 +19,7 @@ import (
 	"atscale/internal/mem"
 	"atscale/internal/mmucache"
 	"atscale/internal/pagetable"
+	"atscale/internal/telemetry"
 )
 
 // stepOverhead is the fixed per-level cost of the walker state machine on
@@ -104,11 +105,65 @@ type Engine interface {
 	InvalidateBlock(va arch.VAddr)
 }
 
+// Trace argument and outcome names (constant strings so recording never
+// allocates).
+const (
+	traceWalk     = "walk"
+	traceLocArg   = "loc"
+	traceOutcome  = "outcome"
+	outcomeOK     = "ok"
+	outcomeFault  = "fault"
+	outcomeAbort  = "aborted"
+	outcomeNoWalk = "ept-violation"
+	traceEPTWalk  = "ept walk"
+	traceNTLBHit  = "ntlb hit"
+	traceProbe    = "probe"
+	traceHash     = "hash"
+)
+
+// levelName returns the timeline slice name of a radix level's PTE load.
+func levelName(l arch.Level) string {
+	switch l {
+	case arch.LevelPT:
+		return "PT"
+	case arch.LevelPD:
+		return "PD"
+	case arch.LevelPDPT:
+		return "PDPT"
+	case arch.LevelPML4:
+		return "PML4"
+	case arch.LevelPML5:
+		return "PML5"
+	}
+	return "level?"
+}
+
+// locName returns the timeline argument naming a PTE load's cache
+// outcome.
+func locName(loc cache.HitLoc) string {
+	switch loc {
+	case cache.HitL1:
+		return "L1"
+	case cache.HitL2:
+		return "L2"
+	case cache.HitL3:
+		return "L3"
+	}
+	return "DRAM"
+}
+
 // Walker is the radix hardware walker plus its paging-structure caches.
 type Walker struct {
 	phys   *mem.Phys
 	psc    *mmucache.PSC
 	caches *cache.Hierarchy
+
+	// trk, when non-nil, receives one span per walk with a nested slice
+	// per radix level; clock supplies the shared simulated-cycle clock
+	// (the core cycle counter) the track syncs to at walk start. With
+	// trk nil every hook below is a single pointer compare.
+	trk   *telemetry.Track
+	clock func() uint64
 }
 
 // New builds a walker that loads PTEs through the given cache hierarchy.
@@ -118,6 +173,13 @@ func New(phys *mem.Phys, psc *mmucache.PSC, caches *cache.Hierarchy) *Walker {
 
 // PSC exposes the paging-structure caches (for invalidation on unmap).
 func (w *Walker) PSC() *mmucache.PSC { return w.psc }
+
+// SetTrace attaches (or, with a nil track, detaches) the walker's
+// timeline track. clock supplies simulated-cycle timestamps for walk
+// starts; per-level slice durations come from the walk itself.
+func (w *Walker) SetTrace(trk *telemetry.Track, clock func() uint64) {
+	w.trk, w.clock = trk, clock
+}
 
 // Flush implements Engine.
 func (w *Walker) Flush() { w.psc.Flush() }
@@ -132,6 +194,10 @@ func (w *Walker) InvalidateBlock(va arch.VAddr) {
 // demand walks, which always run to completion).
 func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 	var r Result
+	if w.trk != nil {
+		w.trk.Sync(w.clock())
+		w.trk.Begin(traceWalk)
+	}
 	level, base := w.psc.LookupDeepest(va, arch.LevelPT, cr3)
 	r.GuestPSCHit = level != w.psc.Top()
 	for {
@@ -141,12 +207,17 @@ func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 		r.GuestLoads++
 		r.Locs[loc]++
 		r.LeafLoc = loc
+		if w.trk != nil {
+			w.trk.Slice(levelName(level), lat+stepOverhead, traceLocArg, locName(loc))
+		}
 		if r.Cycles > budget {
+			w.trk.EndArg(traceOutcome, outcomeAbort)
 			return r // aborted: Completed stays false
 		}
 		e := pagetable.PTE(w.phys.Read64(pagetable.EntryAddr(base, level, va)))
 		if !e.Present() {
 			r.Completed = true
+			w.trk.EndArg(traceOutcome, outcomeFault)
 			return r // page fault
 		}
 		if e.IsLeaf(level) {
@@ -154,6 +225,7 @@ func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 			r.Completed = true
 			r.Frame = e.Frame()
 			r.Size = sizeAtLevel(level)
+			w.trk.EndArg(traceOutcome, outcomeOK)
 			return r
 		}
 		w.psc.Insert(level, va, e.Frame())

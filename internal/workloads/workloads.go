@@ -116,6 +116,33 @@ type Spec struct {
 // Name returns the paper's workload naming: program-generator.
 func (s *Spec) Name() string { return s.Program + "-" + s.Generator }
 
+// Timeline phase-span names. Build marks "setup" (allocation, input
+// generation, quiet prefaulting); RunPhased marks "steady" (the measured
+// region). The machine's phase track carries them when tracing is on and
+// records nothing otherwise.
+const (
+	PhaseSetup  = "setup"
+	PhaseSteady = "steady"
+)
+
+// Instantiate builds the instance with the setup phase marked on the
+// machine's timeline. It is the traced-aware form of calling s.Build
+// directly.
+func (s *Spec) Instantiate(m *machine.Machine, param uint64) (Instance, error) {
+	m.BeginPhase(PhaseSetup)
+	inst, err := s.Build(m, param)
+	m.EndPhase()
+	return inst, err
+}
+
+// RunPhased executes the instance's measured region with the steady
+// phase marked on the machine's timeline.
+func RunPhased(m *machine.Machine, inst Instance, budget uint64) {
+	m.BeginPhase(PhaseSteady)
+	inst.Run(budget)
+	m.EndPhase()
+}
+
 // Sizes returns the ladder rungs the preset selects.
 func (s *Spec) Sizes(p SizePreset) []uint64 {
 	idx := p.pick(len(s.Ladder))

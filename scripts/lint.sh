@@ -5,7 +5,11 @@
 #	go vet     stock vet analyzers
 #	staticcheck   (skipped with a warning if not installed)
 #	atlint     the project's domain-specific analyzers: detrange,
-#	           nondet, counterwrite, eventname (see DESIGN.md §10)
+#	           nondet, counterwrite, eventname (see DESIGN.md §10).
+#	           detrange's deterministic-package list includes
+#	           internal/telemetry: the timeline tracer and exporter must
+#	           stay byte-identical across runs (DESIGN.md §11), and nondet
+#	           keeps it (like all simulator packages) wall-clock-free.
 #
 # Usage:
 #
