@@ -35,6 +35,7 @@ import (
 
 	"atscale/internal/arch"
 	"atscale/internal/core"
+	"atscale/internal/refute"
 	"atscale/internal/telemetry"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
@@ -66,6 +67,8 @@ func run() error {
 		timeline   = flag.String("timeline", "", "write the campaign's deterministic timeline (Chrome trace-event JSON, Perfetto-loadable) to this file")
 		tlVerify   = flag.Bool("timeline-verify", false, "validate the exported timeline's structure after writing it (requires -timeline)")
 		telem      = flag.String("telemetry", "", `live campaign telemetry: "stderr" for JSONL heartbeats, or a listen address (e.g. :8344) for an HTTP /stats endpoint`)
+		refuteOn   = flag.Bool("refute", false, "check the counter-identity registry on every run unit; print the refutation report and exit nonzero on any violation")
+		refuteOut  = flag.String("refute-out", "", "with -refute: also write the refutation report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -89,7 +92,12 @@ func run() error {
 		}
 	}
 	if len(ids) == 0 {
-		return fmt.Errorf("no experiments given (try -list, or: atscale fig1)")
+		if *refuteOn {
+			// Bare -refute checks the headline ladder.
+			ids = []string{"wcpi"}
+		} else {
+			return fmt.Errorf("no experiments given (try -list, or: atscale fig1)")
+		}
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = nil
@@ -153,6 +161,13 @@ func run() error {
 	} else if *tlVerify {
 		return fmt.Errorf("-timeline-verify requires -timeline")
 	}
+	var checker *refute.Checker
+	if *refuteOn {
+		checker = refute.NewChecker()
+		cfg.Refute = checker
+	} else if *refuteOut != "" {
+		return fmt.Errorf("-refute-out requires -refute")
+	}
 	var stopTelemetry func()
 	if *telem != "" {
 		mon := telemetry.NewMonitor()
@@ -214,6 +229,20 @@ func run() error {
 	}
 	if stopTelemetry != nil {
 		stopTelemetry()
+	}
+	if checker != nil {
+		report := checker.Report()
+		fmt.Fprintln(os.Stderr, "== refute: counter-identity report")
+		fmt.Println(report.Render())
+		rendered.WriteString(report.Render() + "\n")
+		if *refuteOut != "" {
+			if err := os.WriteFile(*refuteOut, report.JSON(), 0o644); err != nil {
+				return err
+			}
+		}
+		if report.TotalViolations > 0 {
+			return fmt.Errorf("refute: %d identity violation(s) across %d unit(s)", report.TotalViolations, report.Units)
+		}
 	}
 	if tracer != nil {
 		if err := writeTimeline(tracer, *timeline, *tlVerify); err != nil {

@@ -26,6 +26,7 @@ var Deterministic = []string{
 	"internal/mmucache",
 	"internal/telemetry",
 	"internal/virt",
+	"internal/refute",
 }
 
 // Analyzer is the detrange check.

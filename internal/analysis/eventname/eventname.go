@@ -36,6 +36,7 @@ var Targets = []Target{
 	{PkgSuffix: "internal/perf", Func: "ByName", Arg: 0, Set: "event"},
 	{PkgSuffix: "internal/workloads", Func: "ByName", Arg: 0, Set: "workload"},
 	{PkgSuffix: "atscale", Func: "WorkloadByName", Arg: 0, Set: "workload"},
+	{PkgSuffix: "internal/refute", Func: "Ev", Arg: 0, Set: "event"},
 }
 
 // KnownEvents and KnownWorkloads are the valid name sets. When a set is

@@ -1,0 +1,8 @@
+// Package refute is a fixture exposing the identity-expression event
+// constructor the analyzer vets.
+package refute
+
+// Ev references a perf event by name inside an identity declaration.
+func Ev(name string) int {
+	return len(name)
+}

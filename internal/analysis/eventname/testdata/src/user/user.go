@@ -3,6 +3,7 @@ package user
 
 import (
 	"internal/perf"
+	"internal/refute"
 	"internal/workloads"
 )
 
@@ -19,6 +20,9 @@ func lookups(dynamic string) {
 
 	workloads.ByName("bfs-urand")  // known: fine
 	workloads.ByName("bfs-urandd") // want `unknown workload name "bfs-urandd" \(did you mean "bfs-urand"\?\)`
+
+	refute.Ev("cycles")  // known: fine
+	refute.Ev("cycless") // want `unknown event name "cycless" \(did you mean "cycles"\?\)`
 
 	//atlint:allow eventname exercising the unknown-name error path
 	workloads.ByName("bogus-bogus")

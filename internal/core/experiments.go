@@ -84,6 +84,7 @@ func Experiments() []Experiment {
 		{"stability", "Extension: metric dispersion across simulation seeds", wrap(StabilityExperiment)},
 		{"virt", "Extension: nested paging — native-vs-nested sweep, page-size matrix, multi-tenant EPT sharing", wrap(VirtExperiment)},
 		{"wcpi", "Headline WCPI ladder for bc-urand (shares fig5's sweep; pairs with -timeline)", wrap(WCPIExperiment)},
+		{"refute", "Adversarial counter-identity sweep: perturb page sizes, virt, walker, promotion, sampling, tenants and hunt invariant breakage", wrap(RefuteExperiment)},
 	}
 }
 

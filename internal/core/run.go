@@ -13,6 +13,7 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/machine"
 	"atscale/internal/perf"
+	"atscale/internal/refute"
 	"atscale/internal/telemetry"
 	"atscale/internal/workloads"
 )
@@ -80,6 +81,18 @@ type RunConfig struct {
 	// starts/completions, worker occupancy, aggregate counter deltas);
 	// the CLIs' heartbeat loops snapshot it. Nil disables the hooks.
 	Monitor *telemetry.Monitor
+	// Refute, when non-nil, evaluates the declared counter-identity
+	// registry against every run unit's measured delta as it completes.
+	// Violations are pinned to the unit's cycle range on a `refute`
+	// timeline track (when tracing), counted into the Monitor, and
+	// aggregated into the checker's deterministic report.
+	Refute *refute.Checker
+	// UnitTag is appended verbatim to every unit name. Campaigns that
+	// re-run identically-parameterized units under config variants the
+	// name does not otherwise encode (sampling, tenant counts) tag them
+	// so unit names — which key the refute report and the timeline —
+	// stay campaign-unique.
+	UnitTag string
 
 	// pool is the worker pool shared by every config copied from one
 	// session; NewSession creates it (see schedule.go).
@@ -189,7 +202,9 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 		}
 	}
 	start := m.Counters()
+	startCycle := m.CycleCount()
 	workloads.RunPhased(m, inst, cfg.Budget)
+	endCycle := m.CycleCount()
 	delta := perf.Delta(start, m.Counters())
 	r := RunResult{
 		Workload:  spec.Name(),
@@ -208,23 +223,70 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 		r.SampleDroppedWeight = smp.DroppedWeight()
 	}
 	walkCycles := delta.Get(perf.DTLBLoadWalkDuration) + delta.Get(perf.DTLBStoreWalkDuration)
+	stats := []telemetry.UnitStat{
+		{Name: "wcpi", Val: r.Metrics.WCPI},
+		{Name: "cpi", Val: r.Metrics.CPI},
+		{Name: "walk_cycles", Val: float64(walkCycles)},
+		{Name: "instructions", Val: float64(delta.Get(perf.InstRetired))},
+	}
+	if cfg.Refute != nil {
+		out := checkIdentities(cfg, m, unit, startCycle, endCycle, &r, smp)
+		stats = append(stats,
+			telemetry.UnitStat{Name: "identities_checked", Val: float64(out.Checked)},
+			telemetry.UnitStat{Name: "identities_violated", Val: float64(len(out.Violations))})
+	}
 	cfg.Trace.FinishUnit(telemetry.Unit{
 		// Cycles spans the machine's whole traced extent (warmup
 		// included), so the unit's detail tracks fit inside its
 		// campaign tile.
 		Name:   unit,
 		Cycles: m.CycleCount(),
-		Stats: []telemetry.UnitStat{
-			{Name: "wcpi", Val: r.Metrics.WCPI},
-			{Name: "cpi", Val: r.Metrics.CPI},
-			{Name: "walk_cycles", Val: float64(walkCycles)},
-			{Name: "instructions", Val: float64(delta.Get(perf.InstRetired))},
-		},
+		Stats:  stats,
 	})
 	cfg.Monitor.UnitDone(delta.Get(perf.InstRetired), delta.Get(perf.Cycles), walkCycles)
 	cfg.logf("  run %-22s param=%-8d %-4s footprint=%-9s cpi=%.3f wcpi=%.4f",
 		r.Workload, r.Param, ps, arch.FormatBytes(r.Footprint), r.Metrics.CPI, r.Metrics.WCPI)
 	return r, nil
+}
+
+// checkIdentities runs the refute checker over one completed unit: it
+// assembles the unit's evidence (counter delta, derived metrics, cycle
+// extent, sampler ring accounting), evaluates the identity registry,
+// and publishes the outcome to the Monitor. Violations are pinned to
+// [startCycle, endCycle] on the unit's `refute` timeline track.
+func checkIdentities(cfg *RunConfig, m *machine.Machine, unit string, startCycle, endCycle uint64, r *RunResult, smp *perf.Sampler) refute.Outcome {
+	u := refute.Unit{
+		Name:       unit,
+		StartCycle: startCycle,
+		EndCycle:   endCycle,
+		Virt:       cfg.System.Virt.Enabled,
+		Counters:   r.Counters,
+		Metrics:    r.Metrics,
+	}
+	if smp != nil {
+		u.Sampling = true
+		u.SamplesDrained = uint64(len(r.Samples))
+		u.SamplesCaptured = smp.Captured()
+		u.SamplesDropped = r.SampleDropped
+		u.SampleCapacity = uint64(smp.Capacity())
+		u.SampleDroppedWeight = r.SampleDroppedWeight
+		for _, s := range r.Samples {
+			u.SampleWeight += s.Weight
+		}
+		for _, e := range perf.Events() {
+			if p := smp.Period(e); p > 0 {
+				u.SampleEventsTotal += r.Counters.Get(e)
+				u.SampleSlack += p
+			}
+		}
+	}
+	out := cfg.Refute.CheckUnit(u, m.TraceProcess())
+	cfg.Monitor.IdentityResults(uint64(out.Checked), uint64(len(out.Violations)))
+	for _, v := range out.Violations {
+		cfg.logf("  REFUTE %-22s identity %s violated (l=%g r=%g residual=%g)",
+			r.Workload, v.Identity, v.L, v.R, v.Residual)
+	}
+	return out
 }
 
 // unitName builds the campaign-unique run unit name: workload, size
@@ -244,7 +306,7 @@ func unitName(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSi
 	if cfg.System.PagingLevels != 0 && cfg.System.PagingLevels != 4 {
 		name += fmt.Sprintf(" +lvl%d", cfg.System.PagingLevels)
 	}
-	return name
+	return name + cfg.UnitTag
 }
 
 // paperSuites are the benchmark suites of the paper's Table I.

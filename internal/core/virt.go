@@ -8,6 +8,7 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/machine"
 	"atscale/internal/perf"
+	"atscale/internal/refute"
 	"atscale/internal/workloads"
 )
 
@@ -230,6 +231,7 @@ func runMultiTenant(cfg *RunConfig, n int) (VirtTenantRow, error) {
 
 	// Measured region: round-robin slices until the budget is spent.
 	start := m.Counters()
+	startCycle := m.CycleCount()
 	var switches uint64
 	spent := uint64(0)
 	for t := 0; spent < cfg.Budget; t = (t + 1) % n {
@@ -251,6 +253,20 @@ func runMultiTenant(cfg *RunConfig, n int) (VirtTenantRow, error) {
 	}
 	delta := perf.Delta(start, m.Counters())
 	mt := perf.Compute(delta)
+	if cfg.Refute != nil {
+		// The consolidation kernel bypasses Run, so it feeds the refute
+		// checker itself: same evidence shape, tenant-count unit name.
+		u := refute.Unit{
+			Name:       fmt.Sprintf("multi-tenant n=%d seed=%d%s", n, cfg.Seed, cfg.UnitTag),
+			StartCycle: startCycle,
+			EndCycle:   m.CycleCount(),
+			Virt:       true,
+			Counters:   delta,
+			Metrics:    mt,
+		}
+		out := cfg.Refute.CheckUnit(u, m.TraceProcess())
+		cfg.Monitor.IdentityResults(uint64(out.Checked), uint64(len(out.Violations)))
+	}
 	cfg.logf("  run multi-tenant          n=%-8d %-4s footprint=%-9s wcpi=%.4f ntlb=%.3f",
 		n, arch.Page4K, arch.FormatBytes(uint64(n)*tenantFootprintBytes), mt.WCPI, mt.NTLBHitRate)
 	return VirtTenantRow{

@@ -66,6 +66,9 @@ type Machine struct {
 	// quietly materialized pages for the phase-boundary counter sample.
 	phaseTrk  *telemetry.Track
 	prefaults uint64
+	// traceProc is the machine's timeline process (nil untraced); the
+	// refute checker pins identity violations onto its `refute` track.
+	traceProc *telemetry.Process
 }
 
 // Tracer observes every workload-level event the machine executes, in
@@ -317,7 +320,14 @@ func (m *Machine) EnableTrace(tr *telemetry.Tracer, unit string) {
 	}
 	m.core.SetTrace(p.Track("speculation"))
 	m.phaseTrk = p.Track("phases")
+	m.traceProc = p
 }
+
+// TraceProcess returns the machine's timeline process — nil until
+// EnableTrace attaches one. Consumers that add their own tracks (the
+// refute checker's violation pins) use it instead of re-resolving the
+// unit name against the tracer.
+func (m *Machine) TraceProcess() *telemetry.Process { return m.traceProc }
 
 // BeginPhase opens a workload phase span (setup / prefault / steady /
 // replay) on the machine's phase track at current core time.

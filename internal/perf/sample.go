@@ -207,6 +207,18 @@ func (s *Sampler) capture(smp Sample) {
 // Len returns the records currently buffered.
 func (s *Sampler) Len() int { return len(s.buf) }
 
+// Capacity returns the ring size in records — the bound the refute
+// checker's ring-accounting identities are stated against.
+func (s *Sampler) Capacity() int { return s.capacity }
+
+// Period returns e's armed sampling period (0 when unarmed).
+func (s *Sampler) Period(e Event) uint64 {
+	if e >= NumEvents {
+		return 0
+	}
+	return s.period[e]
+}
+
 // Captured returns total records captured (drained or not).
 func (s *Sampler) Captured() uint64 { return s.captured }
 

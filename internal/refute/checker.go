@@ -1,0 +1,143 @@
+package refute
+
+import (
+	"fmt"
+	"sync"
+
+	"atscale/internal/telemetry"
+)
+
+// status is one identity's outcome on one unit.
+type status uint8
+
+const (
+	statusSkipped status = iota
+	statusHeld
+	statusViolated
+)
+
+// evalResult is one (identity, unit) evaluation.
+type evalResult struct {
+	status   status
+	l, r     float64
+	residual float64
+}
+
+// unitOutcome is one unit's full evaluation row, plus the cycle range
+// violations were pinned to.
+type unitOutcome struct {
+	start, end uint64
+	results    []evalResult // indexed like Checker.ids
+}
+
+// Violation is one identity broken on one unit.
+type Violation struct {
+	// Identity is the broken identity's name.
+	Identity string `json:"identity"`
+	// Unit names the violating campaign unit.
+	Unit string `json:"unit"`
+	// L and R are the two sides' evaluated values.
+	L float64 `json:"l"`
+	R float64 `json:"r"`
+	// Residual is the normalized defect (see Identity.Tol).
+	Residual float64 `json:"residual"`
+	// StartCycle / EndCycle is the measured-region cycle range the
+	// violation is pinned to on the unit's refute timeline track.
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+}
+
+// Outcome summarizes one unit's check.
+type Outcome struct {
+	// Checked counts identities evaluated (held or violated); Skipped
+	// counts identities out of scope or guarded out.
+	Checked, Skipped int
+	// Violations lists the identities the unit broke.
+	Violations []Violation
+}
+
+// Checker evaluates the identity registry online, one campaign unit at
+// a time, and accumulates per-unit outcomes for the deterministic
+// report. Safe for concurrent use from campaign workers; outcomes are
+// keyed by unit name, so the report is independent of completion order.
+type Checker struct {
+	ids []Identity
+
+	mu    sync.Mutex
+	units map[string]*unitOutcome
+}
+
+// NewChecker builds a checker over the given identities; with none
+// given it checks the full default registry.
+func NewChecker(ids ...Identity) *Checker {
+	if len(ids) == 0 {
+		ids = Identities()
+	}
+	return &Checker{ids: ids, units: make(map[string]*unitOutcome)}
+}
+
+// CheckUnit evaluates every registered identity against u, records the
+// outcome for the report, and — when the unit is traced — emits the
+// dedicated `refute` track on proc: one pinned slice per violation
+// spanning the measured region's cycle range, plus a running
+// identities_violated counter sample at the region boundary. proc may
+// be nil (untraced campaigns); the track hooks are nil-safe.
+func (c *Checker) CheckUnit(u Unit, proc *telemetry.Process) Outcome {
+	var out Outcome
+	uo := &unitOutcome{start: u.StartCycle, end: u.EndCycle, results: make([]evalResult, len(c.ids))}
+	trk := proc.Track("refute")
+	trk.Sync(u.StartCycle)
+	for i := range c.ids {
+		id := &c.ids[i]
+		if !id.inScope(&u) || !id.guarded(&u) {
+			out.Skipped++
+			continue
+		}
+		l, r, res := id.residual(&u)
+		er := evalResult{status: statusHeld, l: l, r: r, residual: res}
+		out.Checked++
+		if res > id.Tol {
+			er.status = statusViolated
+			v := Violation{
+				Identity: id.Name, Unit: u.Name,
+				L: l, R: r, Residual: res,
+				StartCycle: u.StartCycle, EndCycle: u.EndCycle,
+			}
+			out.Violations = append(out.Violations, v)
+			trk.Pin("violated: "+id.Name, u.StartCycle, u.EndCycle,
+				"detail", fmt.Sprintf("%s; l=%g r=%g residual=%g", id.Statement(), l, r, res))
+		}
+		uo.results[i] = er
+	}
+	trk.Sync(u.EndCycle)
+	trk.Counter("identities_violated", float64(len(out.Violations)))
+	trk.Counter("identities_checked", float64(out.Checked))
+
+	c.mu.Lock()
+	c.units[u.Name] = uo
+	c.mu.Unlock()
+	return out
+}
+
+// Absorb merges other's accumulated unit outcomes into c. Both checkers
+// must run the same identity registry (same length and order); campaign
+// code uses it to fold per-variant checkers into a session-wide one.
+// Unit names must be globally unique — the adversarial experiment tags
+// each variant's units for exactly that reason.
+func (c *Checker) Absorb(other *Checker) {
+	if other == nil || other == c {
+		return
+	}
+	if len(other.ids) != len(c.ids) {
+		panic(fmt.Sprintf("refute: absorbing checker with %d identities into one with %d",
+			len(other.ids), len(c.ids)))
+	}
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//atlint:ordered map-to-map copy; the destination is re-sorted at Report time
+	for name, uo := range other.units {
+		c.units[name] = uo
+	}
+}

@@ -1,0 +1,298 @@
+package refute
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"atscale/internal/perf"
+	"atscale/internal/telemetry"
+)
+
+// addByName is the test fixture's counter builder: fabricated units
+// reference events by their perf-tool spelling, like identities do.
+func addByName(cs *perf.Counters, name string, n uint64) {
+	e, err := perf.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	cs.Add(e, n)
+}
+
+// goodNativeCounters fabricates a counter delta satisfying every
+// native-scope identity: the Table VI orderings, the walk_duration
+// guest/EPT split (all guest natively), and non-zero Eq. 1 guards.
+func goodNativeCounters() perf.Counters {
+	var cs perf.Counters
+	addByName(&cs, "inst_retired.any", 1_000_000)
+	addByName(&cs, "cpu_clk_unhalted.thread", 2_000_000)
+	addByName(&cs, "mem_uops_retired.all_loads", 300_000)
+	addByName(&cs, "mem_uops_retired.all_stores", 100_000)
+	addByName(&cs, "mem_uops_retired.stlb_miss_loads", 5_000)
+	addByName(&cs, "mem_uops_retired.stlb_miss_stores", 1_000)
+	addByName(&cs, "dtlb_load_misses.miss_causes_a_walk", 7_000)
+	addByName(&cs, "dtlb_store_misses.miss_causes_a_walk", 1_500)
+	addByName(&cs, "dtlb_load_misses.walk_completed", 6_500)
+	addByName(&cs, "dtlb_store_misses.walk_completed", 1_200)
+	addByName(&cs, "dtlb_load_misses.stlb_hit", 20_000)
+	addByName(&cs, "dtlb_store_misses.stlb_hit", 4_000)
+	addByName(&cs, "dtlb_load_misses.walk_duration", 90_000)
+	addByName(&cs, "dtlb_store_misses.walk_duration", 15_000)
+	addByName(&cs, "dtlb_load_misses.walk_duration_guest", 90_000)
+	addByName(&cs, "dtlb_store_misses.walk_duration_guest", 15_000)
+	addByName(&cs, "page_walker_loads.dtlb_l1", 10_000)
+	addByName(&cs, "page_walker_loads.dtlb_l2", 8_000)
+	addByName(&cs, "page_walker_loads.dtlb_l3", 5_000)
+	addByName(&cs, "page_walker_loads.dtlb_memory", 2_000)
+	return cs
+}
+
+// goodVirtCounters extends the native fixture with a consistent EPT
+// dimension: EPT walk cycles carve a share out of walk_duration, so the
+// guest-dimension counts shrink by the same amount.
+func goodVirtCounters() perf.Counters {
+	var d perf.Counters
+	for e := perf.Event(0); e < perf.NumEvents; e++ {
+		// The guest-duration events shrink by the 30k cycles the EPT
+		// dimension takes over; everything else matches the native fixture.
+		n := goodNativeCounters().Get(e)
+		switch e.String() {
+		case "dtlb_load_misses.walk_duration_guest":
+			n = 65_000
+		case "dtlb_store_misses.walk_duration_guest":
+			n = 10_000
+		}
+		d.Add(e, n)
+	}
+	addByName(&d, "ept_misses.walk_duration", 30_000)
+	addByName(&d, "ept_misses.miss_causes_a_walk", 3_000)
+	addByName(&d, "ept_misses.walk_completed", 2_800)
+	addByName(&d, "page_walker_loads.ept_dtlb_l1", 6_000)
+	addByName(&d, "page_walker_loads.ept_dtlb_memory", 1_000)
+	return d
+}
+
+func nativeUnit(name string) Unit {
+	cs := goodNativeCounters()
+	return Unit{
+		Name: name, StartCycle: 1_000, EndCycle: 2_001_000,
+		Counters: cs, Metrics: perf.Compute(cs),
+	}
+}
+
+func virtUnit(name string) Unit {
+	cs := goodVirtCounters()
+	return Unit{
+		Name: name, StartCycle: 500, EndCycle: 2_000_500, Virt: true,
+		Counters: cs, Metrics: perf.Compute(cs),
+	}
+}
+
+// samplingUnit fabricates ring accounting for a full ring with drops:
+// 64 records drained from a 64-slot ring, 10 dropped, weights
+// reconstructing the armed events' mass to within one period.
+func samplingUnit(name string) Unit {
+	u := nativeUnit(name)
+	u.Sampling = true
+	u.SamplesDrained = 64
+	u.SamplesCaptured = 64
+	u.SamplesDropped = 10
+	u.SampleCapacity = 64
+	u.SampleWeight = 64 * 257
+	u.SampleDroppedWeight = 10 * 257
+	u.SampleEventsTotal = 74*257 + 100
+	u.SampleSlack = 257
+	return u
+}
+
+// TestIdentitiesHoldOnConsistentUnits is the golden path: three
+// fabricated units (native, virt, sampling) between them bring every
+// registry identity into scope, and none violates.
+func TestIdentitiesHoldOnConsistentUnits(t *testing.T) {
+	c := NewChecker()
+	for _, u := range []Unit{nativeUnit("native"), virtUnit("virt"), samplingUnit("sampling")} {
+		out := c.CheckUnit(u, nil)
+		if len(out.Violations) != 0 {
+			t.Errorf("unit %s: unexpected violations %+v", u.Name, out.Violations)
+		}
+		if out.Checked == 0 {
+			t.Errorf("unit %s: nothing checked", u.Name)
+		}
+	}
+	rep := c.Report()
+	if rep.TotalViolations != 0 {
+		t.Fatalf("violations on consistent units:\n%s", rep.Render())
+	}
+	for _, ir := range rep.Identities {
+		if ir.Checked == 0 {
+			t.Errorf("identity %s never checked across the fixture set", ir.Name)
+		}
+	}
+	if rep.Units != 3 {
+		t.Errorf("Units = %d, want 3", rep.Units)
+	}
+}
+
+// TestBrokenCounterCaught seeds a fault — guest walk cycles exceeding
+// the total walk_duration, as a miswired counter would produce — and
+// proves the checker catches it, attributes it to the right identities,
+// and pins it to the unit's cycle range on an exported, validating
+// timeline.
+func TestBrokenCounterCaught(t *testing.T) {
+	u := nativeUnit("broken p=1 4KB seed=7")
+	addByName(&u.Counters, "dtlb_load_misses.walk_duration_guest", 500)
+	u.Metrics = perf.Compute(u.Counters)
+
+	tr := telemetry.New()
+	proc := tr.Process(u.Name)
+	c := NewChecker()
+	out := c.CheckUnit(u, proc)
+
+	want := map[string]bool{"walk_duration_split": true, "guest_duration_le_total": true}
+	got := map[string]bool{}
+	for _, v := range out.Violations {
+		got[v.Identity] = true
+		if v.StartCycle != u.StartCycle || v.EndCycle != u.EndCycle {
+			t.Errorf("violation %s pinned to [%d,%d], want [%d,%d]",
+				v.Identity, v.StartCycle, v.EndCycle, u.StartCycle, u.EndCycle)
+		}
+		if v.Residual <= 0 {
+			t.Errorf("violation %s has non-positive residual %g", v.Identity, v.Residual)
+		}
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("seeded fault not caught by %s (got %v)", id, out.Violations)
+		}
+	}
+
+	tr.FinishUnit(telemetry.Unit{Name: u.Name, Cycles: u.EndCycle})
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("timeline with pinned violations fails validation: %v", err)
+	}
+	for id := range want {
+		if !bytes.Contains(buf.Bytes(), []byte("violated: "+id)) {
+			t.Errorf("exported timeline lacks the pinned %s violation", id)
+		}
+	}
+}
+
+// TestGuardSkipsNotVacuousHold: an all-zero unit trips every Eq. 1
+// guard, so eq1_product must be skipped — not counted as holding on
+// garbage.
+func TestGuardSkipsNotVacuousHold(t *testing.T) {
+	c := NewChecker()
+	c.CheckUnit(Unit{Name: "empty"}, nil)
+	rep := c.Report()
+	for _, ir := range rep.Identities {
+		if ir.Name == "eq1_product" {
+			if ir.Checked != 0 || ir.Skipped != 1 {
+				t.Errorf("eq1_product on empty unit: checked=%d skipped=%d, want 0/1",
+					ir.Checked, ir.Skipped)
+			}
+		}
+	}
+}
+
+// TestScopeFiltering: virt-only identities skip native units and vice
+// versa; sampling identities skip unsampled units.
+func TestScopeFiltering(t *testing.T) {
+	c := NewChecker()
+	c.CheckUnit(nativeUnit("native"), nil)
+	rep := c.Report()
+	for _, ir := range rep.Identities {
+		switch ir.Scope {
+		case "virt", "sampling":
+			if ir.Checked != 0 {
+				t.Errorf("%s (scope %s) checked on a native unsampled unit", ir.Name, ir.Scope)
+			}
+		case "native", "always":
+			if ir.Checked != 1 {
+				t.Errorf("%s (scope %s) not checked on a native unit", ir.Name, ir.Scope)
+			}
+		}
+	}
+}
+
+// TestReportOrderIndependence: feeding the same units in opposite
+// orders yields byte-identical JSON — the serial/parallel determinism
+// contract at the package level.
+func TestReportOrderIndependence(t *testing.T) {
+	units := []Unit{nativeUnit("a"), virtUnit("b"), samplingUnit("c")}
+	fwd, rev := NewChecker(), NewChecker()
+	for i := range units {
+		fwd.CheckUnit(units[i], nil)
+		rev.CheckUnit(units[len(units)-1-i], nil)
+	}
+	a, b := fwd.Report().JSON(), rev.Report().JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report depends on unit arrival order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestAbsorbMatchesDirect: absorbing per-variant checkers reports the
+// same as checking everything on one checker.
+func TestAbsorbMatchesDirect(t *testing.T) {
+	direct := NewChecker()
+	direct.CheckUnit(nativeUnit("a"), nil)
+	direct.CheckUnit(virtUnit("b"), nil)
+
+	total := NewChecker()
+	part1, part2 := NewChecker(), NewChecker()
+	part1.CheckUnit(nativeUnit("a"), nil)
+	part2.CheckUnit(virtUnit("b"), nil)
+	total.Absorb(part1)
+	total.Absorb(part2)
+
+	if !bytes.Equal(direct.Report().JSON(), total.Report().JSON()) {
+		t.Fatal("absorbed report differs from direct report")
+	}
+}
+
+// TestMergeReports: counts add, max residual and worst unit survive.
+func TestMergeReports(t *testing.T) {
+	c1, c2 := NewChecker(), NewChecker()
+	c1.CheckUnit(nativeUnit("a"), nil)
+	u := nativeUnit("z")
+	addByName(&u.Counters, "dtlb_load_misses.walk_duration_guest", 500)
+	u.Metrics = perf.Compute(u.Counters)
+	c2.CheckUnit(u, nil)
+
+	m := MergeReports(c1.Report(), c2.Report())
+	if m.Units != 2 {
+		t.Errorf("merged Units = %d, want 2", m.Units)
+	}
+	if m.TotalViolations == 0 {
+		t.Error("merged report lost the violation")
+	}
+	for _, ir := range m.Identities {
+		if ir.Name == "walk_duration_split" {
+			if ir.Checked != 2 || ir.Violations != 1 || ir.WorstUnit != "z" {
+				t.Errorf("merged walk_duration_split: %+v", ir)
+			}
+		}
+	}
+}
+
+// TestStatements: every identity renders a readable statement and a
+// non-empty doc; rendering is stable across calls.
+func TestStatements(t *testing.T) {
+	ids := Identities()
+	for i := range ids {
+		id := &ids[i]
+		s := id.Statement()
+		if s == "" || id.Doc == "" || id.Name == "" {
+			t.Errorf("identity %d underdocumented: name=%q doc=%q stmt=%q", i, id.Name, id.Doc, s)
+		}
+		if !strings.Contains(s, string(id.Rel)) {
+			t.Errorf("statement %q lacks relation %q", s, id.Rel)
+		}
+		if s != id.Statement() {
+			t.Errorf("statement unstable for %s", id.Name)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package refute
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// maxWorstSamples bounds how many violating units an identity's report
+// entry lists verbatim (the counts are always totals).
+const maxWorstSamples = 5
+
+// IdentityReport is one identity's aggregate over a campaign.
+type IdentityReport struct {
+	// Name / Statement / Doc / Scope restate the declaration.
+	Name      string `json:"name"`
+	Statement string `json:"statement"`
+	Doc       string `json:"doc"`
+	Scope     string `json:"scope"`
+	// Tol is the declared relative tolerance.
+	Tol float64 `json:"tol"`
+	// Checked / Skipped / Violations count units.
+	Checked    int `json:"checked"`
+	Skipped    int `json:"skipped"`
+	Violations int `json:"violations"`
+	// MaxResidual is the largest normalized defect seen across checked
+	// units (violating or not); WorstUnit names where it occurred (ties
+	// broken by unit name).
+	MaxResidual float64 `json:"max_residual"`
+	WorstUnit   string  `json:"worst_unit,omitempty"`
+	// Worst lists up to maxWorstSamples violations, largest residual
+	// first (ties broken by unit name).
+	Worst []Violation `json:"worst,omitempty"`
+}
+
+// Holds reports whether the identity held on every checked unit.
+func (r *IdentityReport) Holds() bool { return r.Violations == 0 }
+
+// Report is the campaign-level refutation verdict: which identities
+// held, which broke, and where. Built only from per-unit outcomes keyed
+// by unit name, so serial and parallel campaigns render and marshal to
+// byte-identical output.
+type Report struct {
+	// Identities is the per-identity aggregate, in registry order.
+	Identities []IdentityReport `json:"identities"`
+	// Units is the number of distinct campaign units checked.
+	Units int `json:"units"`
+	// TotalViolations sums violations across identities.
+	TotalViolations int `json:"total_violations"`
+}
+
+// Report aggregates the checker's accumulated outcomes.
+func (c *Checker) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	names := make([]string, 0, len(c.units))
+	for name := range c.units {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	rep := &Report{Units: len(names)}
+	for i := range c.ids {
+		id := &c.ids[i]
+		ir := IdentityReport{
+			Name:      id.Name,
+			Statement: id.Statement(),
+			Doc:       id.Doc,
+			Scope:     id.Scope.String(),
+			Tol:       id.Tol,
+		}
+		for _, name := range names {
+			uo := c.units[name]
+			er := uo.results[i]
+			switch er.status {
+			case statusSkipped:
+				ir.Skipped++
+				continue
+			case statusViolated:
+				ir.Violations++
+				ir.Worst = append(ir.Worst, Violation{
+					Identity: id.Name, Unit: name,
+					L: er.l, R: er.r, Residual: er.residual,
+					StartCycle: uo.start, EndCycle: uo.end,
+				})
+				fallthrough
+			case statusHeld:
+				ir.Checked++
+				if er.residual > ir.MaxResidual || ir.WorstUnit == "" {
+					ir.MaxResidual, ir.WorstUnit = er.residual, name
+				}
+			}
+		}
+		sort.SliceStable(ir.Worst, func(a, b int) bool {
+			if ir.Worst[a].Residual != ir.Worst[b].Residual {
+				return ir.Worst[a].Residual > ir.Worst[b].Residual
+			}
+			return ir.Worst[a].Unit < ir.Worst[b].Unit
+		})
+		if len(ir.Worst) > maxWorstSamples {
+			ir.Worst = ir.Worst[:maxWorstSamples]
+		}
+		if ir.Checked == 0 {
+			ir.WorstUnit = ""
+		}
+		rep.TotalViolations += ir.Violations
+		rep.Identities = append(rep.Identities, ir)
+	}
+	return rep
+}
+
+// JSON marshals the report deterministically (two-space indent, fixed
+// field and slice order).
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// The report contains only plain values; Marshal cannot fail.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Render returns the human-readable verdict table: one line per
+// identity (HOLDS / BREAKS / skipped), then the worst violations.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "refute: %d identities over %d units — %d violation(s)\n",
+		len(r.Identities), r.Units, r.TotalViolations)
+	for i := range r.Identities {
+		ir := &r.Identities[i]
+		verdict := "HOLDS "
+		switch {
+		case ir.Checked == 0:
+			verdict = "skip  "
+		case !ir.Holds():
+			verdict = "BREAKS"
+		}
+		fmt.Fprintf(&b, "  %s %-28s checked=%-4d skipped=%-4d violated=%-4d max_residual=%.3g",
+			verdict, ir.Name, ir.Checked, ir.Skipped, ir.Violations, ir.MaxResidual)
+		if ir.WorstUnit != "" && ir.MaxResidual > 0 {
+			fmt.Fprintf(&b, " worst=%q", ir.WorstUnit)
+		}
+		b.WriteByte('\n')
+	}
+	for i := range r.Identities {
+		ir := &r.Identities[i]
+		for _, v := range ir.Worst {
+			fmt.Fprintf(&b, "  ! %s on %q: %s (l=%g r=%g residual=%g, cycles %d-%d)\n",
+				v.Identity, v.Unit, ir.Statement, v.L, v.R, v.Residual, v.StartCycle, v.EndCycle)
+		}
+	}
+	return b.String()
+}
+
+// MergeReports folds per-variant reports into one aggregate with the
+// same identity order. Counts add; max residuals take the max (ties on
+// worst unit broken by name); worst lists re-merge under the same
+// ordering and cap. All inputs must share one identity registry.
+func MergeReports(rs ...*Report) *Report {
+	out := &Report{}
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if out.Identities == nil {
+			cp := make([]IdentityReport, len(r.Identities))
+			copy(cp, r.Identities)
+			for i := range cp {
+				cp[i].Worst = append([]Violation(nil), cp[i].Worst...)
+			}
+			out.Identities = cp
+			out.Units = r.Units
+			out.TotalViolations = r.TotalViolations
+			continue
+		}
+		if len(r.Identities) != len(out.Identities) {
+			panic(fmt.Sprintf("refute: merging report with %d identities into one with %d",
+				len(r.Identities), len(out.Identities)))
+		}
+		out.Units += r.Units
+		out.TotalViolations += r.TotalViolations
+		for i := range r.Identities {
+			a, b := &out.Identities[i], &r.Identities[i]
+			a.Checked += b.Checked
+			a.Skipped += b.Skipped
+			a.Violations += b.Violations
+			if b.MaxResidual > a.MaxResidual ||
+				(b.MaxResidual == a.MaxResidual && b.WorstUnit != "" &&
+					(a.WorstUnit == "" || b.WorstUnit < a.WorstUnit)) {
+				a.MaxResidual, a.WorstUnit = b.MaxResidual, b.WorstUnit
+			}
+			a.Worst = append(a.Worst, b.Worst...)
+			sort.SliceStable(a.Worst, func(x, y int) bool {
+				if a.Worst[x].Residual != a.Worst[y].Residual {
+					return a.Worst[x].Residual > a.Worst[y].Residual
+				}
+				return a.Worst[x].Unit < a.Worst[y].Unit
+			})
+			if len(a.Worst) > maxWorstSamples {
+				a.Worst = a.Worst[:maxWorstSamples]
+			}
+		}
+	}
+	return out
+}

@@ -15,12 +15,14 @@ import (
 // *Monitor, so the scheduler hooks cost one pointer compare when live
 // telemetry is off.
 type Monitor struct {
-	unitsStarted atomic.Uint64
-	unitsDone    atomic.Uint64
-	busyWorkers  atomic.Int64
-	instructions atomic.Uint64
-	cycles       atomic.Uint64
-	walkCycles   atomic.Uint64
+	unitsStarted   atomic.Uint64
+	unitsDone      atomic.Uint64
+	busyWorkers    atomic.Int64
+	instructions   atomic.Uint64
+	cycles         atomic.Uint64
+	walkCycles     atomic.Uint64
+	identsChecked  atomic.Uint64
+	identsViolated atomic.Uint64
 }
 
 // NewMonitor creates an enabled monitor.
@@ -43,6 +45,16 @@ func (m *Monitor) UnitDone(instructions, cycles, walkCycles uint64) {
 	m.instructions.Add(instructions)
 	m.cycles.Add(cycles)
 	m.walkCycles.Add(walkCycles)
+}
+
+// IdentityResults publishes one unit's refute-checker outcome: how many
+// counter identities were evaluated on it and how many were violated.
+func (m *Monitor) IdentityResults(checked, violated uint64) {
+	if m == nil {
+		return
+	}
+	m.identsChecked.Add(checked)
+	m.identsViolated.Add(violated)
 }
 
 // WorkerBusy marks one scheduler worker as occupied by a unit.
@@ -80,6 +92,12 @@ type MonitorStats struct {
 	// WCPI is the campaign-aggregate walk cycles per instruction over
 	// completed units — the paper's headline proxy, live.
 	WCPI float64 `json:"wcpi"`
+	// IdentitiesChecked / IdentitiesViolated aggregate the refute
+	// checker's per-unit results (zero when -refute is off). A non-zero
+	// violation count mid-campaign means a counter identity is breaking
+	// right now; the final report says where.
+	IdentitiesChecked  uint64 `json:"identities_checked"`
+	IdentitiesViolated uint64 `json:"identities_violated"`
 }
 
 // Snapshot reads the current stats (zero value on a nil monitor).
@@ -88,12 +106,14 @@ func (m *Monitor) Snapshot() MonitorStats {
 		return MonitorStats{}
 	}
 	s := MonitorStats{
-		UnitsStarted: m.unitsStarted.Load(),
-		UnitsDone:    m.unitsDone.Load(),
-		BusyWorkers:  m.busyWorkers.Load(),
-		Instructions: m.instructions.Load(),
-		Cycles:       m.cycles.Load(),
-		WalkCycles:   m.walkCycles.Load(),
+		UnitsStarted:       m.unitsStarted.Load(),
+		UnitsDone:          m.unitsDone.Load(),
+		BusyWorkers:        m.busyWorkers.Load(),
+		Instructions:       m.instructions.Load(),
+		Cycles:             m.cycles.Load(),
+		WalkCycles:         m.walkCycles.Load(),
+		IdentitiesChecked:  m.identsChecked.Load(),
+		IdentitiesViolated: m.identsViolated.Load(),
 	}
 	if s.Instructions > 0 {
 		s.WCPI = float64(s.WalkCycles) / float64(s.Instructions)

@@ -150,6 +150,27 @@ func (t *Track) Slice(name string, dur uint64, argName, argStr string) {
 	t.now += dur
 }
 
+// Pin records a complete slice over an explicit cycle range [start,
+// end] without advancing the cursor past it — several pins may cover
+// the same range (the refute checker pins every violation to the
+// unit's measured region). The lane stays monotonic: a start before
+// the cursor is clamped to it, and the cursor moves forward to the
+// (possibly clamped) start, never past the slice.
+func (t *Track) Pin(name string, start, end uint64, argName, argStr string) {
+	if t == nil {
+		return
+	}
+	if start < t.now {
+		start = t.now
+	}
+	var dur uint64
+	if end > start {
+		dur = end - start
+	}
+	t.events = append(t.events, Event{Ts: start, Dur: dur, Ph: PhComplete, Name: name, ArgName: argName, ArgStr: argStr})
+	t.now = start
+}
+
 // Instant records a zero-duration mark at the current cursor.
 func (t *Track) Instant(name string) {
 	if t == nil {

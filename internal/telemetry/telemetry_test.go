@@ -109,6 +109,41 @@ func TestExportValidates(t *testing.T) {
 	}
 }
 
+// TestTrackPin: Pin records explicit-range slices without breaking lane
+// monotonicity — several pins may cover the same range (one per
+// violated identity), a start behind the cursor clamps to it, and a
+// pinned track still exports through a validating timeline.
+func TestTrackPin(t *testing.T) {
+	var nilTrack *Track
+	nilTrack.Pin("x", 0, 10, "", "") // nil-safe like every hook
+
+	tr := New()
+	p := tr.Process("unit")
+	trk := p.Track("refute")
+	trk.Sync(100)
+	trk.Pin("violated: a", 100, 500, "detail", "l=1 r=2")
+	trk.Pin("violated: b", 100, 500, "detail", "l=3 r=4") // same range again
+	trk.Pin("late", 50, 80, "", "")                       // start behind cursor: clamps
+	ev := trk.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Ts != 100 || ev[0].Dur != 400 || ev[1].Ts != 100 || ev[1].Dur != 400 {
+		t.Errorf("pinned ranges wrong: %+v %+v", ev[0], ev[1])
+	}
+	if ev[2].Ts != 100 || ev[2].Dur != 0 {
+		t.Errorf("clamped pin = %+v, want ts=100 dur=0", ev[2])
+	}
+	tr.FinishUnit(Unit{Name: "unit", Cycles: 600})
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("pinned timeline fails validation: %v", err)
+	}
+}
+
 // TestExportDeterministicOrder: units recorded in any order export in
 // sorted-name order with serial-equivalent offsets, so two tracers fed
 // the same data in different completion orders export identical bytes.
@@ -235,6 +270,35 @@ func TestMonitorSnapshot(t *testing.T) {
 	}
 	var parsed MonitorStats
 	if err := json.Unmarshal(s.JSON(), &parsed); err != nil {
+		t.Fatalf("heartbeat not JSON: %v", err)
+	}
+	if parsed != s {
+		t.Errorf("JSON round-trip = %+v, want %+v", parsed, s)
+	}
+}
+
+// TestMonitorIdentityResults: refute outcomes accumulate into the
+// snapshot, survive the JSONL heartbeat round-trip under their wire
+// names, and are nil-safe like every other Monitor hook.
+func TestMonitorIdentityResults(t *testing.T) {
+	var nilMon *Monitor
+	nilMon.IdentityResults(3, 1) // must not panic
+
+	m := NewMonitor()
+	m.IdentityResults(17, 0)
+	m.IdentityResults(17, 2)
+	s := m.Snapshot()
+	if s.IdentitiesChecked != 34 || s.IdentitiesViolated != 2 {
+		t.Errorf("snapshot identities = %d/%d, want 34/2", s.IdentitiesChecked, s.IdentitiesViolated)
+	}
+	line := s.JSON()
+	for _, key := range []string{`"identities_checked":34`, `"identities_violated":2`} {
+		if !strings.Contains(string(line), key) {
+			t.Errorf("heartbeat %s lacks %s", line, key)
+		}
+	}
+	var parsed MonitorStats
+	if err := json.Unmarshal(line, &parsed); err != nil {
 		t.Fatalf("heartbeat not JSON: %v", err)
 	}
 	if parsed != s {
