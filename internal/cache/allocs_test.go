@@ -1,0 +1,34 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+// TestAccessZeroAllocs pins the hierarchy's allocation contract: demand
+// accesses and batched walker loads (AccessN) never touch the heap.
+func TestAccessZeroAllocs(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	rng := rand.New(rand.NewSource(1))
+	var (
+		pas [5]arch.PAddr
+		lat [5]uint64
+		loc [5]HitLoc
+	)
+	step := func() {
+		h.Access(arch.PAddr(rng.Uint64() % (1 << 30)))
+		for i := range pas {
+			pas[i] = arch.PAddr(rng.Uint64() % (1 << 30))
+		}
+		h.AccessN(pas[:], 2, 1<<20, lat[:], loc[:])
+	}
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Errorf("Hierarchy access allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -18,14 +18,27 @@ import (
 // invalidTag marks an empty way.
 const invalidTag = math.MaxUint64
 
+// replKind is a replacement policy decoded to a branch-cheap enum at
+// construction. The config names policies as strings; comparing those
+// per reference (touch and victim run on every probe) would put string
+// compares in the hierarchy's hottest loop and push Lookup past the
+// compiler's inlining budget.
+type replKind uint8
+
+const (
+	replLRU replKind = iota
+	replRandom
+	replNRU
+)
+
 // Cache is one set-associative level. Line addresses are physical addresses
 // shifted right by the cache-line shift; the caller does the shifting once
 // so all three levels share it.
 type Cache struct {
-	sets    int
-	ways    int
+	sets    uint64
+	ways    uint64
 	latency uint64
-	policy  arch.ReplacementPolicy
+	kind    replKind
 
 	tags []uint64
 	// stamp carries the policy's recency state: an LRU timestamp, or an
@@ -34,24 +47,48 @@ type Cache struct {
 	clock uint64
 	// rng is the random policy's xorshift state.
 	rng uint64
+
+	// mask is sets-1 when the set count is a power of two (pow2), letting
+	// the per-access set index be an AND instead of a runtime division.
+	// Table III's L3 (24576 sets) is not a power of two, so the modulo
+	// path stays load-bearing.
+	mask uint64
+	pow2 bool
+}
+
+// rngSeed is the random policy's fixed xorshift seed.
+const rngSeed = 0x853C49E6748FEA9B
+
+// setBase returns the first way index of the line's set.
+func (c *Cache) setBase(line uint64) uint64 {
+	if c.pow2 {
+		return (line & c.mask) * c.ways
+	}
+	return (line % c.sets) * c.ways
 }
 
 // New builds a cache from its geometry.
 func New(g arch.CacheGeometry) *Cache {
 	lines := g.SizeBytes / arch.CacheLineSize
-	sets := lines / g.Ways
-	policy := g.Replacement
-	if policy == "" {
-		policy = arch.ReplaceLRU
+	sets := uint64(lines / g.Ways)
+	kind := replLRU
+	switch g.Replacement {
+	case arch.ReplaceRandom:
+		kind = replRandom
+	case arch.ReplaceNRU:
+		kind = replNRU
 	}
 	c := &Cache{
 		sets:    sets,
-		ways:    g.Ways,
+		ways:    uint64(g.Ways),
 		latency: g.Latency,
-		policy:  policy,
+		kind:    kind,
 		tags:    make([]uint64, lines),
 		stamp:   make([]uint64, lines),
-		rng:     0x853C49E6748FEA9B,
+		rng:     rngSeed,
+	}
+	if sets > 0 && sets&(sets-1) == 0 {
+		c.pow2, c.mask = true, sets-1
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
@@ -59,27 +96,51 @@ func New(g arch.CacheGeometry) *Cache {
 	return c
 }
 
+// Reset returns the cache to its just-constructed state: every way
+// invalid, recency cleared, the policy clock and random state reseeded.
+// A reset cache is indistinguishable from a freshly built one, which is
+// what lets campaign machines be pooled without breaking determinism.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	clear(c.stamp)
+	c.clock = 0
+	c.rng = rngSeed
+}
+
 // Latency returns the level's load-to-use latency in cycles.
 func (c *Cache) Latency() uint64 { return c.latency }
 
-// touch refreshes a way's recency state on a reference.
+// touch refreshes a way's recency state on a reference: an NRU
+// reference bit, or an LRU timestamp (random keeps timestamps too but
+// ignores them).
 func (c *Cache) touch(i uint64) {
-	switch c.policy {
-	case arch.ReplaceNRU:
-		c.stamp[i] = 1
-	default: // LRU and random both keep timestamps (random ignores them)
-		c.stamp[i] = c.clock
+	s := c.clock
+	if c.kind == replNRU {
+		s = 1
 	}
+	c.stamp[i] = s
 }
 
 // Lookup probes for the line and refreshes its recency state on a hit. It
 // does not allocate on a miss (the hierarchy decides fills).
 func (c *Cache) Lookup(line uint64) bool {
-	base := (line % uint64(c.sets)) * uint64(c.ways)
+	base := c.setBase(line)
 	c.clock++
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+uint64(w)] == line {
-			c.touch(base + uint64(w))
+	// This way scan is the single hottest loop in the simulator (every
+	// demand access and PTE load probes three levels). It must stay
+	// within the compiler's inlining budget: losing the inline into
+	// Hierarchy.Access costs more than any micro-shaving here gains —
+	// which is why the touch logic is open-coded with the stamp value
+	// hoisted out of the loop.
+	s := c.clock
+	if c.kind == replNRU {
+		s = 1
+	}
+	for w := uint64(0); w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.stamp[base+w] = s
 			return true
 		}
 	}
@@ -88,53 +149,56 @@ func (c *Cache) Lookup(line uint64) bool {
 
 // victim picks the way to evict in a full set starting at base.
 func (c *Cache) victim(base uint64) uint64 {
-	switch c.policy {
-	case arch.ReplaceRandom:
+	switch c.kind {
+	case replRandom:
 		c.rng ^= c.rng << 13
 		c.rng ^= c.rng >> 7
 		c.rng ^= c.rng << 17
-		return base + c.rng%uint64(c.ways)
-	case arch.ReplaceNRU:
-		for w := 0; w < c.ways; w++ {
-			if c.stamp[base+uint64(w)] == 0 {
-				return base + uint64(w)
+		return base + c.rng%c.ways
+	case replNRU:
+		for w := uint64(0); w < c.ways; w++ {
+			if c.stamp[base+w] == 0 {
+				return base + w
 			}
 		}
 		// All referenced: clear the set's bits and take way 0.
-		for w := 0; w < c.ways; w++ {
-			c.stamp[base+uint64(w)] = 0
+		for w := uint64(0); w < c.ways; w++ {
+			c.stamp[base+w] = 0
 		}
 		return base
 	default: // LRU
-		victim := base
+		stamps := c.stamp[base : base+c.ways]
+		victim := 0
 		oldest := uint64(math.MaxUint64)
-		for w := 0; w < c.ways; w++ {
-			if s := c.stamp[base+uint64(w)]; s < oldest {
-				victim, oldest = base+uint64(w), s
+		for w, s := range stamps {
+			if s < oldest {
+				victim, oldest = w, s
 			}
 		}
-		return victim
+		return base + uint64(victim)
 	}
 }
 
 // Fill inserts the line, evicting a victim if the set is full. Filling a
 // line that is already present only refreshes its recency state.
 func (c *Cache) Fill(line uint64) {
-	base := (line % uint64(c.sets)) * uint64(c.ways)
+	base := c.setBase(line)
 	c.clock++
-	empty := int64(-1)
-	for w := 0; w < c.ways; w++ {
-		i := base + uint64(w)
-		if c.tags[i] == line {
-			c.touch(i)
+	set := c.tags[base : base+c.ways]
+	empty := -1
+	for w, tag := range set {
+		if tag == line {
+			c.touch(base + uint64(w))
 			return
 		}
-		if c.tags[i] == invalidTag && empty < 0 {
-			empty = int64(i)
+		if tag == invalidTag && empty < 0 {
+			empty = w
 		}
 	}
-	i := uint64(empty)
-	if empty < 0 {
+	var i uint64
+	if empty >= 0 {
+		i = base + uint64(empty)
+	} else {
 		i = c.victim(base)
 	}
 	c.tags[i] = line
@@ -143,11 +207,11 @@ func (c *Cache) Fill(line uint64) {
 
 // Invalidate removes the line if present.
 func (c *Cache) Invalidate(line uint64) {
-	base := (line % uint64(c.sets)) * uint64(c.ways)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+uint64(w)] == line {
-			c.tags[base+uint64(w)] = invalidTag
-			c.stamp[base+uint64(w)] = 0
+	base := c.setBase(line)
+	for w := uint64(0); w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.tags[base+w] = invalidTag
+			c.stamp[base+w] = 0
 			return
 		}
 	}
@@ -155,9 +219,9 @@ func (c *Cache) Invalidate(line uint64) {
 
 // Contains probes without touching LRU state (test/debug helper).
 func (c *Cache) Contains(line uint64) bool {
-	base := (line % uint64(c.sets)) * uint64(c.ways)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+uint64(w)] == line {
+	base := c.setBase(line)
+	for w := uint64(0); w < c.ways; w++ {
+		if c.tags[base+w] == line {
 			return true
 		}
 	}
@@ -233,6 +297,35 @@ func (h *Hierarchy) Access(pa arch.PAddr) (latency uint64, loc HitLoc) {
 		h.l3.Fill(line)
 		return h.dram, HitMem
 	}
+}
+
+// AccessN performs the loads at pas[0..] in order, each charged its
+// hierarchy latency plus overhead cycles, and stops after the load whose
+// accumulated cost first exceeds budget (the walker's abort semantics:
+// the over-budget load still happened and mutated cache state; loads
+// after it never issue). Per-load latency and hit location land in
+// lat[i]/loc[i]. It returns the number of loads performed and the total
+// cycles accrued, identical to n sequential Access calls with the same
+// early-exit rule — the batched form exists so the page-table walker's
+// per-level loop stays inside one call frame.
+func (h *Hierarchy) AccessN(pas []arch.PAddr, overhead, budget uint64, lat []uint64, loc []HitLoc) (n int, cycles uint64) {
+	for i, pa := range pas {
+		l, where := h.Access(pa)
+		lat[i], loc[i] = l, where
+		cycles += l + overhead
+		n++
+		if cycles > budget {
+			break
+		}
+	}
+	return n, cycles
+}
+
+// Reset restores every level to its just-constructed state.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
 }
 
 // Latency returns the load-to-use latency of the given hit location.

@@ -134,6 +134,9 @@ func NewSession(cfg RunConfig) *Session {
 	if cfg.pool == nil {
 		cfg.pool = make(limiter, cfg.parallelism())
 	}
+	if cfg.machines == nil {
+		cfg.machines = newMachinePool(cfg.parallelism())
+	}
 	return &Session{cfg: &cfg, sweeps: make(map[string]*sweepCall)}
 }
 

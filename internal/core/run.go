@@ -97,6 +97,10 @@ type RunConfig struct {
 	// pool is the worker pool shared by every config copied from one
 	// session; NewSession creates it (see schedule.go).
 	pool limiter
+	// machines recycles simulated machines across the session's run
+	// units (see schedule.go); nil — every standalone config — disables
+	// pooling and every unit builds a fresh machine.
+	machines *machinePool
 }
 
 // DefaultRunConfig returns the standard campaign configuration: the
@@ -162,9 +166,13 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 	if sys.PhysMemBytes < 256*arch.GB {
 		sys.PhysMemBytes = 256 * arch.GB
 	}
-	m, err := machine.New(sys, ps, cfg.Seed)
-	if err != nil {
-		return RunResult{}, err
+	m := cfg.machines.acquire(sys, ps, cfg.Seed)
+	if m == nil {
+		var err error
+		m, err = machine.New(sys, ps, cfg.Seed)
+		if err != nil {
+			return RunResult{}, err
+		}
 	}
 	if cfg.EnablePromotion && ps == arch.Page4K {
 		m.EnablePromotion(machine.DefaultPromotionConfig())
@@ -246,6 +254,7 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 	cfg.Monitor.UnitDone(delta.Get(perf.InstRetired), delta.Get(perf.Cycles), walkCycles)
 	cfg.logf("  run %-22s param=%-8d %-4s footprint=%-9s cpi=%.3f wcpi=%.4f",
 		r.Workload, r.Param, ps, arch.FormatBytes(r.Footprint), r.Metrics.CPI, r.Metrics.WCPI)
+	cfg.machines.release(m)
 	return r, nil
 }
 

@@ -3,6 +3,9 @@ package core
 import (
 	"runtime"
 	"sync"
+
+	"atscale/internal/arch"
+	"atscale/internal/machine"
 )
 
 // This file is the campaign scheduler. Every sweep in the package breaks
@@ -17,6 +20,61 @@ import (
 // shares one pool across every experiment dispatched on it, so concurrent
 // experiments (atscale -p with several ids) together never run more than
 // the configured number of simulations at once.
+
+// machinePool recycles simulated machines across a session's run units.
+// Building a machine allocates megabytes of cache/TLB tag arrays and
+// re-faults its physical backing from scratch — formerly the bulk of a
+// campaign's allocation volume. Renewing a pooled machine reuses that
+// long-lived state in place; machine.Renew guarantees the renewed
+// machine is byte-identical to a fresh build, and the flatgold goldens
+// (captured unpooled) hold pooled campaigns to it. Only native radix
+// machines are pooled (machine.Poolable), and a machine is only handed
+// out for exactly the SystemConfig it was built with.
+type machinePool struct {
+	mu sync.Mutex
+	// max bounds retained machines (the session's parallelism: more can
+	// never be in flight at once, so more could never be reused).
+	max  int
+	free []*machine.Machine
+}
+
+func newMachinePool(max int) *machinePool { return &machinePool{max: max} }
+
+// acquire returns a renewed machine matching sys, or nil when the pool
+// has no match (the caller builds a fresh one). Nil-safe.
+func (p *machinePool) acquire(sys arch.SystemConfig, policy arch.PageSize, seed int64) *machine.Machine {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	var m *machine.Machine
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if *p.free[i].Config() == sys {
+			m = p.free[i]
+			p.free[i] = p.free[len(p.free)-1]
+			p.free = p.free[:len(p.free)-1]
+			break
+		}
+	}
+	p.mu.Unlock()
+	if m == nil || !m.Renew(policy, seed) {
+		return nil
+	}
+	return m
+}
+
+// release parks a finished unit's machine for reuse (dropped when the
+// pool is full or the machine is not poolable). Nil-safe.
+func (p *machinePool) release(m *machine.Machine) {
+	if p == nil || !m.Poolable() {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, m)
+	}
+	p.mu.Unlock()
+}
 
 // parallelism resolves the configured worker count.
 func (c *RunConfig) parallelism() int {
@@ -46,9 +104,22 @@ func forEachUnit(cfg *RunConfig, n int, fn func(i int) error) error {
 	}
 	if cfg.parallelism() == 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			// A session-shared limiter must bound these units too.
+			// Concurrent experiments (Session.SweepAll, the CLI's -p
+			// fan-out) each enter this serial path when Parallelism
+			// resolves to 1 — on a single-core host that used to mean
+			// one unit in flight *per caller* instead of one total,
+			// which thrashed the machine pool and ran parallel
+			// campaigns slower than serial ones.
+			if cfg.pool != nil {
+				cfg.pool.acquire()
+			}
 			cfg.Monitor.WorkerBusy()
 			err := fn(i)
 			cfg.Monitor.WorkerIdle()
+			if cfg.pool != nil {
+				cfg.pool.release()
+			}
 			if err != nil {
 				return err
 			}

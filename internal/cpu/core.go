@@ -90,8 +90,11 @@ type Core struct {
 	// vaMin/vaMax bound the touched virtual range.
 	vaMin, vaMax arch.VAddr
 
-	// aliases tracks recent stores by page offset for 4K-aliasing clears.
-	aliases  map[uint64]aliasEntry
+	// aliases tracks recent stores by page offset for 4K-aliasing clears,
+	// direct-indexed by the 512 possible aligned page offsets (va bits
+	// 3..11). seq == 0 marks an empty slot: storeSeq pre-increments, so a
+	// real entry's sequence number is never zero.
+	aliases  [512]aliasEntry
 	storeSeq uint64
 
 	// smp holds the attached PEBS-style samplers (usually zero or one;
@@ -116,15 +119,38 @@ type Core struct {
 // reproducible.
 func New(cfg *arch.SystemConfig, tlbs *tlb.Hierarchy, caches *cache.Hierarchy, w walker.Engine, seed int64) *Core {
 	return &Core{
-		cfg:     cfg,
-		tlbs:    tlbs,
-		caches:  caches,
-		walker:  w,
-		pred:    newGshare(cfg.CPU.GsharePCBits),
-		rng:     rand.New(rand.NewSource(seed)),
-		vaMin:   ^arch.VAddr(0),
-		aliases: make(map[uint64]aliasEntry),
+		cfg:    cfg,
+		tlbs:   tlbs,
+		caches: caches,
+		walker: w,
+		pred:   newGshare(cfg.CPU.GsharePCBits),
+		rng:    rand.New(rand.NewSource(seed)),
+		vaMin:  ^arch.VAddr(0),
 	}
+}
+
+// Reset returns the core — and the TLBs and caches it owns — to the
+// just-constructed state with a fresh speculation seed, so a pooled
+// machine's core is indistinguishable from a newly built one. The
+// address space must be re-attached with SetAddressSpace afterwards;
+// attached samplers and the timeline track are dropped.
+func (c *Core) Reset(seed int64) {
+	c.ctr = perf.Counters{}
+	c.cr3, c.fault = 0, nil
+	c.pred.reset()
+	c.rng = rand.New(rand.NewSource(seed))
+	c.cycleFrac = 0
+	c.recentLat = 0
+	c.ringLen, c.ringPos = 0, 0
+	c.reservoirLen = 0
+	c.vaMin, c.vaMax = ^arch.VAddr(0), 0
+	c.aliases = [512]aliasEntry{}
+	c.storeSeq = 0
+	c.smp = nil
+	c.lastWalkCycles, c.lastWalkLevel = 0, perf.PTENone
+	c.trk = nil
+	c.tlbs.Reset()
+	c.caches.Reset()
 }
 
 // SetAddressSpace points the core at a page table root and the OS fault
@@ -434,9 +460,8 @@ func (c *Core) wrongPathVA() arch.VAddr {
 // whose page offset matches a recent store to a *different* address may
 // force a pipeline clear.
 func (c *Core) checkAlias(va arch.VAddr) {
-	key := uint64(va) & 0xFF8
-	e, ok := c.aliases[key]
-	if !ok || e.va == va {
+	e := c.aliases[(uint64(va)>>3)&0x1FF]
+	if e.seq == 0 || e.va == va {
 		return
 	}
 	if c.storeSeq-e.seq > uint64(c.cfg.CPU.StoreBufferSize) {
@@ -456,7 +481,7 @@ func (c *Core) checkAlias(va arch.VAddr) {
 
 func (c *Core) recordStore(va arch.VAddr) {
 	c.storeSeq++
-	c.aliases[uint64(va)&0xFF8] = aliasEntry{va: va, seq: c.storeSeq}
+	c.aliases[(uint64(va)>>3)&0x1FF] = aliasEntry{va: va, seq: c.storeSeq}
 }
 
 func (c *Core) noteVA(va arch.VAddr) {

@@ -20,6 +20,14 @@ func newGshare(bits uint) *gshare {
 	return g
 }
 
+// reset restores the predictor to its initial weakly-not-taken state.
+func (g *gshare) reset() {
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	g.history = 0
+}
+
 func (g *gshare) index(pc uint64) uint64 {
 	return (pc ^ g.history) & g.mask
 }

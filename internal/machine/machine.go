@@ -43,10 +43,12 @@ type Machine struct {
 	tenants []*vm.AddrSpace
 	tenant  int
 
-	// quiet-access translation cache (setup-phase fast path).
-	quietValid bool
-	quietPage  arch.VAddr
-	quietFrame arch.PAddr
+	// quiet-access translation cache (setup-phase fast path): a
+	// direct-mapped software TLB at 4 KB granularity, indexed by page
+	// number. quietPage holds each slot's page base (quietInvalidPage
+	// when empty) and quietFrame the matching physical frame base.
+	quietPage  [quietSlots]arch.VAddr
+	quietFrame [quietSlots]arch.PAddr
 
 	// promo, when non-nil, is the WCPI-guided hugepage promotion policy.
 	promo *promoState
@@ -103,6 +105,7 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 		return nil, fmt.Errorf("machine: %w", err)
 	}
 	m := &Machine{cfg: cfg}
+	m.quietInvalidate()
 	m.phys = mem.NewPhys(cfg.PhysMemBytes)
 	caches := cache.NewHierarchy(&m.cfg)
 
@@ -155,6 +158,45 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 		m.tenants = []*vm.AddrSpace{as}
 	}
 	return m, nil
+}
+
+// Poolable reports whether Renew can recycle this machine: native radix
+// paging only. Nested and hashed machines carry organization-specific
+// state (EPTs, hashed buckets) and are rebuilt instead.
+func (m *Machine) Poolable() bool {
+	_, ok := m.engine.(*walker.Walker)
+	return ok
+}
+
+// Renew returns the machine to the state New(cfg, policy, seed) would
+// have produced, reusing the expensive long-lived state — cache and TLB
+// arrays, physical backing chunks — instead of reallocating it. The
+// page-table allocator is rewound, so the renewed table's pages land at
+// the same physical addresses a fresh machine's would, making a renewed
+// machine byte-identical to a new one (the flatgold tests hold campaigns
+// to that). It reports false — leaving the machine unusable — for
+// non-poolable machines.
+func (m *Machine) Renew(policy arch.PageSize, seed int64) bool {
+	w, ok := m.engine.(*walker.Walker)
+	if !ok {
+		return false
+	}
+	m.phys.Reset()
+	if err := m.as.Reset(policy); err != nil {
+		return false
+	}
+	w.Reset()
+	m.core.Reset(seed)
+	m.core.SetAddressSpace(m.as.PageTable().Root(), m.as.HandleFault)
+	m.quietInvalidate()
+	m.promo = nil
+	m.tracer = nil
+	m.sampler = nil
+	m.interval = nil
+	m.phaseTrk = nil
+	m.prefaults = 0
+	m.traceProc = nil
+	return true
 }
 
 // faultHandler wraps an address space's demand-fault path. On virtualized
@@ -222,7 +264,7 @@ func (m *Machine) SwitchTenant(i int) error {
 	}
 	m.tenant = i
 	m.as = m.tenants[i]
-	m.quietValid = false // quiet cache holds the old tenant's frames
+	m.quietInvalidate() // quiet cache holds the old tenant's frames
 	m.core.SetAddressSpace(m.as.PageTable().Root(), m.faultHandler(m.as))
 	return nil
 }
@@ -417,13 +459,32 @@ func (m *Machine) Peek64(va arch.VAddr) uint64 {
 	return m.phys.Read64(m.quietTranslate(va))
 }
 
+// quietSlots sizes the quiet translation cache (a power of two; 4096
+// slots cover 16 MB of setup working set per fill).
+const quietSlots = 4096
+
+// quietInvalidPage marks an empty quiet-cache slot (never a real page
+// base: page bases are 4 KB aligned).
+const quietInvalidPage = ^arch.VAddr(0)
+
+// quietInvalidate empties the quiet translation cache. Every event that
+// can remap an existing page — tenant switch, hugepage promotion,
+// machine renewal — must pass through here or quiet accesses would read
+// stale frames.
+func (m *Machine) quietInvalidate() {
+	for i := range m.quietPage {
+		m.quietPage[i] = quietInvalidPage
+	}
+}
+
 func (m *Machine) quietTranslate(va arch.VAddr) arch.PAddr {
-	// One-entry translation cache at 4 KB granularity: setup code pokes
-	// sequentially, so this removes the software walk from almost every
-	// quiet access.
+	// Direct-mapped translation cache at 4 KB granularity: setup code
+	// pokes with high page locality, so this removes the software walk
+	// from almost every quiet access.
 	page := arch.PageBase(va, arch.Page4K)
-	if m.quietPage == page && m.quietValid {
-		return m.quietFrame + arch.PAddr(va-page)
+	slot := (uint64(va) >> arch.PageShift4K) & (quietSlots - 1)
+	if m.quietPage[slot] == page {
+		return m.quietFrame[slot] + arch.PAddr(va-page)
 	}
 	pa, _, ok := m.as.PageTable().Lookup(va)
 	if !ok {
@@ -449,9 +510,8 @@ func (m *Machine) quietTranslate(va arch.VAddr) arch.PAddr {
 		}
 		pa = hpa
 	}
-	m.quietPage = page
-	m.quietFrame = pa - arch.PAddr(va-page)
-	m.quietValid = true
+	m.quietPage[slot] = page
+	m.quietFrame[slot] = pa - arch.PAddr(va-page)
 	return pa
 }
 

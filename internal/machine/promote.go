@@ -123,7 +123,7 @@ func (m *Machine) promoTick() {
 		m.core.CountSoftware(perf.THPPromotions, 1)
 		// The promoted translation will be reloaded by the next access's
 		// walk; quiet-access translations must not go stale either.
-		m.quietValid = false
+		m.quietInvalidate()
 	}
 }
 

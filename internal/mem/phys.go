@@ -17,13 +17,41 @@ import (
 // base page size so chunk boundaries never split a frame).
 const chunkShift = arch.PageShift4K
 
+// chunkBytes is the backing chunk size.
+const chunkBytes = 1 << chunkShift
+
+// groupShift sizes the chunk directory's groups: 512 chunks (2 MB of
+// physical address space) per group, so group boundaries coincide with
+// 2 MB frame boundaries and superpage frees drop whole groups.
+const groupShift = 9
+
+// groupChunks / groupBytes derive the group geometry.
+const (
+	groupChunks = 1 << groupShift
+	groupBytes  = groupChunks << chunkShift
+)
+
 // physBase is the first physical address handed out. Leaving page zero
 // unused catches null-physical-address bugs in the page-table code.
 const physBase = 1 << arch.PageShift4K
 
+// group is one 2 MB span of the chunk directory: direct-indexed chunk
+// pointers plus a count of materialized chunks (so dropping the group
+// adjusts the touched telemetry without a scan).
+type group struct {
+	chunk [groupChunks]*[chunkBytes]byte
+	live  uint32
+}
+
 // Phys is the simulated physical memory. It is not safe for concurrent use;
 // the machine model is single-core (the paper's per-core counters are what
 // we reproduce).
+//
+// The backing store is a two-level direct-indexed directory — physical
+// address → group → chunk — so the walker-loop Read64 is two shifts and
+// two array loads, never a map probe. The directory spine is sized from
+// the configured limit at construction (a 256 GB machine costs ~1 MB of
+// nil group pointers) and groups materialize on first write.
 type Phys struct {
 	limit    uint64 // total physical bytes available
 	reserved uint64 // bytes handed out to allocations
@@ -32,18 +60,13 @@ type Phys struct {
 	// free holds returned frames per page size.
 	free [arch.NumPageSizes][]arch.PAddr
 
-	// chunks maps chunk number -> backing bytes, allocated on first use.
-	chunks map[uint64][]byte
+	// dir is the chunk directory spine, indexed by pa >> (chunkShift +
+	// groupShift). Entries are nil until a chunk in the group is written.
+	dir []*group
 
 	// slab is the current host allocation chunks are carved from;
 	// slab-carving keeps the Go allocator out of the per-chunk path.
 	slab []byte
-
-	// lastCN/lastChunk cache the most recent chunk lookup (accesses
-	// cluster heavily within lines and pages); lastChunk is nil when the
-	// cache is invalid.
-	lastCN    uint64
-	lastChunk []byte
 
 	// touched counts backing chunks materialized (host-memory telemetry).
 	touched uint64
@@ -56,9 +79,9 @@ const slabSize = 256 << chunkShift
 // NewPhys returns a physical memory of the given capacity in bytes.
 func NewPhys(limitBytes uint64) *Phys {
 	return &Phys{
-		limit:  limitBytes,
-		next:   physBase,
-		chunks: make(map[uint64][]byte),
+		limit: limitBytes,
+		next:  physBase,
+		dir:   make([]*group, (physBase+limitBytes+groupBytes-1)>>(chunkShift+groupShift)),
 	}
 }
 
@@ -104,38 +127,65 @@ func (p *Phys) ReservedBytes() uint64 { return p.reserved }
 // TouchedBytes returns how much backing store has been materialized.
 func (p *Phys) TouchedBytes() uint64 { return p.touched << chunkShift }
 
-// chunk returns the backing slice for pa, materializing it if needed.
-func (p *Phys) chunk(pa arch.PAddr) []byte {
-	cn := uint64(pa) >> chunkShift
-	if p.lastChunk != nil && p.lastCN == cn {
-		return p.lastChunk
+// Reset returns the allocator to its initial state — every frame free,
+// the bump pointer back at physBase — while keeping materialized backing
+// chunks (zeroed in place) for the next tenant. Reuse is what makes
+// campaign machine pooling cheap: the next run's working set lands on
+// already-committed host memory instead of re-faulting it in.
+func (p *Phys) Reset() {
+	for _, g := range p.dir {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.chunk {
+			if c != nil {
+				clear(c[:])
+			}
+		}
 	}
-	c := p.chunks[cn]
+	for ps := range p.free {
+		p.free[ps] = p.free[ps][:0]
+	}
+	p.reserved = 0
+	p.next = physBase
+}
+
+// chunk returns the backing slice for pa, materializing it if needed.
+func (p *Phys) chunk(pa arch.PAddr) *[chunkBytes]byte {
+	cn := uint64(pa) >> chunkShift
+	gi := cn >> groupShift
+	g := p.dir[gi]
+	if g == nil {
+		g = &group{}
+		p.dir[gi] = g
+	}
+	c := g.chunk[cn&(groupChunks-1)]
 	if c == nil {
-		if len(p.slab) < 1<<chunkShift {
+		if len(p.slab) < chunkBytes {
 			p.slab = make([]byte, slabSize)
 		}
-		c = p.slab[: 1<<chunkShift : 1<<chunkShift]
-		p.slab = p.slab[1<<chunkShift:]
-		p.chunks[cn] = c
+		c = (*[chunkBytes]byte)(p.slab)
+		p.slab = p.slab[chunkBytes:]
+		g.chunk[cn&(groupChunks-1)] = c
+		g.live++
 		p.touched++
 	}
-	p.lastCN, p.lastChunk = cn, c
 	return c
 }
 
 // peek returns the backing slice for pa without materializing it (nil if
 // the chunk was never touched).
-func (p *Phys) peek(pa arch.PAddr) []byte {
+func (p *Phys) peek(pa arch.PAddr) *[chunkBytes]byte {
 	cn := uint64(pa) >> chunkShift
-	if p.lastChunk != nil && p.lastCN == cn {
-		return p.lastChunk
+	gi := cn >> groupShift
+	if gi >= uint64(len(p.dir)) {
+		return nil
 	}
-	c := p.chunks[cn]
-	if c != nil {
-		p.lastCN, p.lastChunk = cn, c
+	g := p.dir[gi]
+	if g == nil {
+		return nil
 	}
-	return c
+	return g.chunk[cn&(groupChunks-1)]
 }
 
 // Read64 loads the 8-byte word at pa, which must be 8-byte aligned.
@@ -147,7 +197,7 @@ func (p *Phys) Read64(pa arch.PAddr) uint64 {
 	if c == nil {
 		return 0 // untouched memory reads as zero
 	}
-	off := uint64(pa) & ((1 << chunkShift) - 1)
+	off := uint64(pa) & (chunkBytes - 1)
 	return binary.LittleEndian.Uint64(c[off : off+8])
 }
 
@@ -157,7 +207,7 @@ func (p *Phys) Write64(pa arch.PAddr, v uint64) {
 		panic(fmt.Sprintf("mem: unaligned Write64(%#x)", uint64(pa)))
 	}
 	c := p.chunk(pa)
-	off := uint64(pa) & ((1 << chunkShift) - 1)
+	off := uint64(pa) & (chunkBytes - 1)
 	binary.LittleEndian.PutUint64(c[off:off+8], v)
 }
 
@@ -165,37 +215,36 @@ func (p *Phys) Write64(pa arch.PAddr, v uint64) {
 // multiple of the chunk size). Untouched source chunks are skipped — the
 // destination reads as zero there anyway.
 func (p *Phys) CopyRange(dst, src arch.PAddr, n uint64) {
-	if !arch.IsAligned(uint64(dst), 1<<chunkShift) || !arch.IsAligned(uint64(src), 1<<chunkShift) ||
-		!arch.IsAligned(n, 1<<chunkShift) {
+	if !arch.IsAligned(uint64(dst), chunkBytes) || !arch.IsAligned(uint64(src), chunkBytes) ||
+		!arch.IsAligned(n, chunkBytes) {
 		panic(fmt.Sprintf("mem: misaligned CopyRange(%#x, %#x, %d)", uint64(dst), uint64(src), n))
 	}
-	for off := uint64(0); off < n; off += 1 << chunkShift {
+	for off := uint64(0); off < n; off += chunkBytes {
 		s := p.peek(src + arch.PAddr(off))
 		if s == nil {
 			continue
 		}
-		copy(p.chunk(dst+arch.PAddr(off)), s)
+		copy(p.chunk(dst + arch.PAddr(off))[:], s[:])
 	}
 }
 
 // zeroRange clears [pa, pa+n) without materializing untouched chunks.
 func (p *Phys) zeroRange(pa arch.PAddr, n uint64) {
-	for off := uint64(0); off < n; off += 1 << chunkShift {
-		cn := (uint64(pa) + off) >> chunkShift
-		if c, ok := p.chunks[cn]; ok {
-			clear(c)
+	for off := uint64(0); off < n; off += chunkBytes {
+		if c := p.peek(pa + arch.PAddr(off)); c != nil {
+			clear(c[:])
 		}
 	}
 }
 
-// dropRange releases backing chunks in [pa, pa+n).
+// dropRange releases backing chunks in [pa, pa+n). Callers pass naturally
+// aligned superpage extents, so whole directory groups drop at once.
 func (p *Phys) dropRange(pa arch.PAddr, n uint64) {
-	p.lastChunk = nil // chunk identities change; drop the lookup cache
-	for off := uint64(0); off < n; off += 1 << chunkShift {
-		cn := (uint64(pa) + off) >> chunkShift
-		if _, ok := p.chunks[cn]; ok {
-			delete(p.chunks, cn)
-			p.touched--
+	for off := uint64(0); off < n; off += groupBytes {
+		gi := (uint64(pa) + off) >> (chunkShift + groupShift)
+		if g := p.dir[gi]; g != nil {
+			p.touched -= uint64(g.live)
+			p.dir[gi] = nil
 		}
 	}
 }

@@ -168,6 +168,17 @@ func (p *PSC) Flush() {
 	}
 }
 
+// Reset returns every cache to its just-constructed state. Flush empties
+// the entries but deliberately keeps each LRU clock running (an OS flush
+// does not rewind time); Reset also rewinds the clocks, so a pooled
+// machine's PSCs are indistinguishable from freshly built ones.
+func (p *PSC) Reset() {
+	for l := arch.LevelPD; l <= p.top; l++ {
+		p.byLevel[l].flush()
+		p.byLevel[l].clock = 0
+	}
+}
+
 // Live returns the number of valid entries in the cache of level-l entries
 // (test/debug helper).
 func (p *PSC) Live(l arch.Level) int { return p.byLevel[l].live() }

@@ -40,6 +40,23 @@ func NewWithDepth(phys mem.Memory, levels int) (*Table, error) {
 	return &Table{phys: phys, root: root, top: top, levels: levels, tablePages: 1}, nil
 }
 
+// Reset discards every mapping and re-allocates the root page, returning
+// the table to its just-constructed state. The caller must have reset the
+// underlying physical memory first: the old table pages are assumed gone,
+// and with the allocator's bump pointer rewound the new root lands at the
+// same physical address a fresh table's would — which is what keeps a
+// renewed machine byte-identical to a newly built one.
+func (t *Table) Reset() error {
+	root, err := t.phys.AllocPage(arch.Page4K)
+	if err != nil {
+		return fmt.Errorf("pagetable: reallocating root: %w", err)
+	}
+	t.root = root
+	t.tablePages = 1
+	t.mappings = [arch.NumPageSizes]uint64{}
+	return nil
+}
+
 // Depth returns the radix depth (4 or 5).
 func (t *Table) Depth() int { return t.levels }
 

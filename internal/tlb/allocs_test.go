@@ -1,0 +1,29 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+// TestLookupZeroAllocs pins the TLB hierarchy's allocation contract:
+// lookups, fills, and invalidations never touch the heap.
+func TestLookupZeroAllocs(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	h := NewHierarchy(&cfg)
+	rng := rand.New(rand.NewSource(1))
+	step := func() {
+		va := arch.VAddr(rng.Uint64() % (1 << 32) &^ 0xfff)
+		h.Lookup(va)
+		h.Fill(va, arch.PAddr(uint64(va)+arch.GB), arch.Page4K)
+		h.Lookup(va)
+		h.InvalidatePage(va, arch.Page4K)
+	}
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Errorf("TLB hierarchy allocates %.2f allocs/op, want 0", avg)
+	}
+}

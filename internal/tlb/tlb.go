@@ -40,6 +40,20 @@ type TLB struct {
 	holds [arch.NumPageSizes]bool
 	data  []way
 	clock uint64
+
+	// mask is sets-1 when the set count is a power of two (every Table
+	// III TLB geometry), turning the per-lookup set index into an AND;
+	// the modulo path remains for arbitrary geometries.
+	mask uint64
+	pow2 bool
+}
+
+// setBase returns the first way index of a VPN's set.
+func (t *TLB) setBase(vpn uint64) uint64 {
+	if t.pow2 {
+		return (vpn & t.mask) * uint64(t.ways)
+	}
+	return (vpn % uint64(t.sets)) * uint64(t.ways)
 }
 
 // New builds a TLB from its geometry, holding the given page sizes.
@@ -51,6 +65,9 @@ func New(g arch.TLBGeometry, sizes ...arch.PageSize) *TLB {
 	}
 	t.sets = g.Entries / g.Ways
 	t.ways = g.Ways
+	if t.sets > 0 && t.sets&(t.sets-1) == 0 {
+		t.pow2, t.mask = true, uint64(t.sets-1)
+	}
 	t.data = make([]way, g.Entries)
 	for i := range t.data {
 		t.data[i].vpn = invalidVPN
@@ -76,9 +93,12 @@ func (t *TLB) Lookup(va arch.VAddr) (Entry, bool) {
 			continue
 		}
 		vpn := arch.PageNumber(va, ps)
-		base := (vpn % uint64(t.sets)) * uint64(t.ways)
-		for w := 0; w < t.ways; w++ {
-			e := &t.data[base+uint64(w)]
+		base := t.setBase(vpn)
+		// Slice the set once so the way scan runs without bounds checks
+		// (this probe sits on every simulated memory access).
+		set := t.data[base : base+uint64(t.ways)]
+		for w := range set {
+			e := &set[w]
 			if e.vpn == vpn && e.size == ps {
 				e.stamp = t.clock
 				return Entry{VPN: vpn, Frame: e.frame, Size: ps}, true
@@ -97,12 +117,12 @@ func (t *TLB) Insert(va arch.VAddr, frame arch.PAddr, ps arch.PageSize) {
 	}
 	t.clock++
 	vpn := arch.PageNumber(va, ps)
-	base := (vpn % uint64(t.sets)) * uint64(t.ways)
-	victim := base
+	base := t.setBase(vpn)
+	set := t.data[base : base+uint64(t.ways)]
+	victim := 0
 	oldest := uint64(math.MaxUint64)
-	for w := 0; w < t.ways; w++ {
-		i := base + uint64(w)
-		e := &t.data[i]
+	for w := range set {
+		e := &set[w]
 		if e.vpn == vpn && e.size == ps {
 			e.frame = frame
 			e.stamp = t.clock
@@ -110,15 +130,15 @@ func (t *TLB) Insert(va arch.VAddr, frame arch.PAddr, ps arch.PageSize) {
 		}
 		if e.vpn == invalidVPN {
 			if oldest != 0 {
-				victim, oldest = i, 0
+				victim, oldest = w, 0
 			}
 			continue
 		}
 		if e.stamp < oldest {
-			victim, oldest = i, e.stamp
+			victim, oldest = w, e.stamp
 		}
 	}
-	t.data[victim] = way{vpn: vpn, frame: frame, size: ps, stamp: t.clock}
+	set[victim] = way{vpn: vpn, frame: frame, size: ps, stamp: t.clock}
 }
 
 // InvalidatePage drops the translation of va at the given size if present.
@@ -127,7 +147,7 @@ func (t *TLB) InvalidatePage(va arch.VAddr, ps arch.PageSize) {
 		return
 	}
 	vpn := arch.PageNumber(va, ps)
-	base := (vpn % uint64(t.sets)) * uint64(t.ways)
+	base := t.setBase(vpn)
 	for w := 0; w < t.ways; w++ {
 		e := &t.data[base+uint64(w)]
 		if e.vpn == vpn && e.size == ps {
@@ -135,6 +155,16 @@ func (t *TLB) InvalidatePage(va arch.VAddr, ps arch.PageSize) {
 			e.stamp = 0
 		}
 	}
+}
+
+// Reset returns the TLB to its just-constructed state: every way
+// invalid and the LRU clock back at zero. Unlike Flush, which keeps the
+// clock running (an architectural invalidation mid-run), Reset also
+// rewinds the recency clock so a pooled machine's TLB is
+// indistinguishable from a fresh one.
+func (t *TLB) Reset() {
+	t.Flush()
+	t.clock = 0
 }
 
 // Flush empties the TLB.
@@ -242,6 +272,15 @@ func (h *Hierarchy) FillSTLB(va arch.VAddr, frame arch.PAddr, ps arch.PageSize) 
 func (h *Hierarchy) InvalidatePage(va arch.VAddr, ps arch.PageSize) {
 	h.l1[ps].InvalidatePage(va, ps)
 	h.stlb.InvalidatePage(va, ps)
+}
+
+// Reset returns every array to its just-constructed state (see
+// TLB.Reset for how this differs from Flush).
+func (h *Hierarchy) Reset() {
+	for _, t := range h.l1 {
+		t.Reset()
+	}
+	h.stlb.Reset()
 }
 
 // Flush empties every array.

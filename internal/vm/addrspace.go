@@ -120,6 +120,34 @@ func NewAddrSpaceTables(phys mem.Memory, policy arch.PageSize, pt Tables) (*Addr
 	}, nil
 }
 
+// Reset returns the address space to its just-created state under the
+// given backing policy, reusing the regions slice and promotion map. The
+// caller must reset the underlying physical memory first; Reset then
+// rebuilds the (empty) page table over it. Organizations without a Reset
+// (the hashed table) report an error and the caller falls back to a full
+// rebuild.
+func (as *AddrSpace) Reset(policy arch.PageSize) error {
+	rt, ok := as.pt.(interface{ Reset() error })
+	if !ok {
+		return fmt.Errorf("vm: page-table organization does not support Reset")
+	}
+	if !as.pt.Superpages() && policy != arch.Page4K {
+		return fmt.Errorf("vm: %s backing requires a page-table organization with superpages", policy)
+	}
+	if err := rt.Reset(); err != nil {
+		return err
+	}
+	as.policy = policy
+	as.next = heapBase
+	as.regions = as.regions[:0]
+	as.arena = -1
+	as.arenaOff = 0
+	as.allocated, as.mapped, as.faults = 0, 0, 0
+	clear(as.promoted)
+	as.promotions = 0
+	return nil
+}
+
 // PageTable exposes the address space's page tables (the walker needs
 // the root, tests need the oracle Lookup).
 func (as *AddrSpace) PageTable() Tables { return as.pt }

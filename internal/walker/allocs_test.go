@@ -1,0 +1,33 @@
+package walker
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+)
+
+// TestWalkZeroAllocs pins the single-pass walker's allocation contract:
+// resolving a walk — PSC probe, path resolution, batched PTE charging,
+// completed or budget-aborted — allocates nothing. The per-walk scratch
+// (entry addresses, latencies, hit locations) must stay on the stack.
+func TestWalkZeroAllocs(t *testing.T) {
+	f := newFixture(t)
+	base := arch.VAddr(0x7f00_0000_0000)
+	const pages = 512
+	for i := 0; i < pages; i++ {
+		f.mapPage(t, base+arch.VAddr(i*4096), arch.Page4K)
+	}
+	rng := rand.New(rand.NewSource(1))
+	step := func() {
+		va := base + arch.VAddr(rng.Intn(pages)*4096)
+		f.w.Walk(va, f.pt.Root(), NoBudget)
+		f.w.Walk(va, f.pt.Root(), 5) // budget-abort path
+	}
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Errorf("Walk allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -184,14 +184,32 @@ func (w *Walker) SetTrace(trk *telemetry.Track, clock func() uint64) {
 // Flush implements Engine.
 func (w *Walker) Flush() { w.psc.Flush() }
 
+// Reset returns the walker to its just-constructed state: paging
+// structure caches emptied with their clocks rewound, trace detached.
+func (w *Walker) Reset() {
+	w.psc.Reset()
+	w.trk, w.clock = nil, nil
+}
+
 // InvalidateBlock implements Engine.
 func (w *Walker) InvalidateBlock(va arch.VAddr) {
 	w.psc.InvalidatePrefix(arch.LevelPD, va)
 }
 
+// maxSteps is the longest radix path (five-level paging, PML5 → PT).
+const maxSteps = 5
+
 // Walk resolves va against the page table rooted at cr3. budget bounds the
 // cycles the walk may consume before being aborted (pass NoBudget for
 // demand walks, which always run to completion).
+//
+// The walk is single-pass over the radix path: each level's entry address
+// is computed exactly once, and the path is resolved first with raw
+// physical reads (architecturally invisible — phys.Read64 touches no
+// cache or counter state) before the PTE loads are charged in one
+// Hierarchy.AccessN call. The observable outcome — cache state, PSC
+// contents, latencies, abort point — is identical to the per-level loop
+// it replaced; the flatgold differential tests hold it to that.
 func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 	var r Result
 	if w.trk != nil {
@@ -200,36 +218,69 @@ func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 	}
 	level, base := w.psc.LookupDeepest(va, arch.LevelPT, cr3)
 	r.GuestPSCHit = level != w.psc.Top()
+
+	// Resolve the path: entry addresses, per-step levels, and the frame
+	// each non-terminal step descends into. The path ends at a leaf, a
+	// non-present entry (fault), or never early — budget abortion is
+	// decided by the charging pass below.
+	var (
+		ea     [maxSteps]arch.PAddr
+		frames [maxSteps]arch.PAddr
+		lvls   [maxSteps]arch.Level
+		lat    [maxSteps]uint64
+		loc    [maxSteps]cache.HitLoc
+	)
+	steps, ok := 0, false
+	var leafLevel arch.Level
+	var frame arch.PAddr
 	for {
-		lat, loc := w.caches.Access(pagetable.EntryAddr(base, level, va))
-		r.Cycles += lat + stepOverhead
-		r.Loads++
-		r.GuestLoads++
-		r.Locs[loc]++
-		r.LeafLoc = loc
-		if w.trk != nil {
-			w.trk.Slice(levelName(level), lat+stepOverhead, traceLocArg, locName(loc))
-		}
-		if r.Cycles > budget {
-			w.trk.EndArg(traceOutcome, outcomeAbort)
-			return r // aborted: Completed stays false
-		}
-		e := pagetable.PTE(w.phys.Read64(pagetable.EntryAddr(base, level, va)))
+		a := pagetable.EntryAddr(base, level, va)
+		ea[steps], lvls[steps] = a, level
+		steps++
+		e := pagetable.PTE(w.phys.Read64(a))
 		if !e.Present() {
-			r.Completed = true
-			w.trk.EndArg(traceOutcome, outcomeFault)
-			return r // page fault
+			break // page fault at this step
 		}
 		if e.IsLeaf(level) {
-			r.OK = true
-			r.Completed = true
-			r.Frame = e.Frame()
-			r.Size = sizeAtLevel(level)
-			w.trk.EndArg(traceOutcome, outcomeOK)
-			return r
+			ok, frame, leafLevel = true, e.Frame(), level
+			break
 		}
-		w.psc.Insert(level, va, e.Frame())
+		frames[steps-1] = e.Frame()
 		base = e.Frame()
 		level--
 	}
+
+	// Charge the PTE loads through the cache hierarchy; AccessN stops
+	// after the load that first exceeds the budget, so loads past an
+	// abort never touch cache state.
+	n, cycles := w.caches.AccessN(ea[:steps], stepOverhead, budget, lat[:], loc[:])
+	r.Cycles = cycles
+	r.Loads, r.GuestLoads = n, n
+	for i := 0; i < n; i++ {
+		r.Locs[loc[i]]++
+		if w.trk != nil {
+			w.trk.Slice(levelName(lvls[i]), lat[i]+stepOverhead, traceLocArg, locName(loc[i]))
+		}
+	}
+	r.LeafLoc = loc[n-1]
+	// Every step the walk descended past feeds the paging-structure
+	// caches: that is steps 0..n-2 whether the last performed step
+	// terminated (leaf/fault) or aborted on budget.
+	for i := 0; i+1 < n; i++ {
+		w.psc.Insert(lvls[i], va, frames[i])
+	}
+	if cycles > budget {
+		w.trk.EndArg(traceOutcome, outcomeAbort)
+		return r // aborted: Completed stays false
+	}
+	r.Completed = true
+	if !ok {
+		w.trk.EndArg(traceOutcome, outcomeFault)
+		return r // page fault
+	}
+	r.OK = true
+	r.Frame = frame
+	r.Size = sizeAtLevel(leafLevel)
+	w.trk.EndArg(traceOutcome, outcomeOK)
+	return r
 }

@@ -1,0 +1,193 @@
+// Command benchcmp compares two benchjson documents (schema 1, see
+// scripts/benchjson) and exits nonzero when any benchmark present in
+// both regresses beyond the configured thresholds — the bench-regression
+// gate that keeps the simulator's hot-path speedups from silently
+// rotting.
+//
+// Direct comparison:
+//
+//	go run ./scripts/benchcmp BENCH_old.json BENCH_new.json
+//
+// CI gate (pick the newest committed baseline automatically — the
+// BENCH_*.json in the directory with the latest date field, skipping any
+// recorded at the new document's own sha):
+//
+//	go run ./scripts/benchcmp -baseline-dir . BENCH_new.json
+//
+// ns/op and allocs/op are gated separately: allocations are
+// machine-independent and get a tight default, while wall-clock
+// comparisons across different hardware (CI runners vs the recording
+// box) need headroom — raise -ns-threshold there rather than loosening
+// the allocation gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Benchmark mirrors scripts/benchjson's result schema.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations uint64  `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	BytesOp    int64   `json:"bytes_op"`
+	AllocsOp   int64   `json:"allocs_op"`
+}
+
+// Document mirrors scripts/benchjson's top-level schema.
+type Document struct {
+	Schema     int         `json:"schema"`
+	SHA        string      `json:"sha"`
+	Date       string      `json:"date"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func load(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d (want 1)", path, d.Schema)
+	}
+	if len(d.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &d, nil
+}
+
+// pickBaseline returns the BENCH_*.json in dir with the lexically
+// greatest date field (RFC 3339 UTC sorts chronologically), excluding
+// documents recorded at the new document's own sha — re-running the
+// bench on the baseline commit must not compare a file against itself.
+func pickBaseline(dir string, next *Document) (*Document, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Strings(paths)
+	var best *Document
+	var bestPath string
+	for _, p := range paths {
+		d, err := load(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: skipping %s: %v\n", p, err)
+			continue
+		}
+		if d.SHA == next.SHA {
+			continue
+		}
+		if best == nil || d.Date > best.Date {
+			best, bestPath = d, p
+		}
+	}
+	if best == nil {
+		return nil, "", fmt.Errorf("no usable baseline BENCH_*.json in %s", dir)
+	}
+	return best, bestPath, nil
+}
+
+func main() {
+	var (
+		nsThreshold     = flag.Float64("ns-threshold", 10, "max ns/op regression in percent before failing")
+		allocsThreshold = flag.Float64("allocs-threshold", 10, "max allocs/op regression in percent before failing")
+		baselineDir     = flag.String("baseline-dir", "", "pick the newest BENCH_*.json in this directory as the baseline (then pass only the new file)")
+	)
+	flag.Parse()
+	if err := run(*nsThreshold, *allocsThreshold, *baselineDir, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nsThreshold, allocsThreshold float64, baselineDir string, args []string) error {
+	var old, next *Document
+	var oldPath, nextPath string
+	switch {
+	case baselineDir != "" && len(args) == 1:
+		var err error
+		nextPath = args[0]
+		if next, err = load(nextPath); err != nil {
+			return err
+		}
+		if old, oldPath, err = pickBaseline(baselineDir, next); err != nil {
+			return err
+		}
+	case baselineDir == "" && len(args) == 2:
+		var err error
+		oldPath, nextPath = args[0], args[1]
+		if old, err = load(oldPath); err != nil {
+			return err
+		}
+		if next, err = load(nextPath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: benchcmp [flags] OLD.json NEW.json | benchcmp -baseline-dir DIR NEW.json")
+	}
+
+	fmt.Printf("baseline %s (%s, %s)\n", oldPath, old.SHA, old.Date)
+	fmt.Printf("new      %s (%s, %s)\n\n", nextPath, next.SHA, next.Date)
+	fmt.Printf("%-34s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+
+	byName := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
+	}
+	regressions := 0
+	compared := 0
+	for _, n := range next.Benchmarks {
+		o, ok := byName[n.Name]
+		if !ok {
+			continue // new benchmark: nothing to gate against
+		}
+		compared++
+		nsDelta := pctDelta(o.NsOp, n.NsOp)
+		allocsDelta := 0.0
+		allocsNote := "-"
+		if o.AllocsOp >= 0 && n.AllocsOp >= 0 {
+			allocsDelta = pctDelta(float64(o.AllocsOp), float64(n.AllocsOp))
+			allocsNote = fmt.Sprintf("%+.1f%%", allocsDelta)
+		}
+		mark := ""
+		if nsDelta > nsThreshold {
+			mark, regressions = "  REGRESSION(ns/op)", regressions+1
+		}
+		if o.AllocsOp >= 0 && n.AllocsOp >= 0 && allocsDelta > allocsThreshold {
+			mark, regressions = mark+"  REGRESSION(allocs/op)", regressions+1
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+7.1f%% %10d %10d %8s%s\n",
+			n.Name, o.NsOp, n.NsOp, nsDelta, o.AllocsOp, n.AllocsOp, allocsNote, mark)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", oldPath, nextPath)
+	}
+	fmt.Printf("\n%d benchmarks compared, %d regressions (thresholds: ns/op %+.0f%%, allocs/op %+.0f%%)\n",
+		compared, regressions, nsThreshold, allocsThreshold)
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed", regressions)
+	}
+	return nil
+}
+
+// pctDelta returns (new-old)/old in percent; a zero old value only
+// regresses if new is nonzero.
+func pctDelta(old, next float64) float64 {
+	if old == 0 {
+		if next == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (next - old) / old * 100
+}
