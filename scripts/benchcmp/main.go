@@ -100,16 +100,17 @@ func main() {
 	var (
 		nsThreshold     = flag.Float64("ns-threshold", 10, "max ns/op regression in percent before failing")
 		allocsThreshold = flag.Float64("allocs-threshold", 10, "max allocs/op regression in percent before failing")
+		minNs           = flag.Float64("min-ns", 0, "skip the ns/op gate (allocs/op still applies) when both sides run shorter than this; single-iteration sub-millisecond timings are noise")
 		baselineDir     = flag.String("baseline-dir", "", "pick the newest BENCH_*.json in this directory as the baseline (then pass only the new file)")
 	)
 	flag.Parse()
-	if err := run(*nsThreshold, *allocsThreshold, *baselineDir, flag.Args()); err != nil {
+	if err := run(*nsThreshold, *allocsThreshold, *minNs, *baselineDir, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nsThreshold, allocsThreshold float64, baselineDir string, args []string) error {
+func run(nsThreshold, allocsThreshold, minNs float64, baselineDir string, args []string) error {
 	var old, next *Document
 	var oldPath, nextPath string
 	switch {
@@ -160,7 +161,7 @@ func run(nsThreshold, allocsThreshold float64, baselineDir string, args []string
 			allocsNote = fmt.Sprintf("%+.1f%%", allocsDelta)
 		}
 		mark := ""
-		if nsDelta > nsThreshold {
+		if nsDelta > nsThreshold && (o.NsOp >= minNs || n.NsOp >= minNs) {
 			mark, regressions = "  REGRESSION(ns/op)", regressions+1
 		}
 		if o.AllocsOp >= 0 && n.AllocsOp >= 0 && allocsDelta > allocsThreshold {
