@@ -56,7 +56,7 @@ func TestFacadeRunAndMetrics(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(atscale.Experiments()) != 21 {
+	if len(atscale.Experiments()) != 22 {
 		t.Errorf("experiment registry has %d entries", len(atscale.Experiments()))
 	}
 	exp, err := atscale.ExperimentByID("tables")

@@ -23,6 +23,7 @@ import (
 	"atscale/internal/analysis/eventname"
 	"atscale/internal/analysis/nondet"
 	"atscale/internal/perf"
+	"atscale/internal/scheme"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
 )
@@ -36,6 +37,9 @@ func main() {
 	}
 	for _, s := range workloads.All() {
 		eventname.KnownWorkloads[s.Name()] = true
+	}
+	for _, s := range scheme.Names() {
+		eventname.KnownSchemes[s] = true
 	}
 	analysis.Main(
 		detrange.Analyzer,

@@ -22,6 +22,7 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/core"
 	"atscale/internal/perf"
+	"atscale/internal/scheme"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
 )
@@ -47,6 +48,8 @@ func run() error {
 		virt       = flag.Bool("virt", false, "run under nested paging (guest tables over a host EPT)")
 		guestPages = flag.String("guest-pages", "", "with -virt: guest page size (4KB|2MB|1GB); overrides -pages")
 		eptPages   = flag.String("ept-pages", "4KB", "with -virt: EPT leaf size (4KB|2MB|1GB)")
+		schemeName = flag.String("scheme", "", "translation scheme: "+strings.Join(scheme.Names(), "|")+" (default radix)")
+		numaNodes  = flag.Int("numa-nodes", 0, "NUMA nodes (0/1: UMA; mitosis defaults to 2)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,17 @@ func run() error {
 	} else if *guestPages != "" {
 		return fmt.Errorf("-guest-pages requires -virt (use -pages for the native policy)")
 	}
+	if *schemeName != "" {
+		if _, err := scheme.ByName(*schemeName); err != nil {
+			return err
+		}
+		cfg.System.Scheme = *schemeName
+	}
+	nodes := *numaNodes
+	if nodes == 0 && cfg.System.Scheme == "mitosis" {
+		nodes = 2
+	}
+	cfg.System.NUMA.Nodes = nodes
 
 	if *pages == "all" {
 		return measureAllPages(&cfg, spec, *param)

@@ -36,6 +36,7 @@ import (
 	"atscale/internal/arch"
 	"atscale/internal/core"
 	"atscale/internal/refute"
+	"atscale/internal/scheme"
 	"atscale/internal/telemetry"
 	"atscale/internal/workloads"
 	_ "atscale/internal/workloads/all"
@@ -69,6 +70,8 @@ func run() error {
 		telem      = flag.String("telemetry", "", `live campaign telemetry: "stderr" for JSONL heartbeats, or a listen address (e.g. :8344) for an HTTP /stats endpoint`)
 		refuteOn   = flag.Bool("refute", false, "check the counter-identity registry on every run unit; print the refutation report and exit nonzero on any violation")
 		refuteOut  = flag.String("refute-out", "", "with -refute: also write the refutation report as JSON to this file")
+		schemeName = flag.String("scheme", "", "translation scheme for every simulation: "+strings.Join(scheme.Names(), "|")+" (default radix)")
+		numaNodes  = flag.Int("numa-nodes", 0, "NUMA nodes (0/1: UMA; >1 enables the NUMA memory model and the deterministic migration schedule; mitosis defaults to 2)")
 	)
 	flag.Parse()
 
@@ -151,6 +154,17 @@ func run() error {
 		}
 		cfg.GuestPages = &gp
 	}
+	if *schemeName != "" {
+		if _, err := scheme.ByName(*schemeName); err != nil {
+			return err
+		}
+		cfg.System.Scheme = *schemeName
+	}
+	nodes := *numaNodes
+	if nodes == 0 && cfg.System.Scheme == "mitosis" {
+		nodes = 2 // mitosis is meaningless on UMA; default it to two nodes
+	}
+	cfg.System.NUMA.Nodes = nodes
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}

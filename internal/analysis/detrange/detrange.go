@@ -27,6 +27,7 @@ var Deterministic = []string{
 	"internal/telemetry",
 	"internal/virt",
 	"internal/refute",
+	"internal/scheme",
 }
 
 // Analyzer is the detrange check.

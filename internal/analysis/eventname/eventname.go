@@ -26,7 +26,7 @@ type Target struct {
 	Func string
 	// Arg is the index of the name argument.
 	Arg int
-	// Set chooses the name set: "event" or "workload".
+	// Set chooses the name set: "event", "workload", or "scheme".
 	Set string
 }
 
@@ -37,14 +37,17 @@ var Targets = []Target{
 	{PkgSuffix: "internal/workloads", Func: "ByName", Arg: 0, Set: "workload"},
 	{PkgSuffix: "atscale", Func: "WorkloadByName", Arg: 0, Set: "workload"},
 	{PkgSuffix: "internal/refute", Func: "Ev", Arg: 0, Set: "event"},
+	{PkgSuffix: "internal/scheme", Func: "ByName", Arg: 0, Set: "scheme"},
 }
 
-// KnownEvents and KnownWorkloads are the valid name sets. When a set is
-// empty the corresponding targets are skipped — the analyzer refuses to
-// guess. cmd/atlint fills both from the live registries.
+// KnownEvents, KnownWorkloads, and KnownSchemes are the valid name
+// sets. When a set is empty the corresponding targets are skipped — the
+// analyzer refuses to guess. cmd/atlint fills them from the live
+// registries.
 var (
 	KnownEvents    = map[string]bool{}
 	KnownWorkloads = map[string]bool{}
+	KnownSchemes   = map[string]bool{}
 )
 
 // Analyzer is the eventname check.
@@ -69,8 +72,11 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			set := KnownEvents
-			if t.Set == "workload" {
+			switch t.Set {
+			case "workload":
 				set = KnownWorkloads
+			case "scheme":
+				set = KnownSchemes
 			}
 			if len(set) == 0 {
 				return true

@@ -124,6 +124,81 @@ func DefaultVirt() VirtConfig {
 	}
 }
 
+// NUMAConfig adds a NUMA node dimension to the simulated machine:
+// physical memory splits into per-node regions, walker PTE loads that
+// reach DRAM on a remote node pay an extra latency, and the core
+// migrates between nodes on a deterministic round-robin schedule. The
+// zero value is a UMA machine, byte-identical to the pre-NUMA model.
+type NUMAConfig struct {
+	// Nodes is the number of NUMA nodes; 0 or 1 means UMA.
+	Nodes int
+	// RemoteLatency is the extra cycle cost of a DRAM access homed on a
+	// node other than the accessing core's; 0 selects the default.
+	RemoteLatency uint64
+	// MigrateEvery is the number of retired memory accesses between
+	// deterministic round-robin node migrations; 0 selects the default.
+	MigrateEvery uint64
+}
+
+// Default NUMA parameters: the remote-access penalty approximates one
+// QPI hop on the modelled Haswell-EP (≈60 ns at 2.5 GHz over the local
+// ≈85 ns), and the migration period keeps several migrations inside a
+// typical measured region without dominating it.
+const (
+	DefaultNUMARemoteLatency = 150
+	DefaultNUMAMigrateEvery  = 200_000
+	// MaxNUMANodes bounds Nodes in Validate (the model is single-core;
+	// nodes beyond a few sockets have no modelled meaning).
+	MaxNUMANodes = 8
+)
+
+// EffectiveNodes returns the node count with the UMA zero value
+// normalized to 1. Callers must use this instead of Nodes so the zero
+// value stays untouched in the config struct — struct equality keys the
+// campaign machine pool.
+func (n NUMAConfig) EffectiveNodes() int {
+	if n.Nodes < 1 {
+		return 1
+	}
+	return n.Nodes
+}
+
+// EffectiveRemoteLatency returns the remote-DRAM penalty with the zero
+// value defaulted.
+func (n NUMAConfig) EffectiveRemoteLatency() uint64 {
+	if n.RemoteLatency == 0 {
+		return DefaultNUMARemoteLatency
+	}
+	return n.RemoteLatency
+}
+
+// EffectiveMigrateEvery returns the migration period with the zero
+// value defaulted.
+func (n NUMAConfig) EffectiveMigrateEvery() uint64 {
+	if n.MigrateEvery == 0 {
+		return DefaultNUMAMigrateEvery
+	}
+	return n.MigrateEvery
+}
+
+// SchemeParams tunes the non-radix translation-scheme backends
+// (internal/scheme). Zero values select per-scheme defaults; like
+// NUMAConfig, the zero value must stay zero in the struct so pool
+// keying by struct equality keeps working.
+type SchemeParams struct {
+	// VictimaEntries sizes the Victima PTE-block directory (number of
+	// cached PTE blocks).
+	VictimaEntries int
+	// DRAMCacheBytes sizes the die-stacked DRAM cache.
+	DRAMCacheBytes uint64
+	// DRAMCacheHitLatency is the access latency of a DRAM-cache hit
+	// (replacing the off-package DRAM latency).
+	DRAMCacheHitLatency uint64
+	// DRAMCacheMissPenalty is the extra latency of probing the DRAM
+	// cache and missing, on top of the off-package DRAM access.
+	DRAMCacheMissPenalty uint64
+}
+
 // SystemConfig describes the whole simulated machine. The zero value is not
 // usable; start from DefaultSystem().
 type SystemConfig struct {
@@ -151,6 +226,19 @@ type SystemConfig struct {
 
 	// PSC sizes the paging-structure caches.
 	PSC PSCGeometry
+
+	// Scheme selects the translation-scheme backend (internal/scheme):
+	// "" or "radix" (default; byte-identical to the hard-wired walker),
+	// "victima", "mitosis", or "dramcache". Nested-paging and hashed
+	// machines predate the scheme seam and ignore it.
+	Scheme string
+
+	// NUMA configures the NUMA node dimension; the zero value is UMA.
+	NUMA NUMAConfig
+
+	// SchemeParams tunes the non-radix scheme backends; zero values pick
+	// per-scheme defaults.
+	SchemeParams SchemeParams
 
 	// TLBPrefetchNextPage enables the research-extension next-page TLB
 	// prefetcher: each demand walk for page P also walks P+1 and
@@ -263,6 +351,32 @@ func (c *SystemConfig) Validate() error {
 	}
 	if c.PageTable == "hashed" && c.PagingLevels != 4 {
 		return errf("hashed page tables pair with PagingLevels=4")
+	}
+	// Scheme *names* are validated by the scheme registry at machine
+	// construction (the registry is the single source of truth); the
+	// config layer only rejects combinations no scheme can support.
+	if c.Scheme != "" && c.Scheme != "radix" {
+		if c.Virt.Enabled {
+			return errf("translation scheme %q pairs with native (non-virtualized) machines", c.Scheme)
+		}
+		if c.PageTable == "hashed" {
+			return errf("translation scheme %q pairs with radix page tables", c.Scheme)
+		}
+	}
+	if c.NUMA.Nodes < 0 || c.NUMA.Nodes > MaxNUMANodes {
+		return errf("NUMA.Nodes must be in [0, %d], got %d", MaxNUMANodes, c.NUMA.Nodes)
+	}
+	if c.NUMA.Nodes > 1 {
+		if c.Virt.Enabled {
+			return errf("NUMA pairs with native (non-virtualized) machines")
+		}
+		if c.PageTable == "hashed" {
+			return errf("NUMA pairs with radix page tables")
+		}
+		if c.PhysMemBytes/uint64(c.NUMA.Nodes) < GB {
+			return errf("PhysMemBytes %d too small for %d NUMA nodes (need >= 1GB per node)",
+				c.PhysMemBytes, c.NUMA.Nodes)
+		}
 	}
 	if c.Virt.Enabled {
 		if c.PagingLevels != 4 {

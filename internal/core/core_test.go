@@ -154,7 +154,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	if _, err := ExperimentByID("fig99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	want = append(want, "promo", "hashedpt", "xsweep", "stability", "virt", "wcpi", "refute")
+	want = append(want, "promo", "hashedpt", "xsweep", "stability", "virt", "wcpi", "refute", "schemes")
 	if len(Experiments()) != len(want) {
 		t.Errorf("registry has %d entries, want %d", len(Experiments()), len(want))
 	}

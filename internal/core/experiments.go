@@ -85,6 +85,7 @@ func Experiments() []Experiment {
 		{"virt", "Extension: nested paging — native-vs-nested sweep, page-size matrix, multi-tenant EPT sharing", wrap(VirtExperiment)},
 		{"wcpi", "Headline WCPI ladder for bc-urand (shares fig5's sweep; pairs with -timeline)", wrap(WCPIExperiment)},
 		{"refute", "Adversarial counter-identity sweep: perturb page sizes, virt, walker, promotion, sampling, tenants and hunt invariant breakage", wrap(RefuteExperiment)},
+		{"schemes", "Extension: translation-scheme matrix — radix vs Victima vs Mitosis vs die-stacked DRAM cache, identity-audited", wrap(SchemesExperiment)},
 	}
 }
 

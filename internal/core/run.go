@@ -315,6 +315,12 @@ func unitName(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSi
 	if cfg.System.PagingLevels != 0 && cfg.System.PagingLevels != 4 {
 		name += fmt.Sprintf(" +lvl%d", cfg.System.PagingLevels)
 	}
+	if cfg.System.Scheme != "" && cfg.System.Scheme != "radix" {
+		name += " +" + cfg.System.Scheme
+	}
+	if n := cfg.System.NUMA.EffectiveNodes(); n > 1 {
+		name += fmt.Sprintf(" +numa%d", n)
+	}
 	return name + cfg.UnitTag
 }
 

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+	"atscale/internal/refute"
+	"atscale/internal/scheme"
+	"atscale/internal/workloads"
+)
+
+// This file drives the translation-scheme comparison matrix: the paper's
+// scaling methodology (WCPI vs footprint) applied across the pluggable
+// backends of internal/scheme. Each proposal attacks a different term of
+// the Equation 1 decomposition — Victima shrinks walker loads per walk
+// by caching PTE blocks in SRAM, Mitosis removes the NUMA interconnect
+// from the cycles-per-walker-load term, a die-stacked DRAM cache shrinks
+// the DRAM component of the same term — so sweeping them over one
+// footprint ladder shows which mechanisms bend the scaling curve and
+// where. Every unit is additionally held to the merged refute registry
+// (base identities plus every scheme's guarded identities), so the
+// comparison is self-auditing: a backend that miscounts its own
+// mechanism fails the experiment rather than mis-plotting it.
+
+// schemeSweepWorkloads are the matrix's workload dimension: the
+// footprint-controllable uniform stream and the translation-bound
+// random-access kernel.
+var schemeSweepWorkloads = []string{"uniform-synth", "gups-rand"}
+
+// schemeSweepPages is the page-size dimension (1 GB adds little here:
+// the schemes differentiate on walks, which 1 GB heaps mostly remove).
+var schemeSweepPages = []arch.PageSize{arch.Page4K, arch.Page2M}
+
+// schemeVariant is one column of the comparison matrix.
+type schemeVariant struct {
+	name   string // column label
+	scheme string // arch.SystemConfig.Scheme
+	nodes  int    // NUMA nodes (0 = UMA)
+}
+
+// schemeVariants enumerates the matrix columns: the UMA radix baseline,
+// the no-replication NUMA baseline Mitosis is judged against, and the
+// three proposals.
+func schemeVariants() []schemeVariant {
+	return []schemeVariant{
+		{name: "radix", scheme: "radix"},
+		{name: "radix-numa2", scheme: "radix", nodes: 2},
+		{name: "victima", scheme: "victima"},
+		{name: "mitosis", scheme: "mitosis", nodes: 2},
+		{name: "dramcache", scheme: "dramcache"},
+	}
+}
+
+// schemeUnit is one cell of the flattened sweep.
+type schemeUnit struct {
+	vi, wi, pi, si int
+	spec           *workloads.Spec
+	param          uint64
+	ps             arch.PageSize
+}
+
+// SchemeRow is one (workload, footprint, page size) row of the WCPI
+// matrix, one column per variant.
+type SchemeRow struct {
+	Workload  string
+	Footprint uint64
+	PageSize  arch.PageSize
+	WCPI      []float64 // indexed like SchemesResult.Variants
+}
+
+// SchemeMechanics aggregates one variant's mechanism counters over a
+// workload's whole ladder (all footprints, one page size).
+type SchemeMechanics struct {
+	Variant  string
+	Workload string
+	PageSize arch.PageSize
+
+	LoadsPerWalk float64
+	// BlockHitRate is Victima's PTE-block directory hit rate (NaN-free:
+	// zero when the scheme never probes).
+	BlockHitRate float64
+	// ReplicaLocalFrac is the fraction of Mitosis walks served without
+	// crossing the interconnect.
+	ReplicaLocalFrac float64
+	// DRAMCacheHitRate is the stacked die's tag hit rate over
+	// SRAM-missing walker loads.
+	DRAMCacheHitRate float64
+	// Migrations counts the deterministic NUMA thread migrations.
+	Migrations uint64
+}
+
+// SchemesResult is the comparison dataset.
+type SchemesResult struct {
+	Variants  []string
+	Rows      []SchemeRow
+	Mechanics []SchemeMechanics
+	// Refute is the merged identity report over every unit (base
+	// registry plus all scheme identities).
+	Refute *refute.Report
+}
+
+// SchemesExperiment sweeps scheme x workload x footprint x page size on
+// the session's machine pool and checks the merged identity registry on
+// every unit. Identity violations fail the experiment: a scheme whose
+// accounting cannot survive its own declared invariants has no business
+// in the comparison.
+func SchemesExperiment(s *Session) (*SchemesResult, error) {
+	variants := schemeVariants()
+	base := s.Config()
+
+	// One checker per variant so breakage attributes to a backend; all
+	// share the merged registry so reports merge into one verdict.
+	merged := append(refute.Identities(), scheme.AllIdentities()...)
+	checkers := make([]*refute.Checker, len(variants))
+	cfgs := make([]*RunConfig, len(variants))
+	for vi, v := range variants {
+		cfg := s.Config()
+		cfg.System.Scheme = v.scheme
+		cfg.System.NUMA.Nodes = v.nodes
+		checkers[vi] = refute.NewChecker(merged...)
+		cfg.Refute = checkers[vi]
+		cfgs[vi] = &cfg
+	}
+
+	// Flatten the matrix into slot-indexed units: the schedule (and so
+	// the tables and the refute report) is identical serial or parallel.
+	var units []schemeUnit
+	for wi, wname := range schemeSweepWorkloads {
+		spec, err := workloads.ByName(wname)
+		if err != nil {
+			return nil, err
+		}
+		for pi, param := range spec.Sizes(base.Preset) {
+			for si, ps := range schemeSweepPages {
+				for vi := range variants {
+					units = append(units, schemeUnit{vi: vi, wi: wi, pi: pi, si: si,
+						spec: spec, param: param, ps: ps})
+				}
+			}
+		}
+	}
+	results := make([]RunResult, len(units))
+	err := forEachUnit(&base, len(units), func(i int) error {
+		u := &units[i]
+		rr, err := Run(cfgs[u.vi], u.spec, u.param, u.ps)
+		if err != nil {
+			return fmt.Errorf("scheme variant %s: %w", variants[u.vi].name, err)
+		}
+		results[i] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SchemesResult{}
+	for _, v := range variants {
+		res.Variants = append(res.Variants, v.name)
+	}
+
+	// WCPI matrix rows, in unit declaration order (variants fill the
+	// columns of one row).
+	rowIdx := map[[3]int]int{}
+	for i := range units {
+		u := &units[i]
+		key := [3]int{u.wi, u.pi, u.si}
+		ri, ok := rowIdx[key]
+		if !ok {
+			ri = len(res.Rows)
+			rowIdx[key] = ri
+			res.Rows = append(res.Rows, SchemeRow{
+				Workload:  results[i].Workload,
+				Footprint: results[i].Footprint,
+				PageSize:  u.ps,
+				WCPI:      make([]float64, len(variants)),
+			})
+		}
+		res.Rows[ri].WCPI[u.vi] = results[i].Metrics.WCPI
+	}
+
+	// Mechanism aggregates: sum counters over each (variant, workload,
+	// page size) ladder, then derive the rates.
+	type aggKey struct{ vi, wi, si int }
+	agg := map[aggKey]*perf.Counters{}
+	var aggOrder []aggKey
+	for i := range units {
+		u := &units[i]
+		k := aggKey{u.vi, u.wi, u.si}
+		c, ok := agg[k]
+		if !ok {
+			c = &perf.Counters{}
+			agg[k] = c
+			aggOrder = append(aggOrder, k)
+		}
+		for _, e := range perf.Events() {
+			c.Add(e, results[i].Counters.Get(e))
+		}
+	}
+	for _, k := range aggOrder {
+		c := agg[k]
+		walks := c.Get(perf.DTLBLoadWalkCompleted) + c.Get(perf.DTLBStoreWalkCompleted)
+		loads := c.Get(perf.WalkerLoadsL1) + c.Get(perf.WalkerLoadsL2) +
+			c.Get(perf.WalkerLoadsL3) + c.Get(perf.WalkerLoadsMem)
+		res.Mechanics = append(res.Mechanics, SchemeMechanics{
+			Variant:          variants[k.vi].name,
+			Workload:         schemeSweepWorkloads[k.wi],
+			PageSize:         schemeSweepPages[k.si],
+			LoadsPerWalk:     ratioOrZero(loads, walks),
+			BlockHitRate:     ratioOrZero(c.Get(perf.SchemeBlockHits), c.Get(perf.SchemeBlockHits)+c.Get(perf.SchemeBlockMisses)),
+			ReplicaLocalFrac: ratioOrZero(c.Get(perf.ReplicaLocalWalks), c.Get(perf.ReplicaLocalWalks)+c.Get(perf.ReplicaRemoteWalks)),
+			DRAMCacheHitRate: ratioOrZero(c.Get(perf.DRAMCacheHits), c.Get(perf.DRAMCacheHits)+c.Get(perf.DRAMCacheMisses)),
+			Migrations:       c.Get(perf.NUMAMigrations),
+		})
+	}
+
+	reports := make([]*refute.Report, len(checkers))
+	violations := 0
+	for vi, ch := range checkers {
+		reports[vi] = ch.Report()
+		for i := range reports[vi].Identities {
+			violations += reports[vi].Identities[i].Violations
+		}
+	}
+	res.Refute = refute.MergeReports(reports...)
+	if violations > 0 {
+		return nil, fmt.Errorf("core: schemes matrix broke %d identity check(s):\n%s",
+			violations, res.Refute.Render())
+	}
+	return res, nil
+}
+
+// ratioOrZero is a/b with 0 (not NaN) for an empty denominator, so
+// mechanism rates render cleanly for schemes that never engage one.
+func ratioOrZero(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Tables renders the WCPI matrix and the mechanism aggregates.
+func (r *SchemesResult) Tables() []*Table {
+	cols := append([]string{"workload", "footprint", "pages"}, r.Variants...)
+	t1 := NewTable("Schemes: WCPI by translation scheme (lower is better)", cols...)
+	for _, row := range r.Rows {
+		cells := []string{row.Workload, arch.FormatBytes(row.Footprint), row.PageSize.String()}
+		for _, w := range row.WCPI {
+			cells = append(cells, f(w, 4))
+		}
+		t1.Row(cells...)
+	}
+	t2 := NewTable("Schemes: mechanism engagement per (variant, workload) ladder",
+		"variant", "workload", "pages", "loads/walk", "block-hit", "replica-local", "dc-hit", "migrations")
+	for _, m := range r.Mechanics {
+		t2.Row(m.Variant, m.Workload, m.PageSize.String(),
+			f(m.LoadsPerWalk, 2), f(m.BlockHitRate, 3), f(m.ReplicaLocalFrac, 3),
+			f(m.DRAMCacheHitRate, 3), fmt.Sprint(m.Migrations))
+	}
+	t3 := NewTable("Schemes: identity verdicts over the whole matrix",
+		"identity", "scope", "verdict", "checked", "skipped", "violated")
+	if r.Refute != nil {
+		for i := range r.Refute.Identities {
+			ir := &r.Refute.Identities[i]
+			verdict := "HOLDS"
+			switch {
+			case ir.Checked == 0:
+				verdict = "skip"
+			case !ir.Holds():
+				verdict = "BREAKS"
+			}
+			t3.Row(ir.Name, ir.Scope, verdict, fmt.Sprint(ir.Checked),
+				fmt.Sprint(ir.Skipped), fmt.Sprint(ir.Violations))
+		}
+	}
+	return []*Table{t1, t2, t3}
+}
+
+// Render emits the matrix tables.
+func (r *SchemesResult) Render() string { return RenderTables(r.Tables(), "") }

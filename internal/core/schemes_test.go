@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSchemesExperiment runs the matrix at the tiny preset: every
+// variant builds, every merged identity holds (a violation fails the
+// experiment with an error), and the parallel schedule renders
+// byte-identically to the serial one.
+func TestSchemesExperiment(t *testing.T) {
+	serialCfg := testConfig()
+	serialCfg.Parallelism = 1
+	// The tiny budget never reaches the default 200k-access migration
+	// cadence; tighten it so the NUMA variants actually migrate.
+	serialCfg.System.NUMA.MigrateEvery = 20_000
+	serial, err := SchemesExperiment(NewSession(serialCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Variants) != len(schemeVariants()) {
+		t.Fatalf("variants = %v", serial.Variants)
+	}
+	if len(serial.Rows) == 0 || len(serial.Mechanics) == 0 {
+		t.Fatal("empty matrix")
+	}
+	out := serial.Render()
+	for _, needle := range []string{"radix", "radix-numa2", "victima", "mitosis", "dramcache",
+		"victima_probe_conservation", "replica_walk_partition", "dramcache_mem_partition"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+	if strings.Contains(out, "BREAKS") {
+		t.Errorf("identity verdict BREAKS in:\n%s", out)
+	}
+
+	// Every WCPI cell must be populated for translation-bound units; the
+	// 4K gups rows in particular cannot be zero across the board.
+	sawNonZero := false
+	for _, row := range serial.Rows {
+		if len(row.WCPI) != len(serial.Variants) {
+			t.Fatalf("row %v has %d cells", row, len(row.WCPI))
+		}
+		for _, w := range row.WCPI {
+			if w > 0 {
+				sawNonZero = true
+			}
+		}
+	}
+	if !sawNonZero {
+		t.Error("all WCPI cells zero")
+	}
+
+	// Mechanism engagement: each proposal's counters must actually move
+	// somewhere in the matrix, or the comparison compares nothing.
+	var blockHit, replicaSeen, dcSeen, migrated bool
+	for _, m := range serial.Mechanics {
+		if m.Variant == "victima" && m.BlockHitRate > 0 {
+			blockHit = true
+		}
+		if m.Variant == "mitosis" && m.ReplicaLocalFrac > 0 {
+			replicaSeen = true
+		}
+		if m.Variant == "dramcache" && m.DRAMCacheHitRate >= 0 && m.LoadsPerWalk > 0 {
+			dcSeen = true
+		}
+		if (m.Variant == "mitosis" || m.Variant == "radix-numa2") && m.Migrations > 0 {
+			migrated = true
+		}
+	}
+	if !blockHit || !replicaSeen || !dcSeen || !migrated {
+		t.Errorf("mechanisms unengaged: blockHit=%v replica=%v dc=%v migrated=%v\n%s",
+			blockHit, replicaSeen, dcSeen, migrated, out)
+	}
+
+	parCfg := testConfig()
+	parCfg.Parallelism = 4
+	parCfg.System.NUMA.MigrateEvery = 20_000
+	parallel, err := SchemesExperiment(NewSession(parCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pout := parallel.Render(); pout != out {
+		t.Errorf("parallel render differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", out, pout)
+	}
+}

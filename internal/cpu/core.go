@@ -202,6 +202,11 @@ func (c *Core) InvalidatePDE(va arch.VAddr) {
 // behalf (promotion copies, for instance).
 func (c *Core) Stall(cycles uint64) { c.charge(float64(cycles)) }
 
+// FlushTLBs drops every TLB level without touching CR3 or the walker —
+// the cold-TLB cost of landing on a different core after a thread
+// migration (walk-cache scopes are the translation scheme's to flush).
+func (c *Core) FlushTLBs() { c.tlbs.Flush() }
+
 // CountSoftware books a software event (OS-level occurrences such as
 // hugepage promotions) into the PMU alongside the hardware events.
 func (c *Core) CountSoftware(e perf.Event, n uint64) { c.ctr.Add(e, n) }
@@ -308,6 +313,7 @@ func (c *Core) demandWalk(va arch.VAddr, isStore bool) (arch.PAddr, arch.PageSiz
 		}
 	}
 	c.countWalkCompleted(isStore)
+	c.countReplicaWalk(wr)
 	c.lastWalkCycles, c.lastWalkLevel = walkCycles, pteLevel(wr.LeafLoc)
 	c.sampleWalk(isStore, va, walkCycles, eptCycles, wr.LeafLoc, perf.OutcomeRetired)
 	c.tlbs.Fill(va, wr.Frame, wr.Size)
@@ -408,6 +414,7 @@ func (c *Core) wrongPathAccess(budget uint64) {
 			return // aborted: initiated but never completed
 		}
 		c.countWalkCompleted(false)
+		c.countReplicaWalk(wr)
 		c.sampleWalk(false, va, wr.Cycles, wr.EPTCycles, wr.LeafLoc, perf.OutcomeWrongPath)
 		if c.trk != nil {
 			c.trk.Sync(c.CycleCount())
@@ -612,6 +619,20 @@ func (c *Core) accountWalk(isStore bool, wr walker.Result) {
 	c.ctr.Add(perf.WalkerLoadsL3, uint64(wr.Locs[cache.HitL3]))
 	c.ctr.Add(perf.WalkerLoadsMem, uint64(wr.Locs[cache.HitMem]))
 
+	// Scheme dimension (all zero for the built-in engines). Block probes
+	// count per Walk call — the fault-retry walk probes again, exactly
+	// like its PTE loads are re-charged — while the DRAM-cache split
+	// rides the per-load Locs accounting it partitions.
+	if wr.BlockProbed {
+		if wr.BlockHit {
+			c.ctr.Inc(perf.SchemeBlockHits)
+		} else {
+			c.ctr.Inc(perf.SchemeBlockMisses)
+		}
+	}
+	c.ctr.Add(perf.DRAMCacheHits, uint64(wr.DCHits))
+	c.ctr.Add(perf.DRAMCacheMisses, uint64(wr.DCMisses))
+
 	// EPT dimension (all zero for native walks).
 	c.ctr.Add(perf.EPTMissWalk, uint64(wr.NTLBMisses))
 	c.ctr.Add(perf.EPTWalkCompleted, uint64(wr.EPTWalks))
@@ -636,6 +657,20 @@ func (c *Core) countWalkCompleted(isStore bool) {
 		c.ctr.Inc(perf.DTLBStoreWalkCompleted)
 	} else {
 		c.ctr.Inc(perf.DTLBLoadWalkCompleted)
+	}
+}
+
+// countReplicaWalk classifies a completed walk under page-table
+// replication. It sits exactly beside countWalkCompleted (demand walks
+// count once, after the fault retry; aborted wrong-path walks never
+// reach it), giving the scheme identity
+// replica_local_walks + replica_remote_walks == walk_completed.
+func (c *Core) countReplicaWalk(wr walker.Result) {
+	switch wr.Replica {
+	case walker.ReplicaLocal:
+		c.ctr.Inc(perf.ReplicaLocalWalks)
+	case walker.ReplicaRemote:
+		c.ctr.Inc(perf.ReplicaRemoteWalks)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"atscale/internal/mmucache"
 	"atscale/internal/pagetable"
 	"atscale/internal/perf"
+	"atscale/internal/scheme"
 	"atscale/internal/telemetry"
 	"atscale/internal/tlb"
 	"atscale/internal/virt"
@@ -35,6 +36,13 @@ type Machine struct {
 	as     *vm.AddrSpace
 	core   *cpu.Core
 	engine walker.Engine
+
+	// inst is the translation-scheme instance behind engine on native
+	// non-hashed machines (nil under virt/hashed, which predate the
+	// scheme seam); migr, when non-nil, drives the deterministic NUMA
+	// thread-migration schedule through it.
+	inst scheme.Instance
+	migr *migrateState
 
 	// Virtualization layer (nil on native machines). All tenants share
 	// hyp's EPT; as always aliases tenants[tenant].
@@ -106,7 +114,7 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 	}
 	m := &Machine{cfg: cfg}
 	m.quietInvalidate()
-	m.phys = mem.NewPhys(cfg.PhysMemBytes)
+	m.phys = mem.NewPhysNUMA(cfg.PhysMemBytes, cfg.NUMA.EffectiveNodes())
 	caches := cache.NewHierarchy(&m.cfg)
 
 	var as *vm.AddrSpace
@@ -143,8 +151,22 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 		as, err = vm.NewAddrSpaceTables(m.phys, policy, ht)
 		engine = walker.NewHashed(m.phys, caches, ht)
 	} else {
+		// Native radix machines go through the translation-scheme seam:
+		// the configured scheme builds the walk engine over the shared
+		// physical memory and data-cache hierarchy.
+		sch, serr := scheme.ByName(cfg.Scheme)
+		if serr != nil {
+			return nil, fmt.Errorf("machine: %w", serr)
+		}
 		as, err = vm.NewAddrSpaceDepth(m.phys, policy, cfg.PagingLevels)
-		engine = walker.New(m.phys, mmucache.NewWithDepth(m.cfg.PSC, m.cfg.PagingLevels), caches)
+		if err == nil {
+			inst, berr := sch.Build(scheme.Deps{Cfg: &m.cfg, Phys: m.phys, Caches: caches})
+			if berr != nil {
+				return nil, fmt.Errorf("machine: %w", berr)
+			}
+			m.inst = inst
+			engine = inst
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
@@ -157,16 +179,50 @@ func New(cfg arch.SystemConfig, policy arch.PageSize, seed int64) (*Machine, err
 	if m.hyp != nil {
 		m.tenants = []*vm.AddrSpace{as}
 	}
+	if mg, ok := engine.(scheme.Migratory); ok && cfg.NUMA.EffectiveNodes() > 1 {
+		every := cfg.NUMA.EffectiveMigrateEvery()
+		m.migr = &migrateState{inst: mg, every: every, next: every, nodes: mg.Nodes()}
+	}
 	return m, nil
 }
 
-// Poolable reports whether Renew can recycle this machine: native radix
-// paging only. Nested and hashed machines carry organization-specific
-// state (EPTs, hashed buckets) and are rebuilt instead.
-func (m *Machine) Poolable() bool {
-	_, ok := m.engine.(*walker.Walker)
-	return ok
+// migrateState drives the deterministic round-robin NUMA migration
+// schedule: after every `every` retired memory accesses the thread hops
+// to the next node, flushing its TLBs and per-core walk caches and
+// stalling for the OS reschedule cost.
+type migrateState struct {
+	inst  scheme.Migratory
+	every uint64
+	next  uint64
+	node  int
+	nodes int
 }
+
+// migrateStallCycles is the modelled OS cost of a thread migration
+// (deschedule, cross-node reschedule, cold-start bookkeeping).
+const migrateStallCycles = 2000
+
+// maybeMigrate sits on the retired-access path of NUMA machines; a nil
+// check otherwise.
+func (m *Machine) maybeMigrate() {
+	if m.migr == nil || m.core.Accesses() < m.migr.next {
+		return
+	}
+	m.migr.next += m.migr.every
+	m.migr.node = (m.migr.node + 1) % m.migr.nodes
+	m.migr.inst.SetNode(m.migr.node)
+	m.core.FlushTLBs()
+	m.core.CountSoftware(perf.NUMAMigrations, 1)
+	m.core.Stall(migrateStallCycles)
+}
+
+// Poolable reports whether Renew can recycle this machine: any
+// scheme-built native machine (the pool keys on the full SystemConfig,
+// scheme identity and NUMA shape included, so a renewed machine is only
+// ever handed to an identical configuration). Nested and hashed
+// machines carry organization-specific state (EPTs, hashed buckets) and
+// are rebuilt instead.
+func (m *Machine) Poolable() bool { return m.inst != nil }
 
 // Renew returns the machine to the state New(cfg, policy, seed) would
 // have produced, reusing the expensive long-lived state — cache and TLB
@@ -177,15 +233,18 @@ func (m *Machine) Poolable() bool {
 // to that). It reports false — leaving the machine unusable — for
 // non-poolable machines.
 func (m *Machine) Renew(policy arch.PageSize, seed int64) bool {
-	w, ok := m.engine.(*walker.Walker)
-	if !ok {
+	if m.inst == nil {
 		return false
 	}
 	m.phys.Reset()
 	if err := m.as.Reset(policy); err != nil {
 		return false
 	}
-	w.Reset()
+	m.inst.Reset()
+	if m.migr != nil {
+		m.migr.next = m.migr.every
+		m.migr.node = 0
+	}
 	m.core.Reset(seed)
 	m.core.SetAddressSpace(m.as.PageTable().Root(), m.as.HandleFault)
 	m.quietInvalidate()
@@ -299,6 +358,7 @@ func (m *Machine) Load64(va arch.VAddr) uint64 {
 		m.tracer.Load(va)
 	}
 	m.maybePromote()
+	m.maybeMigrate()
 	pa := m.core.Load(va)
 	m.intervalTick()
 	return m.phys.Read64(pa)
@@ -310,6 +370,7 @@ func (m *Machine) Store64(va arch.VAddr, v uint64) {
 		m.tracer.Store(va)
 	}
 	m.maybePromote()
+	m.maybeMigrate()
 	pa := m.core.Store(va)
 	m.intervalTick()
 	m.phys.Write64(pa, v)
@@ -352,13 +413,15 @@ func (m *Machine) EnableTrace(tr *telemetry.Tracer, unit string) {
 	}
 	p := tr.Process(unit)
 	clock := m.core.CycleCount
-	switch e := m.engine.(type) {
-	case *walker.Walker:
-		e.SetTrace(p.Track("walker"), clock)
-	case *walker.Nested:
-		e.SetTrace(p.Track("walker (guest)"), p.Track("walker (ept)"), clock)
-	case *walker.Hashed:
-		e.SetTrace(p.Track("walker"), clock)
+	if m.inst != nil {
+		m.inst.EnableTrace(p, clock)
+	} else {
+		switch e := m.engine.(type) {
+		case *walker.Nested:
+			e.SetTrace(p.Track("walker (guest)"), p.Track("walker (ept)"), clock)
+		case *walker.Hashed:
+			e.SetTrace(p.Track("walker"), clock)
+		}
 	}
 	m.core.SetTrace(p.Track("speculation"))
 	m.phaseTrk = p.Track("phases")

@@ -1,0 +1,159 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"atscale/internal/arch"
+	"atscale/internal/perf"
+)
+
+// schemeTestConfigs enumerates one config per translation scheme, NUMA
+// variants included.
+func schemeTestConfigs() map[string]arch.SystemConfig {
+	radix := arch.DefaultSystem()
+
+	numa := arch.DefaultSystem()
+	numa.NUMA.Nodes = 2
+	numa.NUMA.MigrateEvery = 10_000
+
+	victima := arch.DefaultSystem()
+	victima.Scheme = "victima"
+
+	mitosis := arch.DefaultSystem()
+	mitosis.Scheme = "mitosis"
+	mitosis.NUMA.Nodes = 2
+	mitosis.NUMA.MigrateEvery = 10_000
+
+	dram := arch.DefaultSystem()
+	dram.Scheme = "dramcache"
+
+	return map[string]arch.SystemConfig{
+		"radix": radix, "radix-numa2": numa, "victima": victima,
+		"mitosis": mitosis, "dramcache": dram,
+	}
+}
+
+func runSchemeWorkload(m *Machine, seed int64) perf.Counters {
+	rng := rand.New(rand.NewSource(seed))
+	va := m.MustMalloc(16 * arch.MB)
+	words := uint64(16 * arch.MB / 8)
+	for i := 0; i < 25000; i++ {
+		off := arch.VAddr(rng.Uint64() % words * 8)
+		switch rng.Intn(4) {
+		case 0:
+			m.Store64(va+off, rng.Uint64())
+		case 1:
+			m.Ops(3)
+		case 2:
+			m.Branch(uint64(off)&0xffff, rng.Intn(3) == 0)
+		default:
+			m.Load64(va + off)
+		}
+	}
+	return m.Counters()
+}
+
+// TestRenewMatchesFreshPerScheme extends the machine-pool contract to
+// every scheme backend: a renewed machine under any scheme must be
+// byte-identical to a freshly built one, even after previously running a
+// different policy and seed.
+func TestRenewMatchesFreshPerScheme(t *testing.T) {
+	for name, cfg := range schemeTestConfigs() {
+		t.Run(name, func(t *testing.T) {
+			fresh, err := New(cfg, arch.Page2M, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runSchemeWorkload(fresh, 3)
+
+			pooled, err := New(cfg, arch.Page4K, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pooled.Poolable() {
+				t.Fatalf("%s machine not poolable", name)
+			}
+			runSchemeWorkload(pooled, 11) // dirty every subsystem
+			if !pooled.Renew(arch.Page2M, 7) {
+				t.Fatal("Renew failed on a poolable machine")
+			}
+			if got := runSchemeWorkload(pooled, 3); got != want {
+				t.Errorf("renewed %s machine diverges from fresh build:\nfresh:\n%s\nrenewed:\n%s",
+					name, want.Format(), got.Format())
+			}
+		})
+	}
+}
+
+// TestSchemeConfigKeysDiffer pins the pool-keying satellite: configs
+// that differ only in scheme identity or NUMA shape compare unequal, so
+// the machine pool can never hand a machine built for one scheme to a
+// run unit of another.
+func TestSchemeConfigKeysDiffer(t *testing.T) {
+	cfgs := schemeTestConfigs()
+	var names []string
+	for name := range cfgs {
+		names = append(names, name)
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if cfgs[a] == cfgs[b] {
+				t.Errorf("configs %s and %s compare equal; pool keying cannot distinguish them", a, b)
+			}
+		}
+	}
+	// And the machine reports the config it was built with, scheme
+	// fields intact.
+	cfg := cfgs["mitosis"]
+	m, err := New(cfg, arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *m.Config() != cfg {
+		t.Errorf("Config() = %+v, want the construction config", *m.Config())
+	}
+}
+
+// TestNUMAMigrationSchedule pins the deterministic migration driver:
+// a NUMA machine migrates on the configured access cadence, books the
+// software event, and two identical runs agree exactly.
+func TestNUMAMigrationSchedule(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.Scheme = "mitosis"
+	cfg.NUMA.Nodes = 2
+	cfg.NUMA.MigrateEvery = 5_000
+
+	run := func() perf.Counters {
+		m, err := New(cfg, arch.Page4K, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runSchemeWorkload(m, 5)
+	}
+	a := run()
+	if a.Get(perf.NUMAMigrations) == 0 {
+		t.Fatal("no migrations on a 5k-access cadence")
+	}
+	if a.Get(perf.ReplicaLocalWalks)+a.Get(perf.ReplicaRemoteWalks) == 0 {
+		t.Fatal("mitosis walks were never classified")
+	}
+	if b := run(); a != b {
+		t.Errorf("identical NUMA runs diverge:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+}
+
+// TestUMAMachineNeverMigrates: without NUMA nodes the migration driver
+// must stay disarmed whatever the cadence says.
+func TestUMAMachineNeverMigrates(t *testing.T) {
+	cfg := arch.DefaultSystem()
+	cfg.NUMA.MigrateEvery = 1_000
+	m, err := New(cfg, arch.Page4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runSchemeWorkload(m, 2)
+	if c.Get(perf.NUMAMigrations) != 0 {
+		t.Errorf("UMA machine migrated %d times", c.Get(perf.NUMAMigrations))
+	}
+}

@@ -55,10 +55,15 @@ type group struct {
 type Phys struct {
 	limit    uint64 // total physical bytes available
 	reserved uint64 // bytes handed out to allocations
-	next     uint64 // bump pointer for fresh frames
 
-	// free holds returned frames per page size.
-	free [arch.NumPageSizes][]arch.PAddr
+	// nodes holds the per-NUMA-node allocators. A UMA machine has one
+	// node spanning the whole address range, making its allocation
+	// sequence byte-identical to the pre-NUMA single-allocator model.
+	nodes []nodeAlloc
+
+	// stride is the byte span of each node's region (0 with one node);
+	// NodeOf divides by it.
+	stride uint64
 
 	// dir is the chunk directory spine, indexed by pa >> (chunkShift +
 	// groupShift). Entries are nil until a chunk in the group is written.
@@ -72,46 +77,123 @@ type Phys struct {
 	touched uint64
 }
 
+// nodeAlloc is one NUMA node's frame allocator: a bump pointer over the
+// node's region plus per-size free lists.
+type nodeAlloc struct {
+	start uint64 // first allocatable address of the region
+	end   uint64 // one past the last allocatable address
+	next  uint64 // bump pointer for fresh frames
+
+	// free holds returned frames per page size.
+	free [arch.NumPageSizes][]arch.PAddr
+}
+
 // slabSize is the host allocation granularity backing chunks are carved
 // from (256 chunks per slab).
 const slabSize = 256 << chunkShift
 
-// NewPhys returns a physical memory of the given capacity in bytes.
-func NewPhys(limitBytes uint64) *Phys {
-	return &Phys{
+// NewPhys returns a UMA physical memory of the given capacity in bytes.
+func NewPhys(limitBytes uint64) *Phys { return NewPhysNUMA(limitBytes, 1) }
+
+// NewPhysNUMA returns a physical memory of the given capacity split into
+// nodes equal NUMA node regions. Node regions are aligned so every node
+// can hand out naturally aligned frames of any page size: the region
+// stride is a 1 GB multiple when the capacity allows, 2 MB otherwise
+// (1 GB frames then live on whichever node their alignment lands them).
+func NewPhysNUMA(limitBytes uint64, nodes int) *Phys {
+	if nodes < 1 {
+		nodes = 1
+	}
+	p := &Phys{
 		limit: limitBytes,
-		next:  physBase,
 		dir:   make([]*group, (physBase+limitBytes+groupBytes-1)>>(chunkShift+groupShift)),
 	}
+	if nodes == 1 {
+		p.nodes = []nodeAlloc{{start: physBase, end: physBase + limitBytes, next: physBase}}
+		return p
+	}
+	stride := arch.AlignDown(limitBytes/uint64(nodes), arch.Page1G.Bytes())
+	if stride == 0 {
+		stride = arch.AlignDown(limitBytes/uint64(nodes), groupBytes)
+	}
+	if stride == 0 {
+		panic(fmt.Sprintf("mem: %s too small for %d NUMA nodes", arch.FormatBytes(limitBytes), nodes))
+	}
+	p.stride = stride
+	p.nodes = make([]nodeAlloc, nodes)
+	for i := range p.nodes {
+		start := uint64(i) * stride
+		if i == 0 {
+			start = physBase
+		}
+		end := uint64(i+1) * stride
+		if i == nodes-1 {
+			end = physBase + limitBytes
+		}
+		p.nodes[i] = nodeAlloc{start: start, end: end, next: start}
+	}
+	return p
+}
+
+// Nodes returns the number of NUMA nodes (1 for UMA).
+func (p *Phys) Nodes() int { return len(p.nodes) }
+
+// NodeOf returns the NUMA node whose region holds pa.
+func (p *Phys) NodeOf(pa arch.PAddr) int {
+	if p.stride == 0 {
+		return 0
+	}
+	n := int(uint64(pa) / p.stride)
+	if n >= len(p.nodes) {
+		n = len(p.nodes) - 1
+	}
+	return n
 }
 
 // AllocPage allocates one naturally aligned physical frame of the given
-// page size and returns its base address. The frame's contents are zero.
+// page size on node 0 and returns its base address. The frame's contents
+// are zero.
 func (p *Phys) AllocPage(ps arch.PageSize) (arch.PAddr, error) {
-	if n := len(p.free[ps]); n > 0 {
-		pa := p.free[ps][n-1]
-		p.free[ps] = p.free[ps][:n-1]
+	return p.AllocPageOnNode(ps, 0)
+}
+
+// AllocPageOnNode allocates one naturally aligned zeroed frame from the
+// given NUMA node's region.
+func (p *Phys) AllocPageOnNode(ps arch.PageSize, node int) (arch.PAddr, error) {
+	if node < 0 || node >= len(p.nodes) {
+		return 0, fmt.Errorf("mem: no NUMA node %d (have %d)", node, len(p.nodes))
+	}
+	na := &p.nodes[node]
+	if n := len(na.free[ps]); n > 0 {
+		pa := na.free[ps][n-1]
+		na.free[ps] = na.free[ps][:n-1]
 		p.zeroRange(pa, ps.Bytes())
 		return pa, nil
 	}
 	size := ps.Bytes()
-	base := arch.AlignUp(p.next, size)
-	if base+size-physBase > p.limit {
+	base := arch.AlignUp(na.next, size)
+	if base+size > na.end {
+		if len(p.nodes) > 1 {
+			return 0, fmt.Errorf("mem: out of physical memory on node %d (limit %s, requested %s frame)",
+				node, arch.FormatBytes(p.limit), ps)
+		}
 		return 0, fmt.Errorf("mem: out of physical memory (limit %s, requested %s frame)",
 			arch.FormatBytes(p.limit), ps)
 	}
-	p.next = base + size
+	na.next = base + size
 	p.reserved += size
 	return arch.PAddr(base), nil
 }
 
-// FreePage returns a frame to the allocator. The caller must pass the same
-// base address and page size that AllocPage returned.
+// FreePage returns a frame to the allocator (to the free list of the node
+// whose region holds it). The caller must pass the same base address and
+// page size that AllocPage returned.
 func (p *Phys) FreePage(pa arch.PAddr, ps arch.PageSize) {
 	if !arch.IsAligned(uint64(pa), ps.Bytes()) {
 		panic(fmt.Sprintf("mem: FreePage(%#x) misaligned for %s", uint64(pa), ps))
 	}
-	p.free[ps] = append(p.free[ps], pa)
+	na := &p.nodes[p.NodeOf(pa)]
+	na.free[ps] = append(na.free[ps], pa)
 	// Drop backing for large frames so freed guest memory returns host
 	// memory too.
 	if ps != arch.Page4K {
@@ -143,12 +225,36 @@ func (p *Phys) Reset() {
 			}
 		}
 	}
-	for ps := range p.free {
-		p.free[ps] = p.free[ps][:0]
+	for i := range p.nodes {
+		na := &p.nodes[i]
+		for ps := range na.free {
+			na.free[ps] = na.free[ps][:0]
+		}
+		na.next = na.start
 	}
 	p.reserved = 0
-	p.next = physBase
 }
+
+// OnNode returns a Memory view of p whose AllocPage draws frames from
+// the given NUMA node's region (page-table replica placement); accesses
+// pass straight through. The view shares all state with p.
+func (p *Phys) OnNode(node int) Memory {
+	return &nodeView{p: p, node: node}
+}
+
+// nodeView is the node-pinned Memory adapter OnNode returns.
+type nodeView struct {
+	p    *Phys
+	node int
+}
+
+func (v *nodeView) AllocPage(ps arch.PageSize) (arch.PAddr, error) {
+	return v.p.AllocPageOnNode(ps, v.node)
+}
+func (v *nodeView) FreePage(pa arch.PAddr, ps arch.PageSize) { v.p.FreePage(pa, ps) }
+func (v *nodeView) Read64(pa arch.PAddr) uint64              { return v.p.Read64(pa) }
+func (v *nodeView) Write64(pa arch.PAddr, vv uint64)         { v.p.Write64(pa, vv) }
+func (v *nodeView) CopyRange(dst, src arch.PAddr, n uint64)  { v.p.CopyRange(dst, src, n) }
 
 // chunk returns the backing slice for pa, materializing it if needed.
 func (p *Phys) chunk(pa arch.PAddr) *[chunkBytes]byte {

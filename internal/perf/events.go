@@ -148,6 +148,36 @@ const (
 	// (sw event, the guest's "host page fault").
 	EPTViolations
 
+	// The scheme_* / replica_* / dramcache_* family extends the naming
+	// scheme to the pluggable translation schemes (internal/scheme). Each
+	// backend declares which of these it populates; all stay zero under
+	// the default radix scheme.
+
+	// SchemeBlockHits counts page walks served by a Victima-style PTE
+	// block cached in the data-cache hierarchy, short-circuiting the
+	// radix walk to a single leaf load (scheme_walk_loads.block_hit).
+	SchemeBlockHits
+	// SchemeBlockMisses counts page walks that probed the PTE-block
+	// directory and missed, taking the full radix walk
+	// (scheme_walk_loads.block_miss).
+	SchemeBlockMisses
+	// ReplicaLocalWalks counts Mitosis walks served entirely from the
+	// walking node's page-table replica (replica_local_walks).
+	ReplicaLocalWalks
+	// ReplicaRemoteWalks counts Mitosis walks that touched another
+	// node's tables — a cold replica falling back to the master copy
+	// (replica_remote_walks).
+	ReplicaRemoteWalks
+	// DRAMCacheHits counts walker PTE loads that missed SRAM and hit
+	// the die-stacked DRAM cache (dramcache_hits).
+	DRAMCacheHits
+	// DRAMCacheMisses counts walker PTE loads that missed SRAM and the
+	// DRAM cache both, paying the full miss path (dramcache_misses).
+	DRAMCacheMisses
+	// NUMAMigrations counts deterministic thread migrations between
+	// NUMA nodes (sw event, numa.migrations).
+	NUMAMigrations
+
 	// NumEvents is the number of defined events.
 	NumEvents
 )
@@ -193,6 +223,14 @@ var eventNames = [NumEvents]string{
 	EPTWalkerLoadsL3:           "page_walker_loads.ept_dtlb_l3",
 	EPTWalkerLoadsMem:          "page_walker_loads.ept_dtlb_memory",
 	EPTViolations:              "ept.violations",
+
+	SchemeBlockHits:    "scheme_walk_loads.block_hit",
+	SchemeBlockMisses:  "scheme_walk_loads.block_miss",
+	ReplicaLocalWalks:  "replica_local_walks",
+	ReplicaRemoteWalks: "replica_remote_walks",
+	DRAMCacheHits:      "dramcache_hits",
+	DRAMCacheMisses:    "dramcache_misses",
+	NUMAMigrations:     "numa.migrations",
 }
 
 // String returns the perf-tool spelling of the event name.

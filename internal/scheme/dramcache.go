@@ -1,0 +1,180 @@
+package scheme
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/mem"
+	"atscale/internal/mmucache"
+	"atscale/internal/perf"
+	"atscale/internal/refute"
+	"atscale/internal/telemetry"
+	"atscale/internal/walker"
+)
+
+// dramCacheScheme models a Patil-style die-stacked DRAM cache under the
+// SRAM hierarchy: a PTE load that misses L1/L2/L3 probes the stacked
+// die's tag array and, on a hit, is served at the stacked-DRAM latency
+// instead of the off-package DRAM latency; a miss pays a tag-check
+// penalty on top of the off-package access and fills the block. The
+// cache is physically indexed (a tag array over 4 KB blocks), so it
+// survives context switches like the data caches do — only the radix
+// walk's SRAM-missing loads are repriced, which isolates the stacked
+// die's effect on translation from its effect on data (the paper's
+// walker-loads decomposition makes that split measurable).
+type dramCacheScheme struct{}
+
+// Die-stacked DRAM cache defaults, loosely HBM-class against the
+// baseline DRAMLatency of 210 cycles.
+const (
+	dcDefaultBytes       = 1 << 30 // 1 GB stacked die
+	dcWays               = 16
+	dcDefaultHitLatency  = 60 // stacked-die access, cycles
+	dcDefaultMissPenalty = 25 // tag check before going off-package
+)
+
+func (dramCacheScheme) Name() string { return "dramcache" }
+
+func (dramCacheScheme) Doc() string {
+	return "die-stacked DRAM cache under the walker with a hit/miss latency split"
+}
+
+func (dramCacheScheme) Build(d Deps) (Instance, error) {
+	bytes := d.Cfg.SchemeParams.DRAMCacheBytes
+	if bytes == 0 {
+		bytes = dcDefaultBytes
+	}
+	if bytes < arch.Page4K.Bytes() {
+		return nil, errf("dramcache: DRAMCacheBytes must be >= 4096, got %d", bytes)
+	}
+	hitLat := d.Cfg.SchemeParams.DRAMCacheHitLatency
+	if hitLat == 0 {
+		hitLat = dcDefaultHitLatency
+	}
+	if hitLat >= d.Cfg.DRAMLatency {
+		return nil, errf("dramcache: hit latency %d must beat DRAMLatency %d",
+			hitLat, d.Cfg.DRAMLatency)
+	}
+	missPen := d.Cfg.SchemeParams.DRAMCacheMissPenalty
+	if missPen == 0 {
+		missPen = dcDefaultMissPenalty
+	}
+	return &dramCache{
+		phys:    d.Phys,
+		caches:  d.Caches,
+		psc:     mmucache.NewWithDepth(d.Cfg.PSC, d.Cfg.PagingLevels),
+		dir:     newAssocDir(int(bytes>>arch.PageShift4K), dcWays),
+		hitLat:  hitLat,
+		missPen: missPen,
+		dram:    d.Cfg.DRAMLatency,
+	}, nil
+}
+
+func (dramCacheScheme) Events() []perf.Event {
+	return []perf.Event{perf.DRAMCacheHits, perf.DRAMCacheMisses}
+}
+
+func (dramCacheScheme) Identities() []refute.Identity {
+	dcProbes := refute.Sum(refute.Ev("dramcache_hits"), refute.Ev("dramcache_misses"))
+	return []refute.Identity{
+		{
+			Name: "dramcache_mem_partition",
+			Doc: "every SRAM-missing walker load probes the stacked die exactly once, " +
+				"so hits + misses equals the walker's memory-served loads",
+			L: dcProbes, Rel: refute.EQ,
+			R:      refute.Ev("page_walker_loads.dtlb_memory"),
+			Guards: []refute.Expr{dcProbes},
+		},
+		{
+			Name: "dramcache_hits_le_walker_loads",
+			Doc: "stacked-die hits are a subset of walker loads " +
+				"(trivially 0 <= loads under every other scheme)",
+			L: refute.Ev("dramcache_hits"), Rel: refute.LE,
+			R: refute.Sum(refute.Ev("page_walker_loads.dtlb_l1"),
+				refute.Ev("page_walker_loads.dtlb_l2"),
+				refute.Ev("page_walker_loads.dtlb_l3"),
+				refute.Ev("page_walker_loads.dtlb_memory")),
+		},
+	}
+}
+
+// dramCache is one machine's die-stacked-cache walk state.
+type dramCache struct {
+	phys   *mem.Phys
+	caches *cache.Hierarchy
+	psc    *mmucache.PSC
+	dir    *assocDir // PA 4 KB-block tag array (payload unused)
+
+	hitLat  uint64 // stacked-die access latency
+	missPen uint64 // tag-check penalty added to an off-package access
+	dram    uint64 // cfg.DRAMLatency, the cost Access charged for HitMem
+
+	// dcHits / dcMisses are per-walk probe scratch (accumulated by
+	// adjustLoad, copied into the Result after charging).
+	dcHits, dcMisses uint16
+
+	trk   *telemetry.Track
+	clock func() uint64
+	pt    path
+}
+
+// adjustLoad implements loadAdjuster: SRAM hits are untouched; an
+// SRAM-missing load probes the stacked die's tags. Hierarchy Access
+// charged exactly dram for a HitMem load, so a tag hit reprices it to
+// hitLat with a hitLat-dram delta and a miss adds the tag-check penalty
+// and fills the block.
+func (c *dramCache) adjustLoad(pa arch.PAddr, loc cache.HitLoc) int64 {
+	if loc != cache.HitMem {
+		return 0
+	}
+	block := uint64(pa) >> arch.PageShift4K
+	if _, ok := c.dir.lookup(block); ok {
+		c.dcHits++
+		return int64(c.hitLat) - int64(c.dram)
+	}
+	c.dcMisses++
+	c.dir.insert(block, 0)
+	return int64(c.missPen)
+}
+
+// Walk implements walker.Engine: a standard radix walk whose
+// SRAM-missing loads are repriced through the stacked die.
+func (c *dramCache) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) walker.Result {
+	var r walker.Result
+	traceBegin(c.trk, c.clock)
+	c.dcHits, c.dcMisses = 0, 0
+	level, base := c.psc.LookupDeepest(va, arch.LevelPT, cr3)
+	r.GuestPSCHit = level != c.psc.Top()
+	c.pt.resolve(c.phys, va, level, base)
+	chargePath(&c.pt, c.caches, c.psc, va, budget, c, &r, c.trk, true)
+	r.DCHits, r.DCMisses = c.dcHits, c.dcMisses
+	traceEnd(c.trk, &r)
+	return r
+}
+
+// Flush implements walker.Engine: only the VA-keyed PSCs drop on a
+// context switch — the stacked die is physically indexed and keeps its
+// contents, exactly like the SRAM data caches above it.
+func (c *dramCache) Flush() { c.psc.Flush() }
+
+// InvalidateBlock implements walker.Engine: promotion rewrites PTEs in
+// place, so only the PDE-cache entry is stale — physical blocks in the
+// stacked die stay valid.
+func (c *dramCache) InvalidateBlock(va arch.VAddr) {
+	c.psc.InvalidatePrefix(arch.LevelPD, va)
+}
+
+// Reset implements Instance.
+func (c *dramCache) Reset() {
+	c.psc.Reset()
+	c.dir.reset()
+	c.trk, c.clock = nil, nil
+}
+
+// EnableTrace implements Instance.
+func (c *dramCache) EnableTrace(p *telemetry.Process, clock func() uint64) {
+	c.trk, c.clock = p.Track("walker"), clock
+}
+
+// TagsLive returns the number of valid stacked-die tag entries
+// (test/debug helper).
+func (c *dramCache) TagsLive() int { return c.dir.live() }

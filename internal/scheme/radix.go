@@ -1,0 +1,54 @@
+package scheme
+
+import (
+	"atscale/internal/mmucache"
+	"atscale/internal/perf"
+	"atscale/internal/refute"
+	"atscale/internal/telemetry"
+	"atscale/internal/walker"
+)
+
+// radixScheme is the default backend: the existing radix walker behind
+// the scheme seam. On a UMA machine the instance is a zero-cost wrapper
+// around walker.Walker — same walk loop, same PSCs, same trace track —
+// so the flatgold goldens hold byte-identically. With NUMA.Nodes > 1 it
+// becomes the no-replication NUMA baseline: walks always target the
+// master page table (homed on node 0), paying the remote-DRAM penalty
+// from every other node — exactly the cost Mitosis's replicas remove.
+type radixScheme struct{}
+
+func (radixScheme) Name() string { return "radix" }
+
+func (radixScheme) Doc() string {
+	return "x86-64 radix walker (default; NUMA baseline when Nodes > 1)"
+}
+
+func (radixScheme) Build(d Deps) (Instance, error) {
+	psc := mmucache.NewWithDepth(d.Cfg.PSC, d.Cfg.PagingLevels)
+	if d.Cfg.NUMA.EffectiveNodes() > 1 {
+		return newNUMAWalker(d, psc, false), nil
+	}
+	return &radixInstance{Walker: walker.New(d.Phys, psc, d.Caches)}, nil
+}
+
+// Events: the radix scheme populates no scheme-family events; with
+// NUMA.Nodes > 1 the machine's migration driver books numa.migrations.
+func (radixScheme) Events() []perf.Event { return nil }
+
+// Identities: the baseline's bounds are the base refute registry; the
+// other schemes' guarded identities guard out on radix units because
+// their counters stay zero.
+func (radixScheme) Identities() []refute.Identity { return nil }
+
+// radixInstance adapts walker.Walker to the Instance lifecycle.
+type radixInstance struct {
+	*walker.Walker
+}
+
+func (r *radixInstance) Reset() { r.Walker.Reset() }
+
+// EnableTrace creates the same "walker" track, in the same order, as the
+// pre-scheme machine did — timeline byte-identity depends on it.
+func (r *radixInstance) EnableTrace(p *telemetry.Process, clock func() uint64) {
+	r.SetTrace(p.Track("walker"), clock)
+}

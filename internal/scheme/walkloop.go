@@ -1,0 +1,293 @@
+package scheme
+
+import (
+	"atscale/internal/arch"
+	"atscale/internal/cache"
+	"atscale/internal/mem"
+	"atscale/internal/mmucache"
+	"atscale/internal/pagetable"
+	"atscale/internal/telemetry"
+	"atscale/internal/walker"
+)
+
+// stepOverhead is the fixed per-level cost of the walker state machine on
+// top of the PTE load latency — the same constant walker.Walk charges, so
+// scheme walks and built-in walks price identical paths identically.
+const stepOverhead = 2
+
+// maxSteps is the longest radix path (five-level paging, PML5 -> PT).
+const maxSteps = 5
+
+// path is one resolved radix descent: the entry address and level of
+// every step, the frame each non-terminal step descended into, and the
+// terminal outcome. Resolution uses raw physical reads (architecturally
+// invisible), mirroring walker.Walk's single-pass structure; charging is
+// a separate pass so schemes can reprice individual loads.
+type path struct {
+	ea     [maxSteps]arch.PAddr
+	frames [maxSteps]arch.PAddr
+	lvls   [maxSteps]arch.Level
+	steps  int
+	ok     bool
+	frame  arch.PAddr
+	leaf   arch.Level
+}
+
+// resolve fills p with the radix descent for va starting at (level,
+// base). The descent ends at a present leaf (ok) or a non-present entry
+// (fault at the last recorded step).
+func (p *path) resolve(phys *mem.Phys, va arch.VAddr, level arch.Level, base arch.PAddr) {
+	p.steps, p.ok = 0, false
+	for {
+		a := pagetable.EntryAddr(base, level, va)
+		p.ea[p.steps], p.lvls[p.steps] = a, level
+		p.steps++
+		e := pagetable.PTE(phys.Read64(a))
+		if !e.Present() {
+			return
+		}
+		if e.IsLeaf(level) {
+			p.ok, p.frame, p.leaf = true, e.Frame(), level
+			return
+		}
+		p.frames[p.steps-1] = e.Frame()
+		base = e.Frame()
+		level--
+	}
+}
+
+// sizeAtLevel maps a leaf level to its page size.
+func sizeAtLevel(level arch.Level) arch.PageSize {
+	switch level {
+	case arch.LevelPT:
+		return arch.Page4K
+	case arch.LevelPD:
+		return arch.Page2M
+	case arch.LevelPDPT:
+		return arch.Page1G
+	}
+	panic("scheme: no page size at level " + level.String())
+}
+
+// loadAdjuster reprices one performed PTE load: given its physical
+// address and the cache level that served it, it returns a latency delta
+// (negative for a faster-than-modelled path, e.g. a DRAM-cache hit).
+// Per-walk accounting accumulates in the adjuster's own scratch fields,
+// NOT through the Result pointer: passing the Result into this interface
+// call would defeat escape analysis and heap-allocate every walk. A nil
+// adjuster charges hierarchy latency unmodified, making chargePath
+// equivalent to walker.Walk's charging pass.
+type loadAdjuster interface {
+	adjustLoad(pa arch.PAddr, loc cache.HitLoc) int64
+}
+
+// chargePath charges a resolved path's PTE loads through the cache
+// hierarchy with walker.Walk's exact semantics: one Access per step plus
+// stepOverhead, aborting after the load that first exceeds budget (that
+// load still touched cache state), PSC inserts for every step the walk
+// descended past, trace slices for performed loads only. It accumulates
+// into r's load accounting (cycles continue from r.Cycles, so a walk may
+// charge several partial paths against one budget) and reports whether
+// the budget aborted the walk. With terminal set it also applies the
+// path's terminal outcome — Completed, and OK/Frame/Size on a present
+// leaf; a non-terminal call charges a partial descent (e.g. the replica
+// prefix a Mitosis walk read before falling back to the master table).
+func chargePath(p *path, caches *cache.Hierarchy, psc *mmucache.PSC, va arch.VAddr,
+	budget uint64, adj loadAdjuster, r *walker.Result, trk *telemetry.Track,
+	terminal bool) (aborted bool) {
+	cycles := r.Cycles
+	n := 0
+	for i := 0; i < p.steps; i++ {
+		lat, loc := caches.Access(p.ea[i])
+		if adj != nil {
+			if d := adj.adjustLoad(p.ea[i], loc); d != 0 {
+				lat = uint64(int64(lat) + d)
+			}
+		}
+		cycles += lat + stepOverhead
+		n++
+		r.Locs[loc]++
+		r.LeafLoc = loc
+		if trk != nil {
+			trk.Slice(levelName(p.lvls[i]), lat+stepOverhead, traceLocArg, locName(loc))
+		}
+		if cycles > budget {
+			break
+		}
+	}
+	r.Cycles = cycles
+	r.Loads += n
+	r.GuestLoads += n
+	for i := 0; i+1 < n; i++ {
+		psc.Insert(p.lvls[i], va, p.frames[i])
+	}
+	if cycles > budget {
+		return true // aborted: Completed stays false
+	}
+	if !terminal {
+		return false
+	}
+	r.Completed = true
+	if p.ok {
+		r.OK = true
+		r.Frame = p.frame
+		r.Size = sizeAtLevel(p.leaf)
+	}
+	return false
+}
+
+// Trace names (constant strings so recording never allocates); spellings
+// match the built-in walker's so scheme timelines read identically.
+const (
+	traceWalk    = "walk"
+	traceLocArg  = "loc"
+	traceOutcome = "outcome"
+	outcomeOK    = "ok"
+	outcomeFault = "fault"
+	outcomeAbort = "aborted"
+)
+
+func levelName(l arch.Level) string {
+	switch l {
+	case arch.LevelPT:
+		return "PT"
+	case arch.LevelPD:
+		return "PD"
+	case arch.LevelPDPT:
+		return "PDPT"
+	case arch.LevelPML4:
+		return "PML4"
+	case arch.LevelPML5:
+		return "PML5"
+	}
+	return "level?"
+}
+
+func locName(loc cache.HitLoc) string {
+	switch loc {
+	case cache.HitL1:
+		return "L1"
+	case cache.HitL2:
+		return "L2"
+	case cache.HitL3:
+		return "L3"
+	}
+	return "DRAM"
+}
+
+// traceBegin / traceEnd bracket one walk span (nil-track safe; Sync is
+// guarded so the clock closure is never called untraced).
+func traceBegin(trk *telemetry.Track, clock func() uint64) {
+	if trk != nil {
+		trk.Sync(clock())
+		trk.Begin(traceWalk)
+	}
+}
+
+func traceEnd(trk *telemetry.Track, r *walker.Result) {
+	switch {
+	case !r.Completed:
+		trk.EndArg(traceOutcome, outcomeAbort)
+	case !r.OK:
+		trk.EndArg(traceOutcome, outcomeFault)
+	default:
+		trk.EndArg(traceOutcome, outcomeOK)
+	}
+}
+
+// assocDir is a deterministic set-associative directory keyed by an
+// arbitrary uint64 block key with an arch.PAddr payload — the shared
+// structure behind the Victima PTE-block directory (VA-block -> PT page)
+// and the die-stacked DRAM cache's tag array (PA-block presence). LRU
+// stamps use a local clock; stamp 0 marks an invalid way.
+type assocDir struct {
+	keys  []uint64
+	base  []arch.PAddr
+	stamp []uint64
+	ways  int
+	sets  uint64
+	clock uint64
+}
+
+// newAssocDir builds a directory of at least `entries` ways total split
+// into sets of `ways`. The set count is rounded up to keep geometry
+// exact.
+func newAssocDir(entries, ways int) *assocDir {
+	if entries < ways {
+		entries = ways
+	}
+	sets := uint64((entries + ways - 1) / ways)
+	n := sets * uint64(ways)
+	return &assocDir{
+		keys:  make([]uint64, n),
+		base:  make([]arch.PAddr, n),
+		stamp: make([]uint64, n),
+		ways:  ways,
+		sets:  sets,
+	}
+}
+
+// lookup finds key's way, refreshing its LRU stamp on hit.
+func (d *assocDir) lookup(key uint64) (arch.PAddr, bool) {
+	d.clock++
+	s := (key % d.sets) * uint64(d.ways)
+	for i := s; i < s+uint64(d.ways); i++ {
+		if d.stamp[i] != 0 && d.keys[i] == key {
+			d.stamp[i] = d.clock
+			return d.base[i], true
+		}
+	}
+	return 0, false
+}
+
+// insert installs (key, base), evicting the set's LRU way if needed.
+func (d *assocDir) insert(key uint64, base arch.PAddr) {
+	d.clock++
+	s := (key % d.sets) * uint64(d.ways)
+	victim, oldest := s, uint64(1)<<63
+	for i := s; i < s+uint64(d.ways); i++ {
+		if d.stamp[i] != 0 && d.keys[i] == key {
+			d.base[i], d.stamp[i] = base, d.clock
+			return
+		}
+		if d.stamp[i] < oldest {
+			victim, oldest = i, d.stamp[i]
+		}
+	}
+	d.keys[victim], d.base[victim], d.stamp[victim] = key, base, d.clock
+}
+
+// invalidate drops key's way if present.
+func (d *assocDir) invalidate(key uint64) {
+	s := (key % d.sets) * uint64(d.ways)
+	for i := s; i < s+uint64(d.ways); i++ {
+		if d.stamp[i] != 0 && d.keys[i] == key {
+			d.keys[i], d.base[i], d.stamp[i] = 0, 0, 0
+		}
+	}
+}
+
+// flush empties the directory, keeping the LRU clock running (an OS
+// flush does not rewind time).
+func (d *assocDir) flush() {
+	clear(d.keys)
+	clear(d.base)
+	clear(d.stamp)
+}
+
+// reset returns the directory to its just-constructed state.
+func (d *assocDir) reset() {
+	d.flush()
+	d.clock = 0
+}
+
+// live returns the number of valid ways (test/debug helper).
+func (d *assocDir) live() int {
+	n := 0
+	for _, s := range d.stamp {
+		if s != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -75,7 +75,39 @@ type Result struct {
 	// GuestPSCHit is true when the guest dimension started below the
 	// root thanks to a paging-structure-cache hit.
 	GuestPSCHit bool
+
+	// The scheme-accounting fields below are populated by the pluggable
+	// translation-scheme backends (internal/scheme) and stay zero for
+	// the built-in engines. The core books them into the scheme_* perf
+	// event family.
+
+	// BlockProbed marks a walk that probed a Victima-style PTE-block
+	// directory; BlockHit records whether the probe short-circuited the
+	// walk to a single leaf load.
+	BlockProbed bool
+	BlockHit    bool
+	// Replica classifies a Mitosis walk by where its PTE loads were
+	// homed: the walking node's own tables (local) or another node's
+	// (remote). ReplicaNone for schemes without replicas.
+	Replica ReplicaClass
+	// DCHits / DCMisses count this walk's PTE loads that missed SRAM
+	// and hit / missed the die-stacked DRAM cache.
+	DCHits, DCMisses uint16
 }
+
+// ReplicaClass classifies a walk's table locality under page-table
+// replication (the Replica field of Result).
+type ReplicaClass uint8
+
+// Replica walk classes.
+const (
+	// ReplicaNone: the scheme does not replicate page tables.
+	ReplicaNone ReplicaClass = iota
+	// ReplicaLocal: every PTE load stayed on the walking node.
+	ReplicaLocal
+	// ReplicaRemote: at least one PTE load was homed on another node.
+	ReplicaRemote
+)
 
 // sizeAtLevel maps a leaf level to its page size (PT->4KB, PD->2MB,
 // PDPT->1GB).
