@@ -21,7 +21,10 @@ import (
 	"atscale/internal/analysis/counterwrite"
 	"atscale/internal/analysis/detrange"
 	"atscale/internal/analysis/eventname"
+	"atscale/internal/analysis/hotalloc"
+	"atscale/internal/analysis/lockguard"
 	"atscale/internal/analysis/nondet"
+	"atscale/internal/analysis/resetdiscipline"
 	"atscale/internal/perf"
 	"atscale/internal/scheme"
 	"atscale/internal/workloads"
@@ -46,5 +49,8 @@ func main() {
 		nondet.Analyzer,
 		counterwrite.Analyzer,
 		eventname.Analyzer,
+		hotalloc.Analyzer,
+		resetdiscipline.Analyzer,
+		lockguard.Analyzer,
 	)
 }

@@ -33,6 +33,13 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check, reporting findings via pass.Report.
 	Run func(pass *Pass) error
+	// Init, when non-nil, is called once per Lint invocation — before
+	// any package is loaded — with the working directory and package
+	// patterns. Analyzers that need whole-build input collect it here:
+	// hotalloc runs the compiler for escape and inlining diagnostics.
+	// analysistest does not call Init, so analyzers must degrade
+	// gracefully (skip the dependent checks) when it never ran.
+	Init func(dir string, patterns []string) error
 }
 
 func (a *Analyzer) String() string { return a.Name }

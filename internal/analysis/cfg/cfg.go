@@ -1,0 +1,487 @@
+// Package cfg builds intraprocedural control-flow graphs over Go
+// function bodies using only the standard library, mirroring the shape
+// of golang.org/x/tools/go/cfg the way internal/analysis mirrors
+// go/analysis. The graph is the substrate the flow-sensitive atlint
+// analyzers share: lockguard runs a must-hold dataflow over it, and
+// hotalloc uses exit reachability to tell steady-state allocations from
+// crash-path ones.
+//
+// The builder decomposes every statement with internal control flow
+// (if/for/range/switch/select, labels, goto, break/continue,
+// fallthrough) into basic blocks. Simple statements and the
+// control-governing expressions (an if condition, a range operand, a
+// switch tag) are appended to block Nodes in evaluation order, so a
+// client walking Nodes front to back sees the same order the program
+// executes. Function literals are NOT descended into: a closure body is
+// its own function with its own graph; clients decide what entry fact
+// it inherits.
+//
+// A block that ends in return gets a single edge to Exit. A block that
+// ends in panic (or os.Exit) gets no successors at all — the program
+// never re-joins normal control flow — which is exactly the property
+// CanReachExit exposes.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Block is one basic block: straight-line nodes then a transfer of
+// control described by Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order,
+	// deterministic for a given body).
+	Index int
+	// Nodes holds the block's simple statements and control-governing
+	// expressions in evaluation order.
+	Nodes []ast.Node
+	// Succs are the possible next blocks. Empty for the exit block and
+	// for blocks terminated by panic/os.Exit.
+	Succs []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the single synthetic block every normal return reaches.
+	Exit *Block
+	// Blocks lists every block, Entry first, Exit last, in creation
+	// order.
+	Blocks []*Block
+}
+
+// New builds the CFG of a function body. info may be nil; when present
+// it is used to resolve `panic` to the builtin (guarding against a
+// shadowed local named panic).
+func New(body *ast.BlockStmt, info *types.Info) *Graph {
+	b := &builder{info: info, labels: make(map[string]*labelTarget)}
+	b.graph = &Graph{}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.graph.Entry, b.graph.Exit = entry, exit
+	b.cur = entry
+	b.stmtList(body.List)
+	b.jump(b.graph.Exit)
+	// Resolve forward gotos now that every label has been seen.
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, t.block)
+		}
+	}
+	// Move Exit to the end so Blocks reads entry→…→exit.
+	blocks := b.graph.Blocks
+	for i, blk := range blocks {
+		if blk == exit {
+			copy(blocks[i:], blocks[i+1:])
+			blocks[len(blocks)-1] = exit
+			break
+		}
+	}
+	for i, blk := range blocks {
+		blk.Index = i
+	}
+	return b.graph
+}
+
+// CanReachExit reports, for every block, whether any path from it
+// reaches the Exit block. Blocks that cannot — regions post-dominated
+// by panic — are crash paths: code on them never executes in a run
+// that keeps going.
+func (g *Graph) CanReachExit() map[*Block]bool {
+	reach := make(map[*Block]bool, len(g.Blocks))
+	// Fixed point over the reversed edges, iterating until stable; the
+	// graph is small (one function) so simplicity beats an explicit
+	// reverse-adjacency index.
+	reach[g.Exit] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if reach[b] {
+				continue
+			}
+			for _, s := range b.Succs {
+				if reach[s] {
+					reach[b] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// String renders the graph compactly for tests and debugging:
+// "0->[1 2] 1->[3] ...".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for i, b := range g.Blocks {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d->[", b.Index)
+		for j, s := range b.Succs {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d", s.Index)
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+type labelTarget struct {
+	block *Block // the labeled statement's block (goto/continue target)
+	brk   *Block // where break <label> lands; nil until known
+	cont  *Block // where continue <label> lands; nil for non-loops
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type loopFrame struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type builder struct {
+	info   *types.Info
+	graph  *Graph
+	cur    *Block
+	loops  []loopFrame
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+	// pendingLabel is the label naming the next loop/switch statement,
+	// so `break L` / `continue L` resolve to it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.graph.Blocks)}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+// jump terminates the current block with an edge to dst and leaves the
+// builder in a fresh unreachable block (dead code after return/break
+// still gets blocks; they simply have no predecessors).
+func (b *builder) jump(dst *Block) {
+	b.cur.Succs = append(b.cur.Succs, dst)
+	b.cur = b.newBlock()
+}
+
+// terminate ends the current block with no successors (panic, os.Exit).
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		thenB := b.newBlock()
+		cond.Succs = append(cond.Succs, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		afterThen := b.cur
+		join := b.newBlock()
+		afterThen.Succs = append(afterThen.Succs, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			cond.Succs = append(cond.Succs, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.cur.Succs = append(b.cur.Succs, join)
+		} else {
+			cond.Succs = append(cond.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.cur.Succs = append(b.cur.Succs, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, after)
+		}
+		b.pushLoop(after, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.cur.Succs = append(b.cur.Succs, post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.cur.Succs = append(b.cur.Succs, head)
+		} else {
+			post.Succs = append(post.Succs, head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s.X)
+		head := b.newBlock()
+		b.cur.Succs = append(b.cur.Succs, head)
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.Nodes = append(head.Nodes, s.Value)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		head.Succs = append(head.Succs, body, after)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.cur.Succs = append(b.cur.Succs, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.caseClauses(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.caseClauses(s.Body, nil)
+
+	case *ast.SelectStmt:
+		b.caseClauses(s.Body, func(c ast.Stmt) ast.Stmt {
+			return c.(*ast.CommClause).Comm
+		})
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.cur.Succs = append(b.cur.Succs, target)
+		b.cur = target
+		b.labels[s.Label.Name] = &labelTarget{block: target}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			b.cur = b.newBlock()
+		case token.BREAK:
+			if dst := b.branchTarget(s.Label, true); dst != nil {
+				b.jump(dst)
+			} else {
+				b.cur = b.newBlock()
+			}
+		case token.CONTINUE:
+			if dst := b.branchTarget(s.Label, false); dst != nil {
+				b.jump(dst)
+			} else {
+				b.cur = b.newBlock()
+			}
+		case token.FALLTHROUGH:
+			// Handled by caseClauses wiring; the statement itself is a
+			// no-op here.
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.graph.Exit)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if b.neverReturns(s.X) {
+			b.terminate()
+		}
+
+	default:
+		// Assignments, declarations, defers, go statements, sends,
+		// inc/dec, empty statements: straight-line nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// caseClauses wires a switch/type-switch/select body: every clause is
+// entered from the dispatch block, falls out to a common join, and (for
+// expression switches) may fall through to the next clause. comm, when
+// non-nil, extracts a select clause's communication statement.
+func (b *builder) caseClauses(body *ast.BlockStmt, comm func(ast.Stmt) ast.Stmt) {
+	dispatch := b.cur
+	after := b.newBlock()
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.labels[label].brk = after
+	}
+	b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: nil})
+
+	hasDefault := false
+	blocks := make([]*Block, 0, len(body.List))
+	clauses := make([]ast.Stmt, 0, len(body.List))
+	for _, c := range body.List {
+		blk := b.newBlock()
+		dispatch.Succs = append(dispatch.Succs, blk)
+		blocks = append(blocks, blk)
+		clauses = append(clauses, c)
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk.Nodes = append(blk.Nodes, exprNodes(cc.List)...)
+		case *ast.CommClause:
+			hasDefault = hasDefault || cc.Comm == nil
+		}
+	}
+	if !hasDefault && comm == nil {
+		// No default: the tag can match nothing and fall out directly.
+		dispatch.Succs = append(dispatch.Succs, after)
+	}
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			if comm != nil && comm(c) != nil {
+				b.stmt(comm(c))
+			}
+			list = cc.Body
+		}
+		fallsThrough := false
+		for _, s := range list {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(s)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.cur.Succs = append(b.cur.Succs, blocks[i+1])
+			b.cur = b.newBlock()
+		} else {
+			b.cur.Succs = append(b.cur.Succs, after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func exprNodes(list []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(list))
+	for i, e := range list {
+		out[i] = e
+	}
+	return out
+}
+
+func (b *builder) pushLoop(brk, cont *Block) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.labels[label].brk = brk
+		b.labels[label].cont = cont
+	}
+	b.loops = append(b.loops, loopFrame{label: label, brk: brk, cont: cont})
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// branchTarget resolves break/continue, labeled or not, to its block.
+func (b *builder) branchTarget(label *ast.Ident, isBreak bool) *Block {
+	if label != nil {
+		t, ok := b.labels[label.Name]
+		if !ok {
+			return nil
+		}
+		if isBreak {
+			return t.brk
+		}
+		return t.cont
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if isBreak {
+			if f.brk != nil {
+				return f.brk
+			}
+		} else if f.cont != nil {
+			return f.cont
+		}
+	}
+	return nil
+}
+
+// neverReturns reports whether an expression statement is a call that
+// never returns control: the panic builtin or os.Exit.
+func (b *builder) neverReturns(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			if obj, ok := b.info.Uses[fn]; ok {
+				_, isBuiltin := obj.(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return true
+	case *ast.SelectorExpr:
+		if fn.Sel.Name != "Exit" {
+			return false
+		}
+		id, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b.info != nil {
+			if pn, ok := b.info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() == "os"
+			}
+		}
+		return id.Name == "os"
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses a function body and returns its graph plus a lookup from
+// statement text fragments to the blocks containing them.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nimport \"os\"\nvar _ = os.Exit\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	return New(fn.Body, nil)
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("entry does not reach exit: %s", g)
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { x = 2 } else { x = 3 }\n_ = x")
+	// Both arms must reach the exit, and the graph must have a join.
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("entry does not reach exit: %s", g)
+	}
+	if len(g.Entry.Succs) != 2 && len(succOf(g.Entry).Succs) != 2 {
+		t.Fatalf("no two-way branch near entry: %s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ { _ = i }")
+	if !hasBackEdge(g) {
+		t.Fatalf("no back edge in loop graph: %s", g)
+	}
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("loop exit unreachable: %s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, "s := []int{1}\nfor _, v := range s { _ = v }")
+	if !hasBackEdge(g) {
+		t.Fatalf("no back edge in range graph: %s", g)
+	}
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("range exit unreachable: %s", g)
+	}
+}
+
+func TestInfiniteLoopDoesNotReachExit(t *testing.T) {
+	g := build(t, "for { }")
+	if reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("for{} reaches exit: %s", g)
+	}
+}
+
+func TestBreakEscapesInfiniteLoop(t *testing.T) {
+	g := build(t, "for { break }")
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("break does not reach exit: %s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "L: for { for { break L } }")
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("labeled break does not reach exit: %s", g)
+	}
+}
+
+func TestLabeledContinueKeepsLooping(t *testing.T) {
+	g := build(t, "L: for { for { continue L } }")
+	if reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("labeled continue alone must not reach exit: %s", g)
+	}
+	if !hasBackEdge(g) {
+		t.Fatalf("continue produced no back edge: %s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { goto done }\nx = 2\ndone:\n_ = x")
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("goto graph does not reach exit: %s", g)
+	}
+}
+
+func TestSwitchAllCasesJoin(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n x = 2\ncase 2:\n x = 3\n}\n_ = x")
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("switch does not reach exit: %s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\n x = 2\n fallthrough\ncase 2:\n x = 3\n}\n_ = x")
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("fallthrough graph broken: %s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, "c := make(chan int)\nselect {\ncase v := <-c:\n _ = v\ndefault:\n}")
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("select does not reach exit: %s", g)
+	}
+}
+
+func TestReturnGoesToExit(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 { return }\n_ = x")
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("return does not reach exit: %s", g)
+	}
+}
+
+func TestPanicBlockTerminal(t *testing.T) {
+	g := build(t, "x := 1\nif x > 9 { y := \"boom\"\n panic(y) }\n_ = x")
+	reach := g.CanReachExit()
+	var panicBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlock = b
+					}
+				}
+			}
+		}
+	}
+	if panicBlock == nil {
+		t.Fatalf("no panic block found: %s", g)
+	}
+	if len(panicBlock.Succs) != 0 {
+		t.Fatalf("panic block has successors: %s", g)
+	}
+	if reach[panicBlock] {
+		t.Fatalf("panic block reported as reaching exit")
+	}
+	if !reach[g.Entry] {
+		t.Fatalf("entry must still reach exit around the panic")
+	}
+}
+
+func TestOsExitTerminal(t *testing.T) {
+	g := build(t, "x := 1\nif x > 9 { os.Exit(1) }\n_ = x")
+	reach := g.CanReachExit()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if strings.Contains(exprString(es), "Exit") {
+					if reach[b] {
+						t.Fatalf("os.Exit block reaches exit: %s", g)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	a := build(t, "x := 1\nif x > 0 { x = 2 }\n_ = x").String()
+	b := build(t, "x := 1\nif x > 0 { x = 2 }\n_ = x").String()
+	if a != b {
+		t.Fatalf("graph rendering not deterministic: %q vs %q", a, b)
+	}
+}
+
+// reaches reports whether dst is reachable from src along Succs.
+func reaches(g *Graph, src, dst *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == dst {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(src)
+}
+
+// hasBackEdge reports whether any edge targets a block with a smaller
+// index — the creation-order signature of a loop.
+func hasBackEdge(g *Graph) bool {
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index && s != g.Exit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func succOf(b *Block) *Block {
+	if len(b.Succs) > 0 {
+		return b.Succs[0]
+	}
+	return b
+}
+
+func exprString(s *ast.ExprStmt) string {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}

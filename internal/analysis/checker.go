@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -75,7 +76,7 @@ func dedupe(fset *token.FileSet, ds []Diagnostic) []Diagnostic {
 // patterns from argv, load, run, print, and exit non-zero on findings.
 func Main(analyzers ...*Analyzer) {
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: atlint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: atlint [-list] [-sarif out.json] [packages]\n\nAnalyzers:\n")
 		sorted := append([]*Analyzer(nil), analyzers...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
 		for _, a := range sorted {
@@ -83,6 +84,7 @@ func Main(analyzers ...*Analyzer) {
 		}
 	}
 	list := flag.Bool("list", false, "list analyzers and exit")
+	sarif := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	flag.Parse()
 	if *list {
 		flag.Usage()
@@ -92,7 +94,7 @@ func Main(analyzers ...*Analyzer) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	code, err := Lint(os.Stdout, "", patterns, analyzers)
+	code, err := LintSARIF(os.Stdout, "", patterns, *sarif, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atlint:", err)
 		os.Exit(2)
@@ -103,6 +105,23 @@ func Main(analyzers ...*Analyzer) {
 // Lint loads patterns, runs the analyzers, and writes findings to w.
 // It returns 0 for a clean tree and 1 when there are findings.
 func Lint(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
+	return LintSARIF(w, dir, patterns, "", analyzers)
+}
+
+// LintSARIF is Lint with an optional SARIF sink: when sarifPath is
+// non-empty the findings (including a clean empty run) are also written
+// there for code-scanning upload. It runs each analyzer's Init hook
+// first, so whole-build inputs like compiler diagnostics exist before
+// any package is analyzed.
+func LintSARIF(w io.Writer, dir string, patterns []string, sarifPath string, analyzers []*Analyzer) (int, error) {
+	for _, a := range analyzers {
+		if a.Init == nil {
+			continue
+		}
+		if err := a.Init(dir, patterns); err != nil {
+			return 0, fmt.Errorf("%s init: %v", a.Name, err)
+		}
+	}
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return 0, err
@@ -116,11 +135,39 @@ func Lint(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (in
 		for _, d := range diags {
 			fmt.Fprintf(w, "%s: %s [%s]\n", d.Posn(fset), d.Message, d.Analyzer)
 		}
+		if sarifPath != "" {
+			if err := writeSARIFFile(sarifPath, fset, dir, analyzers, diags); err != nil {
+				return 0, err
+			}
+		}
 	}
 	if len(diags) > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// writeSARIFFile writes the SARIF log with repo-relative URIs rooted at
+// the lint directory (the current directory when dir is empty).
+func writeSARIFFile(path string, fset *token.FileSet, dir string, analyzers []*Analyzer, diags []Diagnostic) error {
+	base := dir
+	if base == "" {
+		if wd, err := os.Getwd(); err == nil {
+			base = wd
+		}
+	}
+	if abs, err := filepath.Abs(base); err == nil {
+		base = abs
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteSARIF(f, fset, base, analyzers, diags); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func firstLine(s string) string {

@@ -1,0 +1,139 @@
+// Package dataflow provides the flow analyses the atlint analyzers
+// share, built on the internal/analysis/cfg graphs: a forward
+// fixed-point solver over string-set facts (must- and may- variants),
+// and a receiver-field write analysis with alias tracking.
+//
+// The solver is deliberately monomorphic: every current client's fact
+// is a set of names (held mutexes for lockguard, assigned definitions
+// for reaching-style queries), and map[string]bool keeps the solver,
+// its merge functions, and its tests trivially readable. Must mode
+// intersects facts at merges — a fact survives only if it holds along
+// every path, which is the semantics a lock-guard proof needs. May mode
+// unions them — a fact survives if it holds along some path, the
+// reaching-definitions semantics.
+package dataflow
+
+import (
+	"atscale/internal/analysis/cfg"
+)
+
+// Set is a set of names: held mutex chains, covered fields, reaching
+// definitions.
+type Set map[string]bool
+
+// Clone returns an independent copy of s (nil stays nil).
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	for k, v := range s {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets hold the same names.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if v && !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mode selects the merge operator at control-flow joins.
+type Mode int
+
+const (
+	// Must intersects facts: true only when true on every path.
+	Must Mode = iota
+	// May unions facts: true when true on any path.
+	May
+)
+
+// Forward runs the classic iterate-to-fixpoint forward analysis and
+// returns each block's IN fact. entry is the fact at function entry.
+// transfer must be monotone and must not retain or mutate its input.
+// Blocks unreachable from the entry keep a nil IN fact; in Must mode
+// nil means ⊤ (everything holds — vacuous truth on dead code), so
+// clients should treat nil as "no reports here".
+func Forward(g *cfg.Graph, entry Set, mode Mode, transfer func(b *cfg.Block, in Set) Set) map[*cfg.Block]Set {
+	preds := make(map[*cfg.Block][]*cfg.Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	in := make(map[*cfg.Block]Set, len(g.Blocks))
+	out := make(map[*cfg.Block]Set, len(g.Blocks))
+	in[g.Entry] = entry.Clone()
+	if in[g.Entry] == nil {
+		in[g.Entry] = Set{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if b != g.Entry {
+				merged := mergePreds(preds[b], out, mode)
+				if merged == nil {
+					continue // no reachable predecessor yet
+				}
+				if in[b] != nil && merged.Equal(in[b]) {
+					// IN unchanged; OUT is already up to date.
+					continue
+				}
+				in[b] = merged
+			} else if out[b] != nil {
+				continue // entry fact never changes
+			}
+			o := transfer(b, in[b].Clone())
+			if o == nil {
+				o = Set{}
+			}
+			if out[b] == nil || !o.Equal(out[b]) {
+				out[b] = o
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// mergePreds folds the predecessors' OUT facts; unvisited predecessors
+// (nil OUT) are skipped — their paths are not yet known, and on a
+// cyclic graph they resolve in a later iteration.
+func mergePreds(preds []*cfg.Block, out map[*cfg.Block]Set, mode Mode) Set {
+	var acc Set
+	for _, p := range preds {
+		o := out[p]
+		if o == nil {
+			continue
+		}
+		if acc == nil {
+			acc = o.Clone()
+			continue
+		}
+		switch mode {
+		case Must:
+			for k := range acc {
+				if !o[k] {
+					delete(acc, k)
+				}
+			}
+		case May:
+			for k, v := range o {
+				if v {
+					acc[k] = true
+				}
+			}
+		}
+	}
+	return acc
+}

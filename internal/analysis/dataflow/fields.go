@@ -1,0 +1,244 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Coverage is the result of analyzing one method body against its
+// receiver: which receiver fields the body writes (directly, through an
+// alias, or by calling a method rooted at the field), and which
+// same-receiver methods it calls (so a caller can expand coverage
+// transitively through helpers like m.quietInvalidate()).
+type Coverage struct {
+	// Fields maps field name → true for every receiver field the body
+	// assigns, clears, copies into, appends into, or invokes a method
+	// on — including through aliases (a := &x.f; a.g = 1) and range
+	// aliases (for _, g := range x.f { g.touch() }).
+	Fields Set
+	// Mutates is the subset of Fields that the body demonstrably
+	// writes: assignments, ++/--, and clear/copy builtins, directly or
+	// through an alias. A bare method call rooted at a field
+	// (w.phys.Read64()) is in Fields but not Mutates — delegating to a
+	// field's method counts as covering it in a Reset body, but does
+	// not prove the field goes stale. Clients use Fields to answer
+	// "does Reset reinitialize this?" and Mutates to answer "can this
+	// field drift between resets?".
+	Mutates Set
+	// SelfCalls maps method name → true for every call of the form
+	// recv.m(...).
+	SelfCalls Set
+}
+
+// MethodCoverage analyzes body as a method with receiver object recv
+// (a *types.Var; nil receivers yield empty coverage). info supplies
+// identifier resolution and expression types; it must cover the body.
+//
+// The analysis is flow-insensitive: an assignment anywhere in the body
+// covers the field. That is the right strength for both of its users —
+// a Reset method covers a field no matter which branch assigns it, and
+// a field counts as mutable if any statement anywhere mutates it.
+// Aliases are tracked when the derived value can actually share storage
+// with the field: explicit &x.f, type assertions, and derivations whose
+// type is a pointer, slice, map, chan, or interface. Copying a scalar
+// or a struct value out of a field creates no alias, so writes to the
+// copy never count against the field.
+func MethodCoverage(recv types.Object, body *ast.BlockStmt, info *types.Info) Coverage {
+	cov := Coverage{Fields: Set{}, Mutates: Set{}, SelfCalls: Set{}}
+	if recv == nil || body == nil {
+		return cov
+	}
+	fa := &fieldAnalysis{recv: recv, info: info, aliases: map[types.Object]string{}, cov: &cov}
+	ast.Inspect(body, fa.visit)
+	return cov
+}
+
+type fieldAnalysis struct {
+	recv    types.Object
+	info    *types.Info
+	aliases map[types.Object]string // local object → receiver field it aliases
+	cov     *Coverage
+}
+
+func (fa *fieldAnalysis) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// A closure is its own scope; mutations inside it still target
+		// the same receiver, so keep descending (ast.Inspect does).
+		return true
+
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if f, ok := fa.root(lhs); ok {
+				fa.cov.Fields[f] = true
+				fa.cov.Mutates[f] = true
+			}
+		}
+		// Pairwise alias seeding: v := x.f (or v = x.f) when v can
+		// share storage with f.
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				f, ok := fa.root(n.Rhs[i])
+				if !ok || !fa.aliasable(n.Rhs[i]) {
+					continue
+				}
+				if obj := fa.objectOf(id); obj != nil {
+					fa.aliases[obj] = f
+				}
+			}
+		}
+
+	case *ast.IncDecStmt:
+		if f, ok := fa.root(n.X); ok {
+			fa.cov.Fields[f] = true
+			fa.cov.Mutates[f] = true
+		}
+
+	case *ast.RangeStmt:
+		if f, ok := fa.root(n.X); ok {
+			for _, v := range []ast.Expr{n.Key, n.Value} {
+				id, ok := v.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if !fa.aliasableIdent(id) {
+					continue
+				}
+				if obj := fa.objectOf(id); obj != nil {
+					fa.aliases[obj] = f
+				}
+			}
+		}
+
+	case *ast.CallExpr:
+		fa.call(n)
+	}
+	return true
+}
+
+func (fa *fieldAnalysis) call(call *ast.CallExpr) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		// Builtins that write their first argument in place.
+		if fn.Name == "clear" || fn.Name == "copy" {
+			if len(call.Args) > 0 {
+				if f, ok := fa.root(call.Args[0]); ok {
+					fa.cov.Fields[f] = true
+					fa.cov.Mutates[f] = true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// recv.m(...) is a self call; x.f.m(...) or alias.m(...) is a
+		// method invoked on (storage reachable from) field f.
+		if id, ok := unparen(fn.X).(*ast.Ident); ok && fa.isReceiver(id) {
+			fa.cov.SelfCalls[fn.Sel.Name] = true
+			return
+		}
+		if f, ok := fa.root(fn.X); ok {
+			fa.cov.Fields[f] = true
+		}
+	}
+}
+
+// root resolves an expression to the receiver field it is rooted at:
+// x.f, x.f.g, x.f[i], *x.f, x.f.(T), &x.f, and aliases thereof all root
+// at f.
+func (fa *fieldAnalysis) root(e ast.Expr) (string, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := fa.objectOf(e); obj != nil {
+			if f, ok := fa.aliases[obj]; ok {
+				return f, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := unparen(e.X).(*ast.Ident); ok && fa.isReceiver(id) {
+			return e.Sel.Name, true
+		}
+		return fa.root(e.X)
+	case *ast.IndexExpr:
+		return fa.root(e.X)
+	case *ast.SliceExpr:
+		return fa.root(e.X)
+	case *ast.StarExpr:
+		return fa.root(e.X)
+	case *ast.TypeAssertExpr:
+		return fa.root(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fa.root(e.X)
+		}
+	}
+	return "", false
+}
+
+// aliasable reports whether binding rhs to a new name can make that
+// name share storage with the rooted field: address-of and type
+// assertions always do; otherwise only reference types do.
+func (fa *fieldAnalysis) aliasable(rhs ast.Expr) bool {
+	switch e := unparen(rhs).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return true // &x.f
+		}
+	case *ast.TypeAssertExpr:
+		return true // x.f.(T)
+	}
+	if fa.info == nil {
+		return true
+	}
+	tv, ok := fa.info.Types[rhs]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	return isRefType(tv.Type)
+}
+
+func (fa *fieldAnalysis) aliasableIdent(id *ast.Ident) bool {
+	if fa.info == nil {
+		return true
+	}
+	obj := fa.objectOf(id)
+	if obj == nil || obj.Type() == nil {
+		return true
+	}
+	return isRefType(obj.Type())
+}
+
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func (fa *fieldAnalysis) isReceiver(id *ast.Ident) bool {
+	return fa.objectOf(id) == fa.recv
+}
+
+func (fa *fieldAnalysis) objectOf(id *ast.Ident) types.Object {
+	if fa.info == nil {
+		return nil
+	}
+	if obj := fa.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return fa.info.Uses[id]
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -16,7 +16,9 @@ import (
 )
 
 // Deterministic lists the package-path suffixes whose iteration order
-// is contractual. A package outside this list can opt in with a
+// is contractual. Everything under cmd/ is deterministic too — the
+// frontends render the tables and CSV whose byte-identity the campaign
+// scheduler guarantees. A package outside both sets can opt in with a
 // //atlint:deterministic marker comment.
 var Deterministic = []string{
 	"internal/core",
@@ -75,6 +77,9 @@ func run(pass *analysis.Pass) error {
 }
 
 func deterministic(pass *analysis.Pass) bool {
+	if strings.HasPrefix(pass.PkgPath, "cmd/") || strings.Contains(pass.PkgPath, "/cmd/") {
+		return true
+	}
 	for _, suffix := range Deterministic {
 		if pass.PkgPath == suffix || strings.HasSuffix(pass.PkgPath, "/"+suffix) {
 			return true

@@ -72,7 +72,7 @@ func justifiedTrailing(m map[string]int) int {
 
 func staleDirective(xs []int) int {
 	total := 0
-	//atlint:ordered slice iteration never needed this // want "unused //atlint:ordered directive"
+	//atlint:ordered slice iteration never needed this // want "unused .*ordered directive"
 	for _, v := range xs {
 		total += v
 	}

@@ -21,6 +21,19 @@ func TestDirectiveParsing(t *testing.T) {
 		{"allow", "", true},          // missing analyzer
 		{"deterministic", "", false}, // package marker
 		{"frobnicate", "", true},     // unknown verb
+		// Analyzer-owned marker verbs.
+		{"hotpath", "", false},
+		{"hotpath the per-access loop", "", false},
+		{"inline", "", false},
+		{"guardedby mu", "", false},
+		{"guardedby", "", true}, // missing mutex name
+		{"locked mu Export holds it", "", false},
+		{"locked mu", "", true}, // missing justification
+		{"locked", "", true},    // missing guard
+		{"noreset slab remainder is zeroed", "", false},
+		{"noreset", "", true}, // missing justification
+		{"frontend progress output", "", false},
+		{"frontend", "", true}, // missing justification
 	} {
 		d := parseDirective(token.NoPos, tc.body)
 		if (d.bad != "") != tc.bad {
@@ -102,4 +115,231 @@ func b() {} //atlint:allow nondet covered same line
 // posAtLine fabricates a Pos on the given line of the file containing base.
 func posAtLine(fset *token.FileSet, base token.Pos, line int) token.Pos {
 	return fset.File(base).LineStart(line)
+}
+
+func parseTestFile(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// TestChainedDirectivesOneLine: several directives may share a comment;
+// each parses independently with its own position.
+func TestChainedDirectivesOneLine(t *testing.T) {
+	src := `package p
+
+//atlint:hotpath //atlint:inline the PR 7 cost contract
+func a() {}
+
+//atlint:allow nondet logging //atlint:allow detrange keyed table
+func b() {}
+`
+	fset, f := parseTestFile(t, src)
+	ds := parseDirectives(fset, []*ast.File{f})
+	line3 := ds["fix.go"][3]
+	if len(line3) != 2 || line3[0].verb != "hotpath" || line3[1].verb != "inline" {
+		t.Fatalf("chained markers on line 3 = %+v, want hotpath then inline", line3)
+	}
+	if line3[0].pos == line3[1].pos {
+		t.Errorf("chained directives share a position")
+	}
+	line6 := ds["fix.go"][6]
+	if len(line6) != 2 || line6[0].analyzer != "nondet" || line6[1].analyzer != "detrange" {
+		t.Fatalf("chained suppressions on line 6 = %+v", line6)
+	}
+	for _, d := range append(line3, line6...) {
+		if d.bad != "" {
+			t.Errorf("chained directive %q parsed as malformed: %s", d.verb, d.bad)
+		}
+	}
+	// Prose that merely mentions //atlint: mid-comment is not a directive.
+	prose := `package p
+
+// See the //atlint:ordered docs for the justification format.
+func a() {}
+`
+	fset2, f2 := parseTestFile(t, prose)
+	if n := len(parseDirectives(fset2, []*ast.File{f2})); n != 0 {
+		t.Errorf("prose comment parsed as %d directive lines", n)
+	}
+}
+
+// TestMarkersNotReportedUnused: marker verbs have no framework-side use
+// tracking, so a hotpath marker must never show up as an unused
+// suppression even when hotalloc is in the run set.
+func TestMarkersNotReportedUnused(t *testing.T) {
+	src := `package p
+
+//atlint:hotpath
+func hot() {}
+
+//atlint:noreset backing kept for the next tenant
+var x int
+
+//atlint:frontend progress output
+func main2() {}
+`
+	fset, f := parseTestFile(t, src)
+	sup := newSuppressor(fset, []*ast.File{f})
+	diags := sup.leftovers(map[string]bool{"hotalloc": true, "resetdiscipline": true, "nondet": true})
+	if len(diags) != 0 {
+		t.Errorf("markers reported as leftovers: %v", diags)
+	}
+}
+
+// TestMarkersDoNotSuppress: a marker on the line above a finding must
+// not swallow it the way //atlint:allow would.
+func TestMarkersDoNotSuppress(t *testing.T) {
+	src := `package p
+
+//atlint:hotpath
+func hot() {}
+`
+	fset, f := parseTestFile(t, src)
+	sup := newSuppressor(fset, []*ast.File{f})
+	if sup.suppresses("hotalloc", posAtLine(fset, f.Pos(), 4)) {
+		t.Error("marker acted as a suppression")
+	}
+}
+
+// TestMalformedMarkerVerbsReported: guardedby without a target, locked
+// and noreset without justifications are framework-level errors.
+func TestMalformedMarkerVerbsReported(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	//atlint:guardedby
+	n int
+}
+
+//atlint:locked
+func helper() {}
+
+type T struct {
+	//atlint:noreset
+	keep int
+}
+`
+	fset, f := parseTestFile(t, src)
+	sup := newSuppressor(fset, []*ast.File{f})
+	diags := sup.leftovers(nil)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	joined := ""
+	for _, d := range diags {
+		joined += d.Message + "\n"
+		if d.Analyzer != "atlint" {
+			t.Errorf("malformed marker attributed to %q, want atlint", d.Analyzer)
+		}
+	}
+	for _, want := range []string{
+		"guardedby needs the guarding mutex field name",
+		"locked needs the held guard name",
+		"noreset needs a justification",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+// TestCommentMarkersOnDecls: markers attach through Doc comments on any
+// declaration shape — functions, methods, struct fields, and fields
+// with trailing line comments.
+func TestCommentMarkersOnDecls(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+//atlint:hotpath
+func free() {}
+
+type T struct{ mu sync.Mutex }
+
+//atlint:hotpath //atlint:inline keep under budget
+func (t *T) Method() {}
+
+type S struct {
+	mu sync.Mutex
+	//atlint:guardedby mu
+	a int
+	b int //atlint:guardedby mu trailing style
+}
+`
+	fset, f := parseTestFile(t, src)
+	_ = fset
+	var freeFn, method *ast.FuncDecl
+	var structS *ast.StructType
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Name.Name == "free" {
+				freeFn = d
+			}
+			if d.Name.Name == "Method" {
+				method = d
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == "S" {
+					structS = ts.Type.(*ast.StructType)
+				}
+			}
+		}
+	}
+	if ms := CommentMarkers(freeFn.Doc); len(ms) != 1 || ms[0].Verb != "hotpath" {
+		t.Errorf("free markers = %+v", ms)
+	}
+	ms := CommentMarkers(method.Doc)
+	if len(ms) != 2 || ms[0].Verb != "hotpath" || ms[1].Verb != "inline" {
+		t.Errorf("method markers = %+v", ms)
+	}
+	var sawDoc, sawTrailing bool
+	for _, field := range structS.Fields.List {
+		for _, m := range CommentMarkers(field.Doc, field.Comment) {
+			if m.Verb != "guardedby" || !strings.HasPrefix(m.Args, "mu") {
+				t.Errorf("field marker = %+v", m)
+			}
+			switch field.Names[0].Name {
+			case "a":
+				sawDoc = true
+			case "b":
+				sawTrailing = true
+			}
+		}
+	}
+	if !sawDoc || !sawTrailing {
+		t.Errorf("field markers missed: doc=%v trailing=%v", sawDoc, sawTrailing)
+	}
+}
+
+func TestFileMarkersAndPackageMarker(t *testing.T) {
+	src := `package p
+
+//atlint:hotpath
+func a() {}
+
+//atlint:frontend reads the clock for progress
+func b() {}
+`
+	fset, f := parseTestFile(t, src)
+	_ = fset
+	ms := FileMarkers(f, "hotpath", "inline")
+	if len(ms) != 1 || ms[0].Verb != "hotpath" {
+		t.Errorf("FileMarkers = %+v", ms)
+	}
+	if !HasPackageMarker([]*ast.File{f}, "frontend") {
+		t.Error("frontend package marker not found")
+	}
+	if HasPackageMarker([]*ast.File{f}, "deterministic") {
+		t.Error("phantom deterministic marker")
+	}
 }

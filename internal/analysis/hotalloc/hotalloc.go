@@ -1,0 +1,311 @@
+// Package hotalloc statically enforces the flat hot path from PR 7:
+// functions marked //atlint:hotpath must be free of steady-state heap
+// allocation, and functions marked //atlint:inline must stay under the
+// compiler's inlining budget. It is the compile-time twin of the
+// AllocsPerRun==0 benchmarks and the manual `-m=2` cost checks those
+// replaced — a new scheme backend that sneaks an allocation into its
+// Walk loop now fails lint, not a benchmark session three PRs later.
+//
+// The analyzer has two layers:
+//
+//   - The compiler layer reads real escape-analysis and inliner
+//     diagnostics through internal/analysis/gcdiag (collected once in
+//     the Init hook by building with -gcflags=-m=2). It is exact: it
+//     sees allocations the AST can't prove (interface conversions,
+//     captured variables moved to the heap) and it knows the true
+//     inlining cost. Escapes that exist only on panic paths are
+//     exempt — a bounds-check panic's message concat never runs in
+//     steady state.
+//
+//   - The static layer walks the AST for constructs that always
+//     allocate: make, new, slice/map literals, &T{} literals, append,
+//     closures, go statements, and non-constant string concatenation.
+//     It runs when the compiler layer is unavailable — mismatched
+//     toolchain (gcdiag's dialect pin) or an analysistest fixture,
+//     where no real build exists. Allocations on crash paths (blocks
+//     that cannot reach the function's exit, per the CFG) are exempt
+//     for the same reason panic escapes are.
+//
+// Markers attach to function declarations; a hotpath/inline marker
+// anywhere else is itself reported.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+
+	"atscale/internal/analysis"
+	"atscale/internal/analysis/cfg"
+	"atscale/internal/analysis/gcdiag"
+)
+
+// report holds the compiler diagnostics collected by Init; nil when the
+// bridge did not run (fixture tests, mismatched toolchain).
+var report *gcdiag.Report
+
+// SetReport installs a diagnostics report directly. It exists for
+// tests that exercise the compiler layer against synthetic or canned
+// diagnostics; Lint invocations populate the report through Init.
+func SetReport(r *gcdiag.Report) { report = r }
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "hot-path functions must not allocate; inline-marked functions must inline\n\n" +
+		"Functions marked //atlint:hotpath form the per-access simulation loop\n" +
+		"(walker.Walk, cache and TLB lookups, Phys.Read64, scheme Walk\n" +
+		"implementations). A heap allocation there turns the zero-alloc steady\n" +
+		"state back into GC pressure, so any steady-state escape is a finding;\n" +
+		"panic-path allocations are exempt. //atlint:inline additionally pins\n" +
+		"the function under the compiler's inlining budget, replacing the\n" +
+		"manual -gcflags=-m=2 cost audit.",
+	Run:  run,
+	Init: initBridge,
+}
+
+// initBridge collects compiler diagnostics for the whole lint scope,
+// once, before any package is analyzed. On a toolchain outside the
+// pinned line the bridge is skipped with a warning: the static layer
+// still runs, so the lint result degrades rather than lies.
+func initBridge(dir string, patterns []string) error {
+	v, err := gcdiag.ToolchainVersion()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atlint: hotalloc: cannot determine toolchain (%v); compiler-diagnostics checks skipped\n", err)
+		return nil
+	}
+	if !gcdiag.ToolchainMatches(v) {
+		fmt.Fprintf(os.Stderr, "atlint: hotalloc: toolchain %s is outside the pinned %s line; compiler-diagnostics checks (escapes, inline budgets) skipped, static checks still run\n", v, gcdiag.Toolchain)
+		return nil
+	}
+	r, err := gcdiag.Collect(dir, patterns)
+	if err != nil {
+		return err
+	}
+	report = r
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		consumed := make(map[token.Pos]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			var hot, inline bool
+			for _, m := range analysis.CommentMarkers(fd.Doc) {
+				switch m.Verb {
+				case "hotpath":
+					hot, consumed[m.Pos] = true, true
+				case "inline":
+					inline, consumed[m.Pos] = true, true
+				}
+			}
+			if fd.Body == nil {
+				if hot || inline {
+					pass.Reportf(fd.Pos(), "hotpath/inline marker on a bodiless declaration: nothing to check")
+				}
+				continue
+			}
+			if hot {
+				checkHotpath(pass, fd)
+			}
+			if inline {
+				checkInline(pass, fd)
+			}
+		}
+		for _, m := range analysis.FileMarkers(f, "hotpath", "inline") {
+			if !consumed[m.Pos] {
+				pass.Reportf(m.Pos, "//atlint:%s attaches to a function declaration's doc comment; nothing here for hotalloc to check", m.Verb)
+			}
+		}
+	}
+	return nil
+}
+
+// checkHotpath verifies the function body allocates nothing in steady
+// state, preferring compiler escape diagnostics and falling back to the
+// static construct scan.
+func checkHotpath(pass *analysis.Pass, fd *ast.FuncDecl) {
+	crash := crashRanges(fd, pass.TypesInfo)
+	pos := pass.Fset.Position(fd.Pos())
+	if report != nil {
+		end := pass.Fset.Position(fd.End())
+		for _, e := range report.EscapesIn(pos.Filename, pos.Line, end.Line) {
+			if e.PanicOnly {
+				continue
+			}
+			p := posFor(pass.Fset, fd, e.Line, e.Col)
+			if onCrashPath(crash, p) {
+				continue
+			}
+			pass.Reportf(p, "steady-state heap allocation in //atlint:hotpath function %s: %s",
+				fd.Name.Name, e.What)
+		}
+		return
+	}
+	staticScan(pass, fd, crash)
+}
+
+// staticScan flags AST constructs that always allocate. It is the
+// fallback proof when no compiler report exists, so it errs toward
+// reporting: a construct the escape analysis would have proven
+// stack-bound still fails here, and the fix (hoist it out of the hot
+// path) is the right one anyway.
+func staticScan(pass *analysis.Pass, fd *ast.FuncDecl, crash []posRange) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if onCrashPath(crash, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && isBuiltin(pass, id) {
+				switch id.Name {
+				case "make", "new", "append":
+					pass.Reportf(n.Pos(), "%s in //atlint:hotpath function %s allocates; preallocate outside the loop", id.Name, fd.Name.Name)
+				case "panic":
+					// Panic arguments never run in steady state.
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if allocatingLiteral(pass, n) {
+				pass.Reportf(n.Pos(), "composite literal in //atlint:hotpath function %s allocates; hoist it to a field or package variable", fd.Name.Name)
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in //atlint:hotpath function %s heap-allocates", fd.Name.Name)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //atlint:hotpath function %s may allocate its capture; use a method value bound at setup time", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //atlint:hotpath function %s allocates a goroutine", fd.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstantString(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation in //atlint:hotpath function %s allocates", fd.Name.Name)
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkInline verifies the compiler judged the function inlinable. The
+// check needs real diagnostics; without a report it is skipped (Init
+// already warned once).
+func checkInline(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if report == nil {
+		return
+	}
+	pos := pass.Fset.Position(fd.Pos())
+	in, ok := report.InlineAt(pos.Filename, pos.Line)
+	if !ok {
+		pass.Reportf(fd.Pos(), "no inliner verdict for //atlint:inline function %s: the compiler emitted neither `can inline` nor `cannot inline` (is the package part of the lint build?)", fd.Name.Name)
+		return
+	}
+	if !in.CanInline {
+		msg := in.Reason
+		if msg == "" {
+			msg = "no reason given"
+		}
+		pass.Reportf(fd.Pos(), "//atlint:inline function %s no longer inlines: %s", fd.Name.Name, msg)
+	}
+}
+
+// posRange is a [start, end] source span.
+type posRange struct{ from, to token.Pos }
+
+// crashRanges returns the source spans of CFG blocks that cannot reach
+// the function exit — code that runs only on the way to a panic.
+func crashRanges(fd *ast.FuncDecl, info *types.Info) []posRange {
+	g := cfg.New(fd.Body, info)
+	reach := g.CanReachExit()
+	var out []posRange
+	for _, b := range g.Blocks {
+		if reach[b] || len(b.Nodes) == 0 {
+			continue
+		}
+		// Unreachable-from-entry scratch blocks (dead code after
+		// return) also land here; exempting them is harmless.
+		for _, n := range b.Nodes {
+			out = append(out, posRange{from: n.Pos(), to: n.End()})
+		}
+	}
+	return out
+}
+
+func onCrashPath(crash []posRange, p token.Pos) bool {
+	for _, r := range crash {
+		if p >= r.from && p <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// posFor converts a (line, col) inside the function's file back to a
+// token.Pos, falling back to the declaration when the line is unknown.
+func posFor(fset *token.FileSet, fd *ast.FuncDecl, line, col int) token.Pos {
+	tf := fset.File(fd.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return fd.Pos()
+	}
+	p := tf.LineStart(line)
+	if col > 1 {
+		p += token.Pos(col - 1)
+	}
+	return p
+}
+
+func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// allocatingLiteral reports whether a composite literal necessarily
+// heap-allocates: slice and map literals do; array and struct values
+// can live on the stack.
+func allocatingLiteral(pass *analysis.Pass, cl *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func isNonConstantString(pass *analysis.Pass, be *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[be]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constant-folded at compile time
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,101 @@
+// Package hot exercises the static (no compiler report) layer of
+// hotalloc: every construct that always allocates must be flagged
+// inside //atlint:hotpath functions and ignored everywhere else.
+package hot
+
+import "strconv"
+
+type Pool struct {
+	bufs [][]uint64
+	fn   func() uint64
+}
+
+// setup is unmarked: allocation here is fine.
+func setup(n int) []uint64 { return make([]uint64, n) }
+
+func helper(ch chan int) { ch <- 1 }
+
+//atlint:hotpath
+func badMake(n int) []uint64 {
+	return make([]uint64, n) // want "make in //atlint:hotpath function badMake allocates"
+}
+
+//atlint:hotpath
+func badNew() *int {
+	return new(int) // want "new in //atlint:hotpath function badNew allocates"
+}
+
+//atlint:hotpath
+func badAppend(s []int, v int) []int {
+	return append(s, v) // want "append in //atlint:hotpath function badAppend allocates"
+}
+
+//atlint:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want "composite literal in //atlint:hotpath function badSliceLit allocates"
+}
+
+//atlint:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want "composite literal in //atlint:hotpath function badMapLit allocates"
+}
+
+//atlint:hotpath
+func badPtrLit() *Pool {
+	return &Pool{} // want "&composite literal in //atlint:hotpath function badPtrLit heap-allocates"
+}
+
+//atlint:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want "closure in //atlint:hotpath function badClosure"
+}
+
+//atlint:hotpath
+func badGo(ch chan int) {
+	go helper(ch) // want "go statement in //atlint:hotpath function badGo allocates a goroutine"
+}
+
+//atlint:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation in //atlint:hotpath function badConcat allocates"
+}
+
+// Constant concatenation folds at compile time: clean.
+//
+//atlint:hotpath
+func constConcat() string {
+	return "a" + "b"
+}
+
+// Allocation feeding a panic runs only on the crash path: clean.
+//
+//atlint:hotpath
+func guarded(i, n int) int {
+	if i >= n {
+		msg := "index " + strconv.Itoa(i)
+		panic(msg)
+	}
+	return i
+}
+
+// A method body with no allocating constructs: clean.
+//
+//atlint:hotpath
+func (p *Pool) Access(i int) uint64 {
+	if p.fn != nil {
+		return p.fn()
+	}
+	return uint64(len(p.bufs))
+}
+
+// Inline checks need compiler diagnostics; with none, the marker is
+// accepted silently.
+//
+//atlint:inline contract verified only under the pinned toolchain
+func cheap(a int) int { return a + 1 }
+
+//atlint:hotpath // want "attaches to a function declaration"
+var sink int
+
+var _ = []interface{}{setup, badMake, badNew, badAppend, badSliceLit, badMapLit,
+	badPtrLit, badClosure, badGo, badConcat, constConcat, guarded, cheap, sink}

@@ -1,0 +1,31 @@
+// Package hotgc exercises the compiler-diagnostics layer: the test
+// installs a canned -m=2 transcript whose line numbers point into this
+// file, so keep the layout stable (escapes at lines 11 and 13, Add
+// declared at 19, Big at 22, Ghost at 31).
+package hotgc
+
+type Stats struct{ vals []uint64 }
+
+//atlint:hotpath
+func Sum(s *Stats) uint64 {
+	acc := uint64(0) // want "steady-state heap allocation in //atlint:hotpath function Sum"
+	for _, v := range s.vals {
+		acc += v
+	}
+	return acc
+}
+
+//atlint:inline pinned under budget; the canned verdict is cost 4
+func Add(a, b uint64) uint64 { return a + b }
+
+//atlint:inline must stay cheap for the per-access loop
+func Big(n int) uint64 { // want "no longer inlines: function too complex: cost 196 exceeds budget 80"
+	var t uint64
+	for i := 0; i < n; i++ {
+		t += uint64(i)
+	}
+	return t
+}
+
+//atlint:inline the canned transcript has no verdict for this one
+func Ghost() {} // want "no inliner verdict"

@@ -1,0 +1,431 @@
+// Package lockguard proves, along every control-flow path, that fields
+// annotated //atlint:guardedby mu are only touched while the named
+// mutex is held.
+//
+// The campaign runner shares telemetry structures between worker
+// goroutines; an unguarded read is a data race that -race only catches
+// if a test happens to interleave the two sides. lockguard makes the
+// guard discipline a static property instead: each annotated field
+// records which sibling mutex protects it, and every function in the
+// package is checked with a must-hold dataflow analysis over its CFG —
+// s.mu.Lock() adds the chain "s.mu" to the fact, Unlock removes it,
+// and facts intersect at merges, so a lock held on only one arm of a
+// branch does not count. Functions that run with the lock already held
+// declare it with //atlint:locked mu <why>, which seeds the entry fact.
+//
+// Scope and soundness choices:
+//
+//   - Chains are syntactic paths rooted at a variable (s.mu,
+//     pool.mu, w.core.mu); two spellings of the same mutex through
+//     different aliases are different chains, so aliasing a guarded
+//     struct hides it from the proof. The repo's guarded state is
+//     always reached through one name, which keeps the check exact in
+//     practice.
+//   - defer s.mu.Unlock() does not clear the fact: the unlock runs at
+//     return, after every access the analysis is about to check.
+//     Deferred closures are skipped entirely — they run under the lock
+//     state at return, which a forward analysis does not model.
+//   - Closures inherit the lock fact at the point they appear
+//     (lexically); goroutine bodies therefore check against the
+//     spawning context, which is conservative in the right direction.
+//   - Constructors (functions whose results include the owning type)
+//     are exempt for that type's fields: state is not shared before it
+//     is published.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"atscale/internal/analysis"
+	"atscale/internal/analysis/cfg"
+	"atscale/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "//atlint:guardedby fields must be accessed with their mutex held\n\n" +
+		"Annotated fields name the sibling mutex that protects them; a\n" +
+		"must-hold dataflow analysis over each function's CFG verifies the\n" +
+		"mutex is held on every path reaching an access. //atlint:locked mu\n" +
+		"<why> seeds the fact for functions documented as called with the\n" +
+		"lock held.",
+	Run: run,
+}
+
+// guardInfo records the protection contract of one annotated field.
+type guardInfo struct {
+	guard string       // sibling mutex field name
+	owner *types.Named // struct type declaring the field
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuards(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		consumed := map[token.Pos]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, guarded: guarded, exempt: constructedTypes(pass, fd)}
+			entry := dataflow.Set{}
+			for _, m := range analysis.CommentMarkers(fd.Doc) {
+				if m.Verb != "locked" {
+					continue
+				}
+				consumed[m.Pos] = true
+				if chain, ok := c.lockedEntry(fd, m); ok {
+					entry[chain] = true
+				} else {
+					pass.Reportf(m.Pos, "//atlint:locked %s: the receiver has no field %q to hold",
+						m.Args, firstToken(m.Args))
+				}
+			}
+			c.check(fd.Body, entry)
+		}
+		for _, m := range analysis.FileMarkers(f, "locked") {
+			if !consumed[m.Pos] {
+				pass.Reportf(m.Pos, "//atlint:locked attaches to a function declaration; nothing here for lockguard to check")
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuards finds //atlint:guardedby fields and validates that the
+// named guard is a sibling sync.Mutex/RWMutex.
+func collectGuards(pass *analysis.Pass) map[types.Object]guardInfo {
+	guarded := map[types.Object]guardInfo{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		consumed := map[token.Pos]bool{}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				var owner *types.Named
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					owner, _ = obj.Type().(*types.Named)
+				}
+				for _, field := range st.Fields.List {
+					for _, m := range analysis.CommentMarkers(field.Doc, field.Comment) {
+						if m.Verb != "guardedby" {
+							continue
+						}
+						consumed[m.Pos] = true
+						guard := firstToken(m.Args)
+						if !hasMutexField(st, pass.TypesInfo, guard) {
+							pass.Reportf(m.Pos, "//atlint:guardedby names %q, which is not a sync.Mutex or sync.RWMutex field of %s",
+								guard, ts.Name.Name)
+							continue
+						}
+						for _, id := range field.Names {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								guarded[obj] = guardInfo{guard: guard, owner: owner}
+							}
+						}
+					}
+				}
+			}
+		}
+		for _, m := range analysis.FileMarkers(f, "guardedby") {
+			if !consumed[m.Pos] {
+				pass.Reportf(m.Pos, "//atlint:guardedby attaches to a struct field; nothing here for lockguard to check")
+			}
+		}
+	}
+	return guarded
+}
+
+// checker runs the must-hold analysis over one function (and, via
+// recursion, its non-deferred closures).
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[types.Object]guardInfo
+	exempt  map[*types.Named]bool
+	uniq    int
+}
+
+// check solves the lock facts for body and reports unguarded accesses.
+func (c *checker) check(body *ast.BlockStmt, entry dataflow.Set) {
+	g := cfg.New(body, c.pass.TypesInfo)
+	in := dataflow.Forward(g, entry, dataflow.Must, func(b *cfg.Block, fact dataflow.Set) dataflow.Set {
+		for _, n := range b.Nodes {
+			c.applyEffects(n, fact)
+		}
+		return fact
+	})
+	for _, b := range g.Blocks {
+		fact := in[b]
+		if fact == nil {
+			continue // unreachable: vacuously safe
+		}
+		fact = fact.Clone()
+		for _, n := range b.Nodes {
+			c.checkNode(n, fact)
+			c.applyEffects(n, fact)
+		}
+	}
+}
+
+// applyEffects updates fact with the Lock/Unlock calls in node.
+// Deferred statements and closure bodies do not execute here, so they
+// contribute nothing.
+func (c *checker) applyEffects(node ast.Node, fact dataflow.Set) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				fact[c.render(sel.X)] = true
+			case "Unlock", "RUnlock":
+				delete(fact, c.render(sel.X))
+			}
+		}
+		return true
+	})
+}
+
+// checkNode reports guarded-field accesses in node that the current
+// fact does not cover. Closures recurse with the lexical fact.
+func (c *checker) checkNode(node ast.Node, fact dataflow.Set) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.FuncLit:
+			c.check(n.Body, fact.Clone())
+			return false
+		case *ast.SelectorExpr:
+			sel, ok := c.pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			gi, ok := c.guarded[sel.Obj()]
+			if !ok || c.exempt[gi.owner] {
+				return true
+			}
+			required := c.render(n.X) + "." + gi.guard
+			if !fact[required] {
+				c.pass.Reportf(n.Pos(), "access to %s.%s (guarded by %q) without holding %s.%s on every path",
+					renderSource(n.X), n.Sel.Name, gi.guard, renderSource(n.X), gi.guard)
+			}
+		}
+		return true
+	})
+}
+
+// lockedEntry resolves an //atlint:locked marker to a held chain: the
+// receiver's guard field.
+func (c *checker) lockedEntry(fd *ast.FuncDecl, m analysis.Marker) (string, bool) {
+	guard := firstToken(m.Args)
+	if guard == "" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", false
+	}
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return "", false
+	}
+	recv := c.pass.TypesInfo.Defs[names[0]]
+	if recv == nil || !typeHasField(recv.Type(), guard) {
+		return "", false
+	}
+	return objKey(recv) + "." + guard, true
+}
+
+// render canonicalizes an expression into a chain string. Expressions
+// that cannot name stable storage (calls, arbitrary index math) render
+// to a fresh unique string, so locking through them protects nothing
+// and requiring them matches nothing — the conservative direction for a
+// must analysis.
+func (c *checker) render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return c.fresh()
+		}
+		return objKey(obj)
+	case *ast.SelectorExpr:
+		return c.render(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return c.render(e.X)
+	case *ast.StarExpr:
+		return c.render(e.X) // (*p).mu and p.mu are the same storage
+	case *ast.IndexExpr:
+		return c.render(e.X) + "[" + c.renderIndex(e.Index) + "]"
+	}
+	return c.fresh()
+}
+
+func (c *checker) renderIndex(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return c.render(e)
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return c.fresh()
+}
+
+func (c *checker) fresh() string {
+	c.uniq++
+	return fmt.Sprintf("?%d", c.uniq)
+}
+
+// objKey identifies a variable uniquely within the package: name plus
+// declaration position disambiguates shadowing.
+func objKey(obj types.Object) string {
+	return fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+}
+
+// renderSource prints an expression chain the way the user wrote it,
+// for diagnostics only.
+func renderSource(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderSource(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderSource(e.X)
+	case *ast.StarExpr:
+		return renderSource(e.X)
+	case *ast.IndexExpr:
+		return renderSource(e.X) + "[…]"
+	}
+	return "…"
+}
+
+// constructedTypes returns the named types fd publishes: result types
+// of a receiverless function. Accesses to their guarded fields inside
+// fd are pre-publication and exempt.
+func constructedTypes(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Named]bool {
+	if fd.Recv != nil || fd.Type.Results == nil {
+		return nil
+	}
+	out := map[*types.Named]bool{}
+	for _, res := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[res.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// hasMutexField reports whether the struct declares a field named
+// guard whose type is sync.Mutex or sync.RWMutex (or a pointer to one).
+func hasMutexField(st *ast.StructType, info *types.Info, guard string) bool {
+	if guard == "" {
+		return false
+	}
+	for _, field := range st.Fields.List {
+		match := false
+		for _, id := range field.Names {
+			if id.Name == guard {
+				match = true
+			}
+		}
+		if len(field.Names) == 0 && embeddedFieldName(field.Type) == guard {
+			match = true
+		}
+		if !match {
+			continue
+		}
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		return isMutexType(tv.Type)
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// typeHasField reports whether t (after pointer deref) is a struct
+// with a field of the given name.
+func typeHasField(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func embeddedFieldName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func firstToken(s string) string {
+	fs := strings.Fields(s)
+	if len(fs) == 0 {
+		return ""
+	}
+	return fs[0]
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"atscale/internal/analysis/analysistest"
+	"atscale/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "lock")
+}

@@ -1,0 +1,145 @@
+// Package lock exercises lockguard: straight-line lock/unlock windows,
+// must-intersection at branch joins, defer semantics, RWMutex read
+// locks, //atlint:locked entry seeding, closures, nested guard chains,
+// package-level state, constructor exemption, and marker hygiene.
+package lock
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	//atlint:guardedby mu
+	n int
+}
+
+// NewCounter touches n before the value is published: exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want "access to c.n .guarded by .mu.. without holding c.mu"
+}
+
+// HalfLocked holds the mutex on only one arm, so the join point does
+// not hold it on every path.
+func (c *Counter) HalfLocked(b bool) int {
+	if b {
+		c.mu.Lock()
+	}
+	v := c.n // want "without holding c.mu"
+	if b {
+		c.mu.Unlock()
+	}
+	return v
+}
+
+func (c *Counter) UseAfterUnlock() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want "without holding c.mu"
+}
+
+// Deferred unlock runs at return, after the access: clean.
+func (c *Counter) Deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Apply's closure inherits the lexically held lock: clean.
+func (c *Counter) Apply(f func(int) int) {
+	c.mu.Lock()
+	g := func() int { return c.n }
+	c.n = f(g())
+	c.mu.Unlock()
+}
+
+// Spawn's goroutine body checks against the spawning context, which
+// holds nothing.
+func (c *Counter) Spawn() {
+	go func() {
+		c.n++ // want "without holding c.mu"
+	}()
+}
+
+type Table struct {
+	mu sync.RWMutex
+	//atlint:guardedby mu
+	m map[string]int
+}
+
+func (t *Table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// sorted is documented as called with the lock held; the marker seeds
+// the entry fact.
+//
+//atlint:locked mu Get-side callers hold the read lock across the snapshot
+func (t *Table) size() int {
+	return len(t.m)
+}
+
+//atlint:locked zz never existed // want "the receiver has no field .zz. to hold"
+func (t *Table) broken() {}
+
+// store guards package-level pooled state.
+type store struct {
+	mu sync.Mutex
+	//atlint:guardedby mu
+	free []int
+}
+
+var pool store
+
+func Put(v int) {
+	pool.mu.Lock()
+	pool.free = append(pool.free, v)
+	pool.mu.Unlock()
+}
+
+func Steal() []int {
+	return pool.free // want "access to pool.free .guarded by .mu.. without holding pool.mu"
+}
+
+// Outer shows a nested chain: the guard is o.inner.mu.
+type Outer struct {
+	inner store
+}
+
+func (o *Outer) Use() int {
+	o.inner.mu.Lock()
+	defer o.inner.mu.Unlock()
+	return o.inner.free[0]
+}
+
+func (o *Outer) Misuse() int {
+	return o.inner.free[0] // want "without holding o.inner.mu"
+}
+
+// Wrong's guard target is not a mutex.
+type Wrong struct {
+	lock int
+	//atlint:guardedby lock // want "not a sync.Mutex or sync.RWMutex field of Wrong"
+	v int
+}
+
+//atlint:guardedby mu floats free // want "attaches to a struct field"
+func helper() {}
+
+//atlint:locked mu floats here as well // want "attaches to a function declaration"
+var x int
+
+var _ = []interface{}{helper, x}

@@ -13,13 +13,12 @@ import (
 	"atscale/internal/analysis"
 )
 
-// ExemptPackages lists package-path suffixes nondet skips entirely.
-// Command-line frontends may read the wall clock for progress output;
-// the simulator proper may not.
-var ExemptPackages = []string{
-	"cmd/atscale", "cmd/atperf", "cmd/atprof", "cmd/attrace", "cmd/atgen", "cmd/atlint",
-	"internal/analysis",
-}
+// Exemption is by declaration, not by path omission: a command-line
+// frontend that reads host state (wall clock for progress output)
+// carries a package-level //atlint:frontend <why> marker. The marker is
+// honored only under cmd/ — anywhere else it is itself a finding and
+// the package is checked anyway, so the simulator proper can never
+// opt out by accident.
 
 // wallClock lists time package functions that read host time.
 var wallClock = map[string]bool{
@@ -47,10 +46,21 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	for _, suffix := range ExemptPackages {
-		if pass.PkgPath == suffix || strings.HasSuffix(pass.PkgPath, "/"+suffix) {
-			return nil
+	var frontend []analysis.Marker
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
 		}
+		frontend = append(frontend, analysis.FileMarkers(f, "frontend")...)
+	}
+	if len(frontend) > 0 {
+		if isCmdPackage(pass.PkgPath) {
+			return nil // declared frontend: may read host state for UX
+		}
+		for _, m := range frontend {
+			pass.Reportf(m.Pos, "//atlint:frontend outside cmd/: only command-line frontends may read host state; simulator code stays deterministic")
+		}
+		// Fall through: the bogus exemption does not stop the check.
 	}
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
@@ -84,6 +94,11 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// isCmdPackage reports whether the import path is under a cmd/ tree.
+func isCmdPackage(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
 }
 
 // pkgLevelUse resolves sel to (package path, object) when sel is a

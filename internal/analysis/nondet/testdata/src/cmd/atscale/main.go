@@ -1,5 +1,7 @@
-// Package main matches nondet's frontend exemption list: CLIs may read
-// the wall clock for progress output.
+// Package main declares itself a frontend: CLIs may read the wall
+// clock for progress output, and under cmd/ the marker is honored.
+//
+//atlint:frontend progress output reads the wall clock
 package main
 
 import "time"

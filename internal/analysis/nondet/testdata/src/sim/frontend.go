@@ -1,0 +1,6 @@
+package sim
+
+// A frontend declaration outside cmd/ is a finding, and the package is
+// checked regardless (the time.Now/rand wants in sim.go still fire).
+//
+//atlint:frontend simulators do not get to claim this // want "outside cmd/: only command-line frontends may read host state"

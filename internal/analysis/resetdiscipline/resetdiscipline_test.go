@@ -1,0 +1,12 @@
+package resetdiscipline_test
+
+import (
+	"testing"
+
+	"atscale/internal/analysis/analysistest"
+	"atscale/internal/analysis/resetdiscipline"
+)
+
+func TestResetDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", resetdiscipline.Analyzer, "reset")
+}

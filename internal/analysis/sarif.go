@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF emission: the minimal, schema-valid subset of SARIF 2.1.0 that
+// GitHub code scanning consumes — one run, one driver, one rule per
+// analyzer, one result per diagnostic with a physical location. URIs
+// are emitted repo-relative so the upload annotates files regardless of
+// the runner's checkout path.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+	FullDescription  sarifText `json:"fullDescription,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. baseDir, when
+// non-empty, is stripped from file paths to produce repo-relative URIs.
+// The pseudo-analyzer "atlint" (directive hygiene findings) gets a rule
+// entry automatically when any of its diagnostics appear.
+func WriteSARIF(w io.Writer, fset *token.FileSet, baseDir string, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	seen := make(map[string]bool, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: firstLine(a.Doc)},
+			FullDescription:  sarifText{Text: a.Doc},
+		})
+		seen[a.Name] = true
+	}
+	for _, d := range diags {
+		if !seen[d.Analyzer] {
+			rules = append(rules, sarifRule{
+				ID:               d.Analyzer,
+				ShortDescription: sarifText{Text: "atlint directive hygiene"},
+			})
+			seen[d.Analyzer] = true
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		p := d.Posn(fset)
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error", // every atlint finding fails the build
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relativeURI(baseDir, p.Filename)},
+					Region:           sarifRegion{StartLine: p.Line, StartColumn: p.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "atlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relativeURI renders file relative to baseDir with forward slashes,
+// falling back to the path as-is when it is not under baseDir.
+func relativeURI(baseDir, file string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("/repo/internal/x/x.go", -1, 1000)
+	f.SetLines([]int{0, 100, 200, 300})
+	pos := f.LineStart(3) + 5
+
+	analyzers := []*Analyzer{
+		{Name: "detrange", Doc: "flag map iteration\n\nlong text"},
+		{Name: "hotalloc", Doc: "hot paths must not allocate"},
+	}
+	diags := []Diagnostic{
+		{Pos: pos, Message: "non-deterministic map iteration", Analyzer: "detrange"},
+		{Pos: pos, Message: "unknown directive //atlint:bogus", Analyzer: "atlint"},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, fset, "/repo", analyzers, diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string
+					Rules []struct {
+						ID               string
+						ShortDescription struct{ Text string }
+					}
+				}
+			}
+			Results []struct {
+				RuleID    string
+				Level     string
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct{ URI string }
+						Region           struct{ StartLine, StartColumn int }
+					}
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "atlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Rules: the two analyzers plus the auto-added atlint pseudo-rule,
+	// sorted by id.
+	ids := make([]string, len(run.Tool.Driver.Rules))
+	for i, r := range run.Tool.Driver.Rules {
+		ids[i] = r.ID
+	}
+	if strings.Join(ids, ",") != "atlint,detrange,hotalloc" {
+		t.Errorf("rule ids = %v", ids)
+	}
+	// First rule description must be the doc's first line only.
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "detrange" && r.ShortDescription.Text != "flag map iteration" {
+			t.Errorf("short description = %q", r.ShortDescription.Text)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "detrange" || res.Level != "error" {
+		t.Errorf("result rule/level = %q/%q", res.RuleID, res.Level)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/x/x.go" {
+		t.Errorf("URI = %q, want repo-relative internal/x/x.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 3 {
+		t.Errorf("startLine = %d, want 3", loc.Region.StartLine)
+	}
+}
+
+// TestWriteSARIFEmptyRun: a clean tree still yields a valid log with an
+// empty (non-null) results array — GitHub rejects null results.
+func TestWriteSARIFEmptyRun(t *testing.T) {
+	fset := token.NewFileSet()
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, fset, "", []*Analyzer{{Name: "nondet", Doc: "d"}}, nil); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty run must serialize results as []:\n%s", buf.String())
+	}
+}

@@ -125,6 +125,9 @@ func (c *Cache) touch(i uint64) {
 
 // Lookup probes for the line and refreshes its recency state on a hit. It
 // does not allocate on a miss (the hierarchy decides fills).
+//
+//atlint:hotpath
+//atlint:inline
 func (c *Cache) Lookup(line uint64) bool {
 	base := c.setBase(line)
 	c.clock++
@@ -279,6 +282,8 @@ func NewHierarchy(cfg *arch.SystemConfig) *Hierarchy {
 // Access performs a load of the line containing pa: it returns the
 // load-to-use latency and the level that satisfied it, then fills the line
 // into every level above the hit (mostly-inclusive, as on Haswell).
+//
+//atlint:hotpath
 func (h *Hierarchy) Access(pa arch.PAddr) (latency uint64, loc HitLoc) {
 	line := uint64(pa) >> 6 // arch.CacheLineSize == 64
 	switch {
@@ -308,6 +313,8 @@ func (h *Hierarchy) Access(pa arch.PAddr) (latency uint64, loc HitLoc) {
 // cycles accrued, identical to n sequential Access calls with the same
 // early-exit rule — the batched form exists so the page-table walker's
 // per-level loop stays inside one call frame.
+//
+//atlint:hotpath
 func (h *Hierarchy) AccessN(pas []arch.PAddr, overhead, budget uint64, lat []uint64, loc []HitLoc) (n int, cycles uint64) {
 	for i, pa := range pas {
 		l, where := h.Access(pa)

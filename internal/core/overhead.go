@@ -114,8 +114,9 @@ func SweepOverhead(cfg *RunConfig, spec *workloads.Spec) ([]OverheadPoint, error
 // and share its result), and all of a session's work runs on one bounded
 // worker pool.
 type Session struct {
-	cfg    *RunConfig
-	mu     sync.Mutex
+	cfg *RunConfig
+	mu  sync.Mutex
+	//atlint:guardedby mu
 	sweeps map[string]*sweepCall
 }
 

@@ -34,7 +34,8 @@ type machinePool struct {
 	mu sync.Mutex
 	// max bounds retained machines (the session's parallelism: more can
 	// never be in flight at once, so more could never be reused).
-	max  int
+	max int
+	//atlint:guardedby mu
 	free []*machine.Machine
 }
 

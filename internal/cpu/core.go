@@ -75,6 +75,8 @@ type Core struct {
 	recentLat float64
 
 	// ring holds recent demand VAs for wrong-path address synthesis.
+	//
+	//atlint:noreset stale entries are unreachable: Reset zeroes ringLen/ringPos and reads never go past ringLen
 	ring    [64]arch.VAddr
 	ringLen int
 	ringPos int
@@ -84,6 +86,8 @@ type Core struct {
 	// are usually no longer TLB-resident once the footprint outgrows the
 	// TLB — the mechanism that makes wrong-path walks scale with
 	// footprint (§V-D).
+	//
+	//atlint:noreset stale samples are unreachable: Reset zeroes reservoirLen and draws never go past it
 	reservoir    [8192]arch.VAddr
 	reservoirLen int
 

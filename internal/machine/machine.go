@@ -46,16 +46,19 @@ type Machine struct {
 
 	// Virtualization layer (nil on native machines). All tenants share
 	// hyp's EPT; as always aliases tenants[tenant].
-	hyp     *virt.Hypervisor
-	gphys   *virt.GuestPhys
+	hyp   *virt.Hypervisor
+	gphys *virt.GuestPhys
+	//atlint:noreset virt-only: Renew refuses virtualized machines (inst is nil), so the tenant list never crosses a pool reuse
 	tenants []*vm.AddrSpace
-	tenant  int
+	//atlint:noreset virt-only: Renew refuses virtualized machines, and SwitchTenant validates the index on every call
+	tenant int
 
 	// quiet-access translation cache (setup-phase fast path): a
 	// direct-mapped software TLB at 4 KB granularity, indexed by page
 	// number. quietPage holds each slot's page base (quietInvalidPage
 	// when empty) and quietFrame the matching physical frame base.
-	quietPage  [quietSlots]arch.VAddr
+	quietPage [quietSlots]arch.VAddr
+	//atlint:noreset stale frames cannot match: quietInvalidate (run by Renew) poisons every quietPage sentinel first
 	quietFrame [quietSlots]arch.PAddr
 
 	// promo, when non-nil, is the WCPI-guided hugepage promotion policy.

@@ -71,9 +71,13 @@ type Phys struct {
 
 	// slab is the current host allocation chunks are carved from;
 	// slab-carving keeps the Go allocator out of the per-chunk path.
+	//
+	//atlint:noreset leftover slab capacity is still-zeroed host memory; carving the next chunk from it is identical to carving from a fresh slab
 	slab []byte
 
 	// touched counts backing chunks materialized (host-memory telemetry).
+	//
+	//atlint:noreset Reset clears chunk contents but does not release them, so the lifetime materialization count stays accurate
 	touched uint64
 }
 
@@ -295,6 +299,8 @@ func (p *Phys) peek(pa arch.PAddr) *[chunkBytes]byte {
 }
 
 // Read64 loads the 8-byte word at pa, which must be 8-byte aligned.
+//
+//atlint:hotpath
 func (p *Phys) Read64(pa arch.PAddr) uint64 {
 	if pa&7 != 0 {
 		panic(fmt.Sprintf("mem: unaligned Read64(%#x)", uint64(pa)))

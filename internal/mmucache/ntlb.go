@@ -17,7 +17,8 @@ import (
 // the multi-tenant EPT-sharing benefit comes from.
 type NTLB struct {
 	entries []ntlbEntry
-	clock   uint64
+	//atlint:noreset replacement-age clock: Flush models an EPT invalidation, which empties entries but does not rewind hardware time (same model as PSC)
+	clock uint64
 }
 
 type ntlbEntry struct {

@@ -31,7 +31,8 @@ type entry struct {
 // levelCache is one fully-associative PSC array.
 type levelCache struct {
 	entries []entry
-	clock   uint64
+	//atlint:noreset flush deliberately keeps the clock running (an OS flush does not rewind replacement age); PSC.Reset rewinds it for pooled reuse
+	clock uint64
 }
 
 func newLevelCache(n int) *levelCache {

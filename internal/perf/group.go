@@ -7,10 +7,11 @@ import "fmt"
 // multi-window measurement (enable around each region of interest, read
 // once at the end) — the way one programs real PMU groups around phases.
 type Group struct {
-	read    func() Counters
-	events  []Event
-	acc     [NumEvents]uint64
-	start   Counters
+	read   func() Counters
+	events []Event
+	acc    [NumEvents]uint64
+	start  Counters
+	//atlint:noreset PERF_EVENT_IOC_RESET clears counts, not enablement; an enabled group keeps counting across Reset
 	enabled bool
 }
 

@@ -110,6 +110,8 @@ type dramCache struct {
 
 	// dcHits / dcMisses are per-walk probe scratch (accumulated by
 	// adjustLoad, copied into the Result after charging).
+	//
+	//atlint:noreset per-walk scratch: Walk zeroes both before accumulating, so nothing survives into the next walk
 	dcHits, dcMisses uint16
 
 	trk   *telemetry.Track
@@ -138,6 +140,8 @@ func (c *dramCache) adjustLoad(pa arch.PAddr, loc cache.HitLoc) int64 {
 
 // Walk implements walker.Engine: a standard radix walk whose
 // SRAM-missing loads are repriced through the stacked die.
+//
+//atlint:hotpath
 func (c *dramCache) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) walker.Result {
 	var r walker.Result
 	traceBegin(c.trk, c.clock)

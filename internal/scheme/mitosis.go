@@ -83,6 +83,8 @@ type numaWalker struct {
 
 	// sawRemote is per-walk scratch: set by adjustLoad when any PTE
 	// load was homed off the walking node.
+	//
+	//atlint:noreset per-walk scratch: Walk clears it on entry before any load is charged
 	sawRemote bool
 
 	trk   *telemetry.Track
@@ -119,6 +121,8 @@ func (w *numaWalker) adjustLoad(pa arch.PAddr, loc cache.HitLoc) int64 {
 }
 
 // Walk implements walker.Engine.
+//
+//atlint:hotpath
 func (w *numaWalker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) walker.Result {
 	var r walker.Result
 	traceBegin(w.trk, w.clock)

@@ -94,6 +94,8 @@ type victima struct {
 // hit short-circuits to the single leaf load, a miss takes the normal
 // radix walk (PSC entry point included) and, under pressure, installs
 // the block.
+//
+//atlint:hotpath
 func (v *victima) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) walker.Result {
 	var r walker.Result
 	traceBegin(v.trk, v.clock)

@@ -36,6 +36,8 @@ type path struct {
 // resolve fills p with the radix descent for va starting at (level,
 // base). The descent ends at a present leaf (ok) or a non-present entry
 // (fault at the last recorded step).
+//
+//atlint:hotpath
 func (p *path) resolve(phys *mem.Phys, va arch.VAddr, level arch.Level, base arch.PAddr) {
 	p.steps, p.ok = 0, false
 	for {
@@ -92,6 +94,8 @@ type loadAdjuster interface {
 // path's terminal outcome — Completed, and OK/Frame/Size on a present
 // leaf; a non-terminal call charges a partial descent (e.g. the replica
 // prefix a Mitosis walk read before falling back to the master table).
+//
+//atlint:hotpath
 func chargePath(p *path, caches *cache.Hierarchy, psc *mmucache.PSC, va arch.VAddr,
 	budget uint64, adj loadAdjuster, r *walker.Result, trk *telemetry.Track,
 	terminal bool) (aborted bool) {

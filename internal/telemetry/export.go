@@ -36,6 +36,8 @@ type jsonEvent struct {
 
 // sortedUnits returns the campaign units in name order, with their
 // serial-equivalent start offsets (the prefix sum of unit durations).
+//
+//atlint:locked mu Export is the only caller and holds tr.mu across the whole emission
 func (tr *Tracer) sortedUnits() ([]Unit, []uint64) {
 	units := append([]Unit(nil), tr.units...)
 	sort.Slice(units, func(i, j int) bool { return units[i].Name < units[j].Name })
@@ -100,7 +102,13 @@ func (tr *Tracer) Export(w io.Writer) error {
 			p.offset = offset
 			ew.emit(jsonEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
 				Args: map[string]any{"name": p.name}})
+			// Snapshot under the process lock: campaign workers may
+			// still be creating tracks while a mid-campaign export
+			// runs. tr.mu does not cover p.tracks — Process.Track
+			// takes only p.mu.
+			p.mu.Lock()
 			tracks := append([]*Track(nil), p.tracks...)
+			p.mu.Unlock()
 			sort.Slice(tracks, func(i, j int) bool { return tracks[i].name < tracks[j].name })
 			for ti, t := range tracks {
 				tid := ti + 1

@@ -194,6 +194,7 @@ type Process struct {
 	name   string
 	offset uint64
 	mu     sync.Mutex
+	//atlint:guardedby mu
 	tracks []*Track
 }
 
@@ -243,8 +244,10 @@ type Unit struct {
 // unit records. A nil *Tracer is the disabled tracer: every method is a
 // no-op returning nil, so call sites need no guards.
 type Tracer struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//atlint:guardedby mu
 	procs []*Process
+	//atlint:guardedby mu
 	units []Unit
 }
 

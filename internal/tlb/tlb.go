@@ -83,6 +83,8 @@ func (t *TLB) Holds(ps arch.PageSize) bool { return t.holds[ps] }
 
 // Lookup probes for a translation of va at any size the TLB holds,
 // refreshing LRU on a hit.
+//
+//atlint:hotpath
 func (t *TLB) Lookup(va arch.VAddr) (Entry, bool) {
 	if t.sets == 0 {
 		return Entry{}, false
@@ -241,6 +243,8 @@ func NewHierarchy(cfg *arch.SystemConfig) *Hierarchy {
 
 // Lookup translates va through the hierarchy. An STLB hit promotes the
 // translation into the appropriate L1 array, as hardware does.
+//
+//atlint:hotpath
 func (h *Hierarchy) Lookup(va arch.VAddr) Result {
 	for ps := arch.Page4K; ps < arch.NumPageSizes; ps++ {
 		if e, ok := h.l1[ps].Lookup(va); ok {

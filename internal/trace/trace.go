@@ -62,9 +62,11 @@ type Event struct {
 //	m.SetTracer(nil)
 //	w.Flush()
 type Writer struct {
-	w   *bufio.Writer
+	w *bufio.Writer
+	//atlint:noreset sticky first-error contract: Flush and Err report it; clearing it would hide a failed trace
 	err error
-	n   uint64
+	//atlint:noreset lifetime event count behind Events; Flush drains buffers, it does not end the trace
+	n uint64
 }
 
 // NewWriter starts a trace on out.

@@ -21,7 +21,10 @@ type Hashed struct {
 
 	// trk, when non-nil, receives one span per walk with a "hash" slice
 	// for the hash computation and one "probe" slice per cluster load.
-	trk   *telemetry.Track
+	//
+	//atlint:noreset trace attachment is session state owned by SetTrace; Flush models a TLB flush, not object recycling
+	trk *telemetry.Track
+	//atlint:noreset paired with trk: the timestamp source lives and dies with the trace attachment
 	clock func() uint64
 }
 

@@ -34,8 +34,11 @@ type Nested struct {
 	// guest PTE load; every EPT walk spans etrk with one slice per EPT
 	// entry load. The two tracks cross-sync so the dimensions interleave
 	// in walk order. clock supplies the shared simulated-cycle clock.
+	//
+	//atlint:noreset trace attachment is session state owned by SetTrace; Flush models a TLB flush, not object recycling
 	gtrk, etrk *telemetry.Track
-	clock      func() uint64
+	//atlint:noreset paired with gtrk/etrk: the timestamp source lives and dies with the trace attachment
+	clock func() uint64
 }
 
 // eptOutcome maps a failed EPT translation to the guest walk span's

@@ -242,6 +242,8 @@ const maxSteps = 5
 // Hierarchy.AccessN call. The observable outcome — cache state, PSC
 // contents, latencies, abort point — is identical to the per-level loop
 // it replaced; the flatgold differential tests hold it to that.
+//
+//atlint:hotpath
 func (w *Walker) Walk(va arch.VAddr, cr3 arch.PAddr, budget uint64) Result {
 	var r Result
 	if w.trk != nil {

@@ -4,8 +4,17 @@
 #	gofmt      formatting (fails on any unformatted file)
 #	go vet     stock vet analyzers
 #	staticcheck   (skipped with a warning if not installed)
-#	atlint     the project's domain-specific analyzers: detrange,
-#	           nondet, counterwrite, eventname (see DESIGN.md §10).
+#	atlint     the project's domain-specific analyzers (DESIGN.md §10, §15):
+#	           detrange, nondet, counterwrite, eventname, plus the
+#	           flow-sensitive v2 suite — hotalloc (//atlint:hotpath
+#	           functions stay heap-allocation-free, //atlint:inline
+#	           functions stay under the inliner budget, checked against
+#	           real `go build -gcflags=-m=2` diagnostics when the
+#	           toolchain matches the pinned go1.24), resetdiscipline
+#	           (Reset/Renew must reinitialize every mutable field or
+#	           carry //atlint:noreset <why>), and lockguard
+#	           (//atlint:guardedby mu fields only touched with the
+#	           mutex held on every CFG path).
 #	           detrange's deterministic-package list includes
 #	           internal/telemetry: the timeline tracer and exporter must
 #	           stay byte-identical across runs (DESIGN.md §11), and nondet
