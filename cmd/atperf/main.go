@@ -119,44 +119,9 @@ func run() error {
 	case *all:
 		fmt.Print(r.Counters.Format())
 	}
-	m := r.Metrics
-	ret, wp, ab := m.Outcomes.Fractions()
-	fmt.Printf(`
-derived:
-  CPI                          %8.3f
-  WCPI                         %8.4f
-  walk cycle fraction          %8.4f
-  TLB misses / kilo access     %8.2f
-  TLB misses / kilo instr      %8.2f
-  accesses / instruction       %8.3f
-  walker loads / walk          %8.3f
-  cycles / walker load         %8.1f
-  avg walk latency             %8.1f
-  STLB hit rate                %8.3f
-  PTE hit location L1/L2/L3/M  %6.1f%% %6.1f%% %6.1f%% %6.1f%%
-  walks retired/wrong/aborted  %6.1f%% %6.1f%% %6.1f%%
-`,
-		m.CPI, m.WCPI, m.WalkCycleFraction,
-		m.TLBMissesPerKiloAccess, m.TLBMissesPerKiloInstruction,
-		m.Eq1.AccessesPerInstruction, m.Eq1.WalkerLoadsPerWalk, m.Eq1.CyclesPerWalkerLoad,
-		m.AvgWalkCycles, m.STLBHitRate,
-		100*m.PTELocation[0], 100*m.PTELocation[1], 100*m.PTELocation[2], 100*m.PTELocation[3],
-		100*ret, 100*wp, 100*ab)
+	fmt.Print("\n" + r.Metrics.FormatDerived())
 	if *virt {
-		fmt.Printf(`
-virtualization:
-  guest walk cycles            %8d
-  EPT walk cycles              %8d
-  EPT walk share               %8.3f
-  nTLB hit rate                %8.3f
-  EPT walks completed          %8d
-  EPT walker loads             %8d
-  EPT PTE loc L1/L2/L3/M       %6.1f%% %6.1f%% %6.1f%% %6.1f%%
-`,
-			m.GuestWalkCycles, m.EPTWalkCycles, m.EPTShare, m.NTLBHitRate,
-			r.Counters.Get(perf.EPTWalkCompleted), m.EPTWalkerLoads,
-			100*m.EPTPTELocation[0], 100*m.EPTPTELocation[1],
-			100*m.EPTPTELocation[2], 100*m.EPTPTELocation[3])
+		fmt.Print("\n" + r.Metrics.FormatVirt(r.Counters.Get(perf.EPTWalkCompleted)))
 	}
 	return nil
 }

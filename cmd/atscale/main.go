@@ -72,6 +72,8 @@ func run() error {
 		refuteOut  = flag.String("refute-out", "", "with -refute: also write the refutation report as JSON to this file")
 		schemeName = flag.String("scheme", "", "translation scheme for every simulation: "+strings.Join(scheme.Names(), "|")+" (default radix)")
 		numaNodes  = flag.Int("numa-nodes", 0, "NUMA nodes (0/1: UMA; >1 enables the NUMA memory model and the deterministic migration schedule; mitosis defaults to 2)")
+		topdownOn  = flag.Bool("topdown", false, "collect per-unit counter deltas and print the top-down cycle attribution tree (campaign-wide plus per scheme group)")
+		topdownAB  = flag.String("topdown-diff", "", `signed attribution delta between two scheme groups, as "A,B" (e.g. radix,victima with the schemes experiment)`)
 	)
 	flag.Parse()
 
@@ -177,16 +179,31 @@ func run() error {
 	}
 	var checker *refute.Checker
 	if *refuteOn {
-		checker = refute.NewChecker()
+		// The campaign registry: the base identities plus the attribution
+		// tree's conservation laws, so -refute audits the tree too.
+		checker = core.NewCampaignChecker()
 		cfg.Refute = checker
 	} else if *refuteOut != "" {
 		return fmt.Errorf("-refute-out requires -refute")
+	}
+	var collector *core.TopdownCollector
+	if *topdownOn || *topdownAB != "" {
+		collector = core.NewTopdownCollector()
+		cfg.Topdown = collector
 	}
 	var stopTelemetry func()
 	if *telem != "" {
 		mon := telemetry.NewMonitor()
 		cfg.Monitor = mon
-		stop, err := startTelemetry(*telem, mon)
+		var hub *telemetry.Hub
+		if *telem != "stderr" {
+			// HTTP mode streams per-unit completion events to the
+			// dashboard; the hub is the only consumer, so stderr mode
+			// skips the per-unit publish entirely.
+			hub = telemetry.NewHub()
+			cfg.Events = hub
+		}
+		stop, err := startTelemetry(*telem, mon, hub)
 		if err != nil {
 			return err
 		}
@@ -243,6 +260,15 @@ func run() error {
 	}
 	if stopTelemetry != nil {
 		stopTelemetry()
+	}
+	if collector != nil {
+		block, err := renderTopdown(collector, *topdownOn, *topdownAB)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "== topdown: cycle attribution")
+		fmt.Println(block)
+		rendered.WriteString(block + "\n")
 	}
 	if checker != nil {
 		report := checker.Report()

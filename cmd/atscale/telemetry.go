@@ -1,10 +1,15 @@
 package main
 
+//atlint:frontend heartbeat loops timestamp throughput observations; wall time never reaches simulation state
+
 // Frontend half of the telemetry subsystem: everything that touches the
 // wall clock or the network lives here, in an exempt cmd package, so the
 // simulator proper (internal/telemetry included) stays free of
-// nondeterminism. The heartbeat loop and the HTTP endpoint only ever
-// *snapshot* the monitor's atomics; they perturb no simulation state.
+// nondeterminism. The heartbeat loops and the HTTP server only ever
+// *snapshot* the monitor's atomics and drain the event hub; they perturb
+// no simulation state. Wall-clock readings enter the monitor as plain
+// int64 nanos via ObserveThroughput, which keeps the throughput gauge in
+// internal/telemetry clock-free and unit-testable.
 
 import (
 	"fmt"
@@ -17,14 +22,16 @@ import (
 	"atscale/internal/telemetry"
 )
 
-// heartbeatPeriod is how often the stderr mode emits a JSONL snapshot.
+// heartbeatPeriod is how often the stderr mode emits a JSONL snapshot
+// and how often either mode refreshes the cycles/sec throughput gauge.
 const heartbeatPeriod = time.Second
 
 // startTelemetry starts live telemetry in the requested mode — "stderr"
 // for JSONL heartbeat lines, anything else a TCP listen address serving
-// GET /stats — and returns a stop function that emits/serves a final
-// consistent snapshot before returning.
-func startTelemetry(mode string, mon *telemetry.Monitor) (func(), error) {
+// the dashboard (GET /), stats snapshots (GET /stats) and the live SSE
+// event feed (GET /events) — and returns a stop function that emits a
+// final consistent snapshot / shuts the server down before returning.
+func startTelemetry(mode string, mon *telemetry.Monitor, hub *telemetry.Hub) (func(), error) {
 	if mode == "stderr" {
 		done := make(chan struct{})
 		var wg sync.WaitGroup
@@ -38,6 +45,7 @@ func startTelemetry(mode string, mon *telemetry.Monitor) (func(), error) {
 				case <-done:
 					return
 				case <-tick.C:
+					mon.ObserveThroughput(time.Now().UnixNano())
 					os.Stderr.Write(append(mon.Snapshot().JSON(), '\n'))
 				}
 			}
@@ -46,6 +54,7 @@ func startTelemetry(mode string, mon *telemetry.Monitor) (func(), error) {
 			close(done)
 			wg.Wait()
 			// Final heartbeat so short campaigns still emit one line.
+			mon.ObserveThroughput(time.Now().UnixNano())
 			os.Stderr.Write(append(mon.Snapshot().JSON(), '\n'))
 		}, nil
 	}
@@ -53,15 +62,28 @@ func startTelemetry(mode string, mon *telemetry.Monitor) (func(), error) {
 	if err != nil {
 		return nil, fmt.Errorf("-telemetry %q: %w", mode, err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(append(mon.Snapshot().JSON(), '\n'))
-	})
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: telemetry.NewHandler(mon, hub)}
 	go srv.Serve(ln)
-	fmt.Fprintf(os.Stderr, "telemetry: serving campaign stats on http://%s/stats\n", ln.Addr())
-	return func() { srv.Close() }, nil
+	// The throughput gauge needs periodic wall-clock observations even
+	// when no dashboard is polling; tick them here.
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(heartbeatPeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				mon.ObserveThroughput(time.Now().UnixNano())
+			}
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "telemetry: dashboard on http://%s/ (stats: /stats, live events: /events)\n", ln.Addr())
+	return func() {
+		close(done)
+		srv.Close()
+	}, nil
 }
 
 // writeTimeline exports the tracer to path and, when verify is set,

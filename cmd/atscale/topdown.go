@@ -1,0 +1,54 @@
+package main
+
+// Rendering for the -topdown / -topdown-diff flags: the collector
+// already holds per-group and campaign counter aggregates; this file
+// only chooses which trees to print.
+
+import (
+	"fmt"
+	"strings"
+
+	"atscale/internal/core"
+	"atscale/internal/topdown"
+)
+
+// renderTopdown renders the collected attribution: with full set, the
+// campaign tree plus one tree per scheme group; with diff set ("A,B"),
+// the signed delta tree between the two named groups.
+func renderTopdown(tc *core.TopdownCollector, full bool, diff string) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Top-down cycle attribution over %d run unit(s)\n", tc.Units())
+	if full {
+		b.WriteString("\ncampaign:\n")
+		b.WriteString(tc.CampaignTree().Render())
+		groups := tc.Groups()
+		if len(groups) > 1 {
+			for _, g := range groups {
+				t, err := tc.GroupTree(g)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString("\ngroup " + g + ":\n")
+				b.WriteString(t.Render())
+			}
+		}
+	}
+	if diff != "" {
+		names := strings.Split(diff, ",")
+		if len(names) != 2 {
+			return "", fmt.Errorf(`-topdown-diff wants exactly two groups as "A,B" (have %v)`, tc.Groups())
+		}
+		ga, gb := strings.TrimSpace(names[0]), strings.TrimSpace(names[1])
+		ta, err := tc.GroupTree(ga)
+		if err != nil {
+			return "", err
+		}
+		tb, err := tc.GroupTree(gb)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\nsigned delta %s -> %s (positive: %s spends more):\n", ga, gb, gb)
+		b.WriteString(topdown.Delta(ta, tb).Render())
+	}
+	return b.String(), nil
+}

@@ -156,7 +156,6 @@ func replay(args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "replayed %d events\n", n)
-	fmt.Printf("CPI %.3f  WCPI %.4f  misses/kacc %.2f  walk-lat %.1f\n",
-		met.CPI, met.WCPI, met.TLBMissesPerKiloAccess, met.AvgWalkCycles)
+	fmt.Println(met.Summary())
 	return nil
 }

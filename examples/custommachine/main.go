@@ -28,8 +28,7 @@ func measure(cfg atscale.SystemConfig, label string) {
 	start := m.Counters()
 	inst.Run(1_500_000)
 	met := atscale.ComputeMetrics(atscale.CounterDelta(start, m.Counters()))
-	fmt.Printf("%-22s CPI %6.3f  WCPI %7.4f  misses/kacc %7.2f  loads/walk %5.2f\n",
-		label, met.CPI, met.WCPI, met.TLBMissesPerKiloAccess, met.Eq1.WalkerLoadsPerWalk)
+	fmt.Printf("%-22s %s\n", label, met.Summary())
 }
 
 func main() {

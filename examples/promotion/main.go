@@ -24,7 +24,7 @@ func run(label string, policy atscale.PageSize, promote bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-24s CPI %7.3f  WCPI %7.4f\n", label, r.Metrics.CPI, r.Metrics.WCPI)
+	fmt.Printf("%-24s %s\n", label, r.Metrics.Summary())
 }
 
 func main() {

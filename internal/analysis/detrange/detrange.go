@@ -30,6 +30,7 @@ var Deterministic = []string{
 	"internal/virt",
 	"internal/refute",
 	"internal/scheme",
+	"internal/topdown",
 }
 
 // Analyzer is the detrange check.

@@ -37,6 +37,7 @@ var Targets = []Target{
 	{PkgSuffix: "internal/workloads", Func: "ByName", Arg: 0, Set: "workload"},
 	{PkgSuffix: "atscale", Func: "WorkloadByName", Arg: 0, Set: "workload"},
 	{PkgSuffix: "internal/refute", Func: "Ev", Arg: 0, Set: "event"},
+	{PkgSuffix: "internal/topdown", Func: "Ev", Arg: 0, Set: "event"},
 	{PkgSuffix: "internal/scheme", Func: "ByName", Arg: 0, Set: "scheme"},
 }
 

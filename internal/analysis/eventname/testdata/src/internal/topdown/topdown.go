@@ -1,0 +1,8 @@
+// Package topdown is a fixture exposing the attribution tree's event
+// constructor (a thin wrapper over refute.Ev) the analyzer vets.
+package topdown
+
+// Ev references a perf event by name inside a tree node expression.
+func Ev(name string) int {
+	return len(name)
+}

@@ -4,6 +4,7 @@ package user
 import (
 	"internal/perf"
 	"internal/refute"
+	"internal/topdown"
 	"internal/workloads"
 )
 
@@ -23,6 +24,9 @@ func lookups(dynamic string) {
 
 	refute.Ev("cycles")  // known: fine
 	refute.Ev("cycless") // want `unknown event name "cycless" \(did you mean "cycles"\?\)`
+
+	topdown.Ev("inst_retired.any") // known: fine
+	topdown.Ev("inst_retired.eny") // want `unknown event name "inst_retired.eny" \(did you mean "inst_retired.any"\?\)`
 
 	//atlint:allow eventname exercising the unknown-name error path
 	workloads.ByName("bogus-bogus")

@@ -32,6 +32,11 @@ type OverheadPoint struct {
 
 	// M4K, M2M, M1G are the full derived metrics per policy.
 	M4K, M2M, M1G perf.Metrics
+
+	// C4K is the 4 KB policy's raw counter delta, kept so downstream
+	// reports can attribute the overhead policy's cycles (the 2 MB/1 GB
+	// baselines are summarized by their metrics alone).
+	C4K perf.Counters
 }
 
 // Log10Footprint returns log10 of the footprint in bytes (the regression
@@ -54,6 +59,7 @@ func reduceOverhead(rr [3]RunResult) OverheadPoint {
 		M4K:       rr[arch.Page4K].Metrics,
 		M2M:       rr[arch.Page2M].Metrics,
 		M1G:       rr[arch.Page1G].Metrics,
+		C4K:       rr[arch.Page4K].Counters,
 	}
 	baseline := math.Min(p.CPI2M, p.CPI1G)
 	if baseline > 0 {

@@ -98,7 +98,11 @@ func RefuteExperiment(s *Session) (*RefuteResult, error) {
 
 	for vi := range variants {
 		v := &variants[vi]
-		checker := refute.NewChecker()
+		// The campaign registry (base + topdown conservation laws), not
+		// the bare default: the session checker these outcomes absorb
+		// into runs the same registry, and Absorb panics on a length
+		// mismatch by design.
+		checker := NewCampaignChecker()
 		cfg := s.Config()
 		cfg.Refute = checker
 		cfg.UnitTag = " @" + v.name

@@ -14,7 +14,7 @@ import (
 // identity — the simulator's counters are the registry's ground truth.
 func TestRefuteSweepHolds(t *testing.T) {
 	cfg := testConfig()
-	cfg.Refute = refute.NewChecker()
+	cfg.Refute = NewCampaignChecker()
 	spec, err := workloads.ByName("stride-synth")
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,10 @@ func TestRefuteExperimentRuns(t *testing.T) {
 	}
 	cfg := testConfig()
 	cfg.Budget = 60_000
-	cfg.Refute = refute.NewChecker()
+	// The session checker must run the campaign registry: the
+	// experiment's per-variant checkers do, and Absorb panics on a
+	// registry-length mismatch by design.
+	cfg.Refute = NewCampaignChecker()
 	s := NewSession(cfg)
 	res, err := RefuteExperiment(s)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"atscale/internal/perf"
 	"atscale/internal/refute"
 	"atscale/internal/telemetry"
+	"atscale/internal/topdown"
 	"atscale/internal/workloads"
 )
 
@@ -87,6 +88,16 @@ type RunConfig struct {
 	// timeline track (when tracing), counted into the Monitor, and
 	// aggregated into the checker's deterministic report.
 	Refute *refute.Checker
+	// Topdown, when non-nil, folds every completed unit's counter delta
+	// into the attribution collector (per-unit, per-scheme-group, and
+	// campaign-wide cycle attribution trees; atscale -topdown /
+	// -topdown-diff render them). Nil skips collection entirely.
+	Topdown *TopdownCollector
+	// Events, when non-nil, receives one streaming UnitEvent per
+	// completed unit (headline metrics, campaign progress, flattened
+	// attribution tree); the telemetry HTTP layer fans it out over SSE.
+	// Nil skips event construction entirely.
+	Events *telemetry.Hub
 	// UnitTag is appended verbatim to every unit name. Campaigns that
 	// re-run identically-parameterized units under config variants the
 	// name does not otherwise encode (sampling, tenant counts) tag them
@@ -252,6 +263,24 @@ func Run(cfg *RunConfig, spec *workloads.Spec, param uint64, ps arch.PageSize) (
 		Stats:  stats,
 	})
 	cfg.Monitor.UnitDone(delta.Get(perf.InstRetired), delta.Get(perf.Cycles), walkCycles)
+	cfg.Topdown.Add(topdownGroup(cfg), unit, delta)
+	if cfg.Events != nil {
+		// The streaming event embeds the unit's flattened attribution
+		// tree; building it costs a few hundred Expr evals per *unit*
+		// (not per access) and only when streaming is armed.
+		snap := cfg.Monitor.Snapshot()
+		cfg.Events.Publish(telemetry.UnitEvent{
+			Unit:         unit,
+			CPI:          r.Metrics.CPI,
+			WCPI:         r.Metrics.WCPI,
+			Cycles:       delta.Get(perf.Cycles),
+			Instructions: delta.Get(perf.InstRetired),
+			UnitsDone:    snap.UnitsDone,
+			UnitsTotal:   snap.UnitsTotal,
+			BusyWorkers:  snap.BusyWorkers,
+			Tree:         topdown.FromCounters(delta).Flatten(),
+		})
+	}
 	cfg.logf("  run %-22s param=%-8d %-4s footprint=%-9s cpi=%.3f wcpi=%.4f",
 		r.Workload, r.Param, ps, arch.FormatBytes(r.Footprint), r.Metrics.CPI, r.Metrics.WCPI)
 	cfg.machines.release(m)

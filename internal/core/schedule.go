@@ -103,6 +103,9 @@ func forEachUnit(cfg *RunConfig, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// Announce the scheduled unit count before any unit runs, so live
+	// progress (done/total) is meaningful from the first heartbeat.
+	cfg.Monitor.AddUnitsTotal(uint64(n))
 	if cfg.parallelism() == 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			// A session-shared limiter must bound these units too.

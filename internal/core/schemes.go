@@ -7,6 +7,7 @@ import (
 	"atscale/internal/perf"
 	"atscale/internal/refute"
 	"atscale/internal/scheme"
+	"atscale/internal/topdown"
 	"atscale/internal/workloads"
 )
 
@@ -95,8 +96,14 @@ type SchemesResult struct {
 	Variants  []string
 	Rows      []SchemeRow
 	Mechanics []SchemeMechanics
+	// Attribution holds one cycle-attribution tree per variant,
+	// aggregated over the variant's whole sweep (indexed like
+	// Variants). Deltas holds the signed comparison tree of each
+	// non-baseline variant against Variants[0] (nil at index 0).
+	Attribution []*topdown.Tree
+	Deltas      []*topdown.Tree
 	// Refute is the merged identity report over every unit (base
-	// registry plus all scheme identities).
+	// registry, topdown conservation laws, all scheme identities).
 	Refute *refute.Report
 }
 
@@ -110,8 +117,12 @@ func SchemesExperiment(s *Session) (*SchemesResult, error) {
 	base := s.Config()
 
 	// One checker per variant so breakage attributes to a backend; all
-	// share the merged registry so reports merge into one verdict.
-	merged := append(refute.Identities(), scheme.AllIdentities()...)
+	// share the merged registry so reports merge into one verdict. The
+	// registry is the campaign set (base identities plus the attribution
+	// tree's conservation laws) plus every scheme's guarded identities,
+	// so each variant's attribution tree is audited alongside its
+	// mechanism accounting.
+	merged := append(CampaignIdentities(), scheme.AllIdentities()...)
 	checkers := make([]*refute.Checker, len(variants))
 	cfgs := make([]*RunConfig, len(variants))
 	for vi, v := range variants {
@@ -214,6 +225,25 @@ func SchemesExperiment(s *Session) (*SchemesResult, error) {
 		})
 	}
 
+	// Per-variant attribution: sum each variant's counters over its
+	// whole sweep and build the tree; the baseline's tree anchors the
+	// signed deltas ("which subtree did this scheme move").
+	variantAgg := make([]perf.Counters, len(variants))
+	for i := range units {
+		u := &units[i]
+		for e := perf.Event(0); e < perf.NumEvents; e++ {
+			variantAgg[u.vi].Add(e, results[i].Counters.Get(e))
+		}
+	}
+	res.Attribution = make([]*topdown.Tree, len(variants))
+	res.Deltas = make([]*topdown.Tree, len(variants))
+	for vi := range variants {
+		res.Attribution[vi] = topdown.FromCounters(variantAgg[vi])
+		if vi > 0 {
+			res.Deltas[vi] = topdown.Delta(res.Attribution[0], res.Attribution[vi])
+		}
+	}
+
 	reports := make([]*refute.Report, len(checkers))
 	violations := 0
 	for vi, ch := range checkers {
@@ -257,6 +287,63 @@ func (r *SchemesResult) Tables() []*Table {
 			f(m.LoadsPerWalk, 2), f(m.BlockHitRate, 3), f(m.ReplicaLocalFrac, 3),
 			f(m.DRAMCacheHitRate, 3), fmt.Sprint(m.Migrations))
 	}
+	tables := []*Table{t1, t2}
+	// Cycle attribution matrix: where each variant's cycles went, as
+	// shares of the same-domain parent (so columns are comparable
+	// across variants whose absolute cycle counts differ).
+	attrRows := []struct{ label, path string }{
+		{"translation (of cycles)", "cycles/translation"},
+		{"compute (of cycles)", "cycles/compute"},
+		{"guest walk cycles (of translation)", "cycles/translation/guest"},
+		{"EPT walk cycles (of translation)", "cycles/translation/ept"},
+		{"aborted (of walks)", "cycles/translation/tlb_misses/walks/aborted"},
+		{"wrong-path (of completed)", "cycles/translation/tlb_misses/walks/completed/wrong_path"},
+		{"DRAM PTE loads (of loads)", "cycles/translation/walker_loads/guest_loads/memory"},
+	}
+	ta := NewTable("Schemes: cycle attribution by variant (share of same-domain parent)",
+		append([]string{"subtree"}, r.Variants...)...)
+	if len(r.Attribution) != len(r.Variants) {
+		attrRows = nil
+	}
+	for _, ar := range attrRows {
+		cells := []string{ar.label}
+		for vi := range r.Variants {
+			n := r.Attribution[vi].Lookup(ar.path)
+			if n == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.1f%%", 100*n.Share))
+		}
+		ta.Row(cells...)
+	}
+	// Signed deltas against the baseline column: the A/B evidence for
+	// "which subtree did this scheme move".
+	deltaRows := []struct{ label, path string }{
+		{"cycles", "cycles"},
+		{"translation cycles", "cycles/translation"},
+		{"walks initiated", "cycles/translation/tlb_misses/walks"},
+		{"walker loads", "cycles/translation/walker_loads"},
+		{"DRAM PTE loads", "cycles/translation/walker_loads/guest_loads/memory"},
+		{"scheme probes", "cycles/translation/scheme"},
+	}
+	td := NewTable(fmt.Sprintf("Schemes: signed attribution delta vs %s (value change, relative change)", r.Variants[0]),
+		append([]string{"subtree"}, r.Variants[1:]...)...)
+	if len(r.Deltas) != len(r.Variants) {
+		deltaRows = nil
+	}
+	for _, dr := range deltaRows {
+		cells := []string{dr.label}
+		for vi := 1; vi < len(r.Variants); vi++ {
+			n := r.Deltas[vi].Lookup(dr.path)
+			if n == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%+.0f (%+.1f%%)", n.Value, 100*n.Share))
+		}
+		td.Row(cells...)
+	}
 	t3 := NewTable("Schemes: identity verdicts over the whole matrix",
 		"identity", "scope", "verdict", "checked", "skipped", "violated")
 	if r.Refute != nil {
@@ -273,7 +360,10 @@ func (r *SchemesResult) Tables() []*Table {
 				fmt.Sprint(ir.Skipped), fmt.Sprint(ir.Violations))
 		}
 	}
-	return []*Table{t1, t2, t3}
+	if len(r.Attribution) == len(r.Variants) {
+		tables = append(tables, ta, td)
+	}
+	return append(tables, t3)
 }
 
 // Render emits the matrix tables.

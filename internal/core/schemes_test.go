@@ -75,6 +75,35 @@ func TestSchemesExperiment(t *testing.T) {
 			blockHit, replicaSeen, dcSeen, migrated, out)
 	}
 
+	// Attribution: one aggregate tree per variant, one signed delta per
+	// non-baseline variant, and both tables in the render.
+	if len(serial.Attribution) != len(serial.Variants) || len(serial.Deltas) != len(serial.Variants) {
+		t.Fatalf("attribution slices sized %d/%d, want %d",
+			len(serial.Attribution), len(serial.Deltas), len(serial.Variants))
+	}
+	for vi, tree := range serial.Attribution {
+		if tree == nil || tree.Root == nil || tree.Root.Value == 0 {
+			t.Errorf("variant %s: empty attribution tree", serial.Variants[vi])
+		}
+	}
+	if serial.Deltas[0] != nil {
+		t.Error("baseline variant should have no delta tree")
+	}
+	for vi := 1; vi < len(serial.Deltas); vi++ {
+		if serial.Deltas[vi] == nil || !serial.Deltas[vi].IsDelta {
+			t.Errorf("variant %s: missing delta tree", serial.Variants[vi])
+		}
+	}
+	// The scheme probes that engaged above must surface in the trees.
+	if n := serial.Attribution[2].Lookup("cycles/translation/scheme"); n == nil || n.Value == 0 {
+		t.Error("victima attribution tree shows no scheme probes")
+	}
+	for _, needle := range []string{"cycle attribution by variant", "signed attribution delta vs radix"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+
 	parCfg := testConfig()
 	parCfg.Parallelism = 4
 	parCfg.System.NUMA.MigrateEvery = 20_000

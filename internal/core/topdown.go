@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"atscale/internal/perf"
+	"atscale/internal/refute"
+	"atscale/internal/topdown"
+)
+
+// This file wires the attribution tree (internal/topdown) into the
+// campaign layer: the combined identity registry every checker-armed
+// campaign runs, the collector that aggregates per-unit counters into
+// per-scheme-group and campaign trees, and the table renderer the
+// experiments share.
+
+// CampaignIdentities returns the identity registry campaign checkers
+// run: the base refute registry plus the attribution tree's generated
+// conservation laws. Every construction site that later merges or
+// absorbs outcomes (atscale -refute's session checker, the refute
+// experiment's per-variant checkers) must use this one helper — refute
+// panics on registry-length mismatches by design.
+func CampaignIdentities() []refute.Identity {
+	return append(refute.Identities(), topdown.Identities()...)
+}
+
+// NewCampaignChecker builds a checker over CampaignIdentities.
+func NewCampaignChecker() *refute.Checker {
+	return refute.NewChecker(CampaignIdentities()...)
+}
+
+// TopdownCollector accumulates completed units' counter deltas for
+// attribution: per scheme group (the -topdown-diff comparison axis)
+// and campaign-wide. The tree's node expressions are linear in the
+// counters, so a tree over summed counters *is* the aggregate tree.
+// Safe for concurrent use from campaign workers; all derived trees are
+// deterministic regardless of completion order.
+type TopdownCollector struct {
+	mu sync.Mutex
+	//atlint:guardedby mu
+	groups map[string]*perf.Counters
+	//atlint:guardedby mu
+	units map[string]*perf.Counters
+	//atlint:guardedby mu
+	campaign perf.Counters
+}
+
+// NewTopdownCollector creates an empty collector.
+func NewTopdownCollector() *TopdownCollector {
+	return &TopdownCollector{
+		groups: make(map[string]*perf.Counters),
+		units:  make(map[string]*perf.Counters),
+	}
+}
+
+// Add folds one completed unit's counter delta into the collector.
+// Nil-safe.
+func (tc *TopdownCollector) Add(group, unit string, c perf.Counters) {
+	if tc == nil {
+		return
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	g, ok := tc.groups[group]
+	if !ok {
+		g = &perf.Counters{}
+		tc.groups[group] = g
+	}
+	uc := c
+	tc.units[unit] = &uc
+	for e := perf.Event(0); e < perf.NumEvents; e++ {
+		g.Add(e, c.Get(e))
+		tc.campaign.Add(e, c.Get(e))
+	}
+}
+
+// Groups returns the collected group names, sorted.
+func (tc *TopdownCollector) Groups() []string {
+	if tc == nil {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	names := make([]string, 0, len(tc.groups))
+	for g := range tc.groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Units returns the collected unit count.
+func (tc *TopdownCollector) Units() int {
+	if tc == nil {
+		return 0
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.units)
+}
+
+// CampaignTree builds the attribution tree over every collected unit.
+func (tc *TopdownCollector) CampaignTree() *topdown.Tree {
+	tc.mu.Lock()
+	c := tc.campaign
+	tc.mu.Unlock()
+	return topdown.FromCounters(c)
+}
+
+// GroupTree builds the attribution tree over one scheme group's units,
+// or an error naming the known groups when the group never ran.
+func (tc *TopdownCollector) GroupTree(group string) (*topdown.Tree, error) {
+	tc.mu.Lock()
+	g, ok := tc.groups[group]
+	var c perf.Counters
+	if ok {
+		c = *g
+	}
+	tc.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no attribution group %q (have %v)", group, tc.Groups())
+	}
+	return topdown.FromCounters(c), nil
+}
+
+// UnitTree builds one unit's attribution tree.
+func (tc *TopdownCollector) UnitTree(unit string) (*topdown.Tree, error) {
+	tc.mu.Lock()
+	u, ok := tc.units[unit]
+	var c perf.Counters
+	if ok {
+		c = *u
+	}
+	tc.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no attribution unit %q", unit)
+	}
+	return topdown.FromCounters(c), nil
+}
+
+// topdownGroup names the attribution group a config's units belong to,
+// matching the schemes experiment's column labels: the scheme name,
+// with the NUMA node count folded into the radix baseline's name and a
+// virt marker when nested paging is on.
+func topdownGroup(cfg *RunConfig) string {
+	name := cfg.System.Scheme
+	if name == "" {
+		name = "radix"
+	}
+	if n := cfg.System.NUMA.EffectiveNodes(); n > 1 && name == "radix" {
+		name = fmt.Sprintf("radix-numa%d", n)
+	}
+	if cfg.System.Virt.Enabled {
+		name += "+virt"
+	}
+	return name
+}
+
+// TreeTable renders an attribution tree as a data table (one row per
+// node: indented path segment, value, share), so experiment results
+// can embed trees in their Tables() output and the CSV export carries
+// them.
+func TreeTable(title string, t *topdown.Tree) *Table {
+	shareCol := "share"
+	valueCol := "value"
+	if t.IsDelta {
+		shareCol = "rel change"
+		valueCol = "delta"
+	}
+	tbl := NewTable(title, "node", valueCol, shareCol, "domain")
+	var walkDepth func(n *topdown.Node, depth int)
+	walkDepth = func(n *topdown.Node, depth int) {
+		label := strings.Repeat("  ", depth) + n.Name
+		if t.IsDelta {
+			tbl.Row(label, fmt.Sprintf("%+.0f", n.Value),
+				fmt.Sprintf("%+.1f%%", 100*n.Share), string(n.Domain))
+		} else {
+			tbl.Row(label, fmt.Sprintf("%.0f", n.Value),
+				fmt.Sprintf("%.1f%%", 100*n.Share), string(n.Domain))
+		}
+		for _, k := range n.Kids {
+			walkDepth(k, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walkDepth(t.Root, 0)
+	}
+	return tbl
+}

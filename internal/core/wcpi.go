@@ -1,12 +1,17 @@
 package core
 
 import (
+	"fmt"
+
 	"atscale/internal/arch"
+	"atscale/internal/perf"
+	"atscale/internal/topdown"
 )
 
 // This file drives the headline-WCPI experiment: the bc-urand ladder
 // reduced to the walk-cycles-per-instruction column the paper treats as
-// its overhead proxy. It shares Fig5's memoized sweep, so running both
+// its overhead proxy, now annotated with the top-down attribution view
+// of the same cycles. It shares Fig5's memoized sweep, so running both
 // in one session measures the workload once; it also pairs naturally
 // with -timeline (a small, representative campaign whose trace shows
 // the full track layout).
@@ -26,7 +31,9 @@ func WCPIExperiment(s *Session) (*WCPIResult, error) {
 	return &WCPIResult{Points: pts}, nil
 }
 
-// Tables exposes the ladder.
+// Tables exposes the ladder, the per-rung attribution columns derived
+// from each rung's 4 KB counter delta, and the full attribution tree of
+// the ladder's largest rung (where translation pressure peaks).
 func (r *WCPIResult) Tables() []*Table {
 	t := NewTable("Headline WCPI: bc-urand ladder (4 KB policy)",
 		"param", "footprint", "WCPI", "CPI", "walk cycle fraction", "rel AT overhead")
@@ -34,7 +41,46 @@ func (r *WCPIResult) Tables() []*Table {
 		t.Row(f(float64(p.Param), 0), arch.FormatBytes(p.Footprint),
 			f(p.M4K.WCPI, 4), f(p.CPI4K, 3), f(p.M4K.WalkCycleFraction, 4), pct(p.RelOverhead))
 	}
-	return []*Table{t}
+	tables := []*Table{t}
+
+	// Attribution columns: each rung's tree, reduced to the shares that
+	// explain the WCPI column — how much of the cycle budget translation
+	// takes, how walks split between completed and aborted, and how many
+	// walker loads fall through to DRAM.
+	ta := NewTable("Headline WCPI: top-down attribution per rung (4 KB policy)",
+		"param", "translation share", "compute share", "aborted walks", "wrong-path walks", "DRAM PTE loads")
+	haveCounters := false
+	for _, p := range r.Points {
+		tree := topdown.FromCounters(p.C4K)
+		if tree.Root == nil || tree.Root.Value == 0 {
+			continue
+		}
+		haveCounters = true
+		ta.Row(f(float64(p.Param), 0),
+			nodeShare(tree, "cycles/translation"),
+			nodeShare(tree, "cycles/compute"),
+			nodeShare(tree, "cycles/translation/tlb_misses/walks/aborted"),
+			nodeShare(tree, "cycles/translation/tlb_misses/walks/completed/wrong_path"),
+			nodeShare(tree, "cycles/translation/walker_loads/guest_loads/memory"))
+	}
+	if haveCounters {
+		tables = append(tables, ta)
+		if top := r.Points[len(r.Points)-1]; top.C4K != (perf.Counters{}) {
+			title := fmt.Sprintf("Headline WCPI: attribution tree at the top rung (param %d, 4 KB policy)", top.Param)
+			tables = append(tables, TreeTable(title, topdown.FromCounters(top.C4K)))
+		}
+	}
+	return tables
+}
+
+// nodeShare formats one tree node's share of its same-domain parent, or
+// "-" when the node is absent or empty.
+func nodeShare(t *topdown.Tree, path string) string {
+	n := t.Lookup(path)
+	if n == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*n.Share)
 }
 
 // Render emits the ladder as a table.

@@ -1,0 +1,62 @@
+package perf
+
+import "fmt"
+
+// This file is the one home for human-readable metric formatting. The
+// CLIs (atperf, attrace) and the examples used to each hand-roll their
+// own printf blocks over the same derived quantities; they now share
+// these renderers, so the spellings and precisions stay consistent
+// everywhere a Metrics is printed.
+
+// Summary renders the headline derived metrics as one fixed-format
+// line — the compact form the trace replayer and the examples print
+// next to a label.
+func (m Metrics) Summary() string {
+	return fmt.Sprintf("CPI %7.3f  WCPI %7.4f  misses/kacc %7.2f  loads/walk %5.2f  walk-lat %6.1f",
+		m.CPI, m.WCPI, m.TLBMissesPerKiloAccess, m.Eq1.WalkerLoadsPerWalk, m.AvgWalkCycles)
+}
+
+// FormatDerived renders the full derived-metrics block (atperf's
+// default report), ending in a newline.
+func (m Metrics) FormatDerived() string {
+	ret, wp, ab := m.Outcomes.Fractions()
+	return fmt.Sprintf(`derived:
+  CPI                          %8.3f
+  WCPI                         %8.4f
+  walk cycle fraction          %8.4f
+  TLB misses / kilo access     %8.2f
+  TLB misses / kilo instr      %8.2f
+  accesses / instruction       %8.3f
+  walker loads / walk          %8.3f
+  cycles / walker load         %8.1f
+  avg walk latency             %8.1f
+  STLB hit rate                %8.3f
+  PTE hit location L1/L2/L3/M  %6.1f%% %6.1f%% %6.1f%% %6.1f%%
+  walks retired/wrong/aborted  %6.1f%% %6.1f%% %6.1f%%
+`,
+		m.CPI, m.WCPI, m.WalkCycleFraction,
+		m.TLBMissesPerKiloAccess, m.TLBMissesPerKiloInstruction,
+		m.Eq1.AccessesPerInstruction, m.Eq1.WalkerLoadsPerWalk, m.Eq1.CyclesPerWalkerLoad,
+		m.AvgWalkCycles, m.STLBHitRate,
+		100*m.PTELocation[0], 100*m.PTELocation[1], 100*m.PTELocation[2], 100*m.PTELocation[3],
+		100*ret, 100*wp, 100*ab)
+}
+
+// FormatVirt renders the nested-paging block, ending in a newline.
+// eptWalksCompleted comes from the raw counter delta — it has no
+// derived home on Metrics.
+func (m Metrics) FormatVirt(eptWalksCompleted uint64) string {
+	return fmt.Sprintf(`virtualization:
+  guest walk cycles            %8d
+  EPT walk cycles              %8d
+  EPT walk share               %8.3f
+  nTLB hit rate                %8.3f
+  EPT walks completed          %8d
+  EPT walker loads             %8d
+  EPT PTE loc L1/L2/L3/M       %6.1f%% %6.1f%% %6.1f%% %6.1f%%
+`,
+		m.GuestWalkCycles, m.EPTWalkCycles, m.EPTShare, m.NTLBHitRate,
+		eptWalksCompleted, m.EPTWalkerLoads,
+		100*m.EPTPTELocation[0], 100*m.EPTPTELocation[1],
+		100*m.EPTPTELocation[2], 100*m.EPTPTELocation[3])
+}

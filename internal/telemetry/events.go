@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// This file is the streaming half of live telemetry: a Hub that
+// fans per-unit completion events out to any number of subscribers
+// (the HTTP /events SSE endpoint, tests), with sequence numbers and
+// full-history replay so a late subscriber sees the whole campaign in
+// order. Like the Monitor, the Hub holds no wall-clock state and every
+// publish-side method is a no-op on a nil receiver, so campaigns run
+// without streaming pay one pointer compare.
+
+// TreeNode is one flattened attribution-tree node on the wire: the
+// node's path from the root, its counter mass, and its share of the
+// nearest same-domain ancestor. The simulator side (internal/topdown)
+// projects its trees into this shape; keeping the type here lets the
+// streaming layer stay ignorant of how trees are built.
+type TreeNode struct {
+	Path  string  `json:"path"`
+	Value float64 `json:"value"`
+	Share float64 `json:"share"`
+}
+
+// UnitEvent is one run unit's completion announcement: identity,
+// headline metrics, the campaign progress counters at publish time,
+// and the unit's flattened attribution tree.
+type UnitEvent struct {
+	// Seq is the hub-assigned publish sequence number (1-based).
+	// Subscribers see strictly increasing Seq, replay included.
+	Seq uint64 `json:"seq"`
+	// Unit is the campaign-unique unit name.
+	Unit string `json:"unit"`
+	// CPI / WCPI are the unit's headline metrics.
+	CPI  float64 `json:"cpi"`
+	WCPI float64 `json:"wcpi"`
+	// Cycles / Instructions are the unit's measured-region deltas.
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	// UnitsDone / UnitsTotal / BusyWorkers snapshot campaign progress
+	// and worker utilization at publish time.
+	UnitsDone   uint64 `json:"units_done"`
+	UnitsTotal  uint64 `json:"units_total"`
+	BusyWorkers int64  `json:"busy_workers"`
+	// Tree is the unit's flattened attribution tree (zero-valued
+	// subtrees elided).
+	Tree []TreeNode `json:"tree,omitempty"`
+}
+
+// JSON renders the event as one JSON object (no trailing newline).
+func (e UnitEvent) JSON() []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// UnitEvent is plain numbers and strings; Marshal cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// subscriberBuffer bounds one subscriber's unread backlog. A consumer
+// that falls further behind than this loses newest-first (the dropped
+// count is observable via Dropped); campaign publishers never block on
+// a slow reader.
+const subscriberBuffer = 4096
+
+// Hub fans UnitEvents out to subscribers. Publish assigns sequence
+// numbers and appends to the replay history; Subscribe delivers the
+// full history first, then live events, all in Seq order.
+type Hub struct {
+	mu      sync.Mutex
+	history []UnitEvent
+	subs    map[chan UnitEvent]struct{}
+	dropped uint64
+}
+
+// NewHub creates an enabled hub.
+func NewHub() *Hub { return &Hub{subs: make(map[chan UnitEvent]struct{})} }
+
+// Publish assigns the next sequence number to ev, stores it for
+// replay, and offers it to every live subscriber. Nil-safe; never
+// blocks (a full subscriber buffer drops the event for that subscriber
+// only).
+func (h *Hub) Publish(ev UnitEvent) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	ev.Seq = uint64(len(h.history) + 1)
+	h.history = append(h.history, ev)
+	//atlint:ordered fan-out order is unobservable: every subscriber receives every event, and each channel carries them in Seq order
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a new subscriber and returns its event channel
+// plus a cancel function. The channel first replays the full history
+// in order, then carries live events; cancel unregisters and closes
+// it. The replay and the live tail never reorder or duplicate: both
+// happen under the hub lock.
+func (h *Hub) Subscribe() (<-chan UnitEvent, func()) {
+	ch := make(chan UnitEvent, subscriberBuffer)
+	h.mu.Lock()
+	for _, ev := range h.history {
+		if len(ch) == cap(ch) {
+			break // pathological: history alone overflows the buffer
+		}
+		ch <- ev
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, ch)
+			h.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers reports the live subscriber count (tests; the SSE
+// disconnect path is verified through it).
+func (h *Hub) Subscribers() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// History returns a copy of every published event, in Seq order.
+func (h *Hub) History() []UnitEvent {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]UnitEvent, len(h.history))
+	copy(out, h.history)
+	return out
+}

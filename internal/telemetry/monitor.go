@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"math"
 	"sync/atomic"
 )
 
@@ -17,12 +18,21 @@ import (
 type Monitor struct {
 	unitsStarted   atomic.Uint64
 	unitsDone      atomic.Uint64
+	unitsTotal     atomic.Uint64
 	busyWorkers    atomic.Int64
 	instructions   atomic.Uint64
 	cycles         atomic.Uint64
 	walkCycles     atomic.Uint64
 	identsChecked  atomic.Uint64
 	identsViolated atomic.Uint64
+
+	// Throughput gauge state: the last observation's wall-clock nanos
+	// and cycle total, plus the derived simulated-cycles/sec gauge
+	// (float64 bits). The nanos flow *in* as plain integers from the
+	// CLI heartbeat loops — the monitor itself never reads a clock.
+	lastObsNanos  atomic.Int64
+	lastObsCycles atomic.Uint64
+	cyclesPerSec  atomic.Uint64
 }
 
 // NewMonitor creates an enabled monitor.
@@ -57,6 +67,34 @@ func (m *Monitor) IdentityResults(checked, violated uint64) {
 	m.identsViolated.Add(violated)
 }
 
+// AddUnitsTotal announces n scheduled run units. The scheduler calls it
+// once per campaign dispatch, so units_total ratchets up as experiments
+// enqueue work and progress = done/total is meaningful mid-campaign.
+func (m *Monitor) AddUnitsTotal(n uint64) {
+	if m == nil {
+		return
+	}
+	m.unitsTotal.Add(n)
+}
+
+// ObserveThroughput updates the simulated-cycles/sec gauge from one
+// wall-clock observation. nowNanos is the caller's clock reading (wall
+// time is confined to cmd/*; it enters here as a plain integer). The
+// first observation only seeds the baseline.
+func (m *Monitor) ObserveThroughput(nowNanos int64) {
+	if m == nil {
+		return
+	}
+	cycles := m.cycles.Load()
+	prevNanos := m.lastObsNanos.Swap(nowNanos)
+	prevCycles := m.lastObsCycles.Swap(cycles)
+	if prevNanos == 0 || nowNanos <= prevNanos {
+		return
+	}
+	rate := float64(cycles-prevCycles) / (float64(nowNanos-prevNanos) / 1e9)
+	m.cyclesPerSec.Store(math.Float64bits(rate))
+}
+
 // WorkerBusy marks one scheduler worker as occupied by a unit.
 func (m *Monitor) WorkerBusy() {
 	if m == nil {
@@ -78,9 +116,12 @@ func (m *Monitor) WorkerIdle() {
 // fine for progress reporting).
 type MonitorStats struct {
 	// UnitsStarted / UnitsDone count run units entering / leaving their
-	// measured regions.
-	UnitsStarted uint64 `json:"units_started"`
-	UnitsDone    uint64 `json:"units_done"`
+	// measured regions; UnitsTotal is the scheduled unit count announced
+	// so far and Progress is done/total (0 until a total is known).
+	UnitsStarted uint64  `json:"units_started"`
+	UnitsDone    uint64  `json:"units_done"`
+	UnitsTotal   uint64  `json:"units_total"`
+	Progress     float64 `json:"progress"`
 	// BusyWorkers is the number of scheduler workers currently running a
 	// unit (worker occupancy).
 	BusyWorkers int64 `json:"busy_workers"`
@@ -98,6 +139,11 @@ type MonitorStats struct {
 	// right now; the final report says where.
 	IdentitiesChecked  uint64 `json:"identities_checked"`
 	IdentitiesViolated uint64 `json:"identities_violated"`
+	// CyclesPerSec is the simulated-cycles-per-wall-second throughput
+	// gauge, updated by the CLI heartbeat's ObserveThroughput calls
+	// (zero until two observations land). Clients derive an ETA from it
+	// and the remaining progress.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
 }
 
 // Snapshot reads the current stats (zero value on a nil monitor).
@@ -108,15 +154,20 @@ func (m *Monitor) Snapshot() MonitorStats {
 	s := MonitorStats{
 		UnitsStarted:       m.unitsStarted.Load(),
 		UnitsDone:          m.unitsDone.Load(),
+		UnitsTotal:         m.unitsTotal.Load(),
 		BusyWorkers:        m.busyWorkers.Load(),
 		Instructions:       m.instructions.Load(),
 		Cycles:             m.cycles.Load(),
 		WalkCycles:         m.walkCycles.Load(),
 		IdentitiesChecked:  m.identsChecked.Load(),
 		IdentitiesViolated: m.identsViolated.Load(),
+		CyclesPerSec:       math.Float64frombits(m.cyclesPerSec.Load()),
 	}
 	if s.Instructions > 0 {
 		s.WCPI = float64(s.WalkCycles) / float64(s.Instructions)
+	}
+	if s.UnitsTotal > 0 {
+		s.Progress = float64(s.UnitsDone) / float64(s.UnitsTotal)
 	}
 	return s
 }

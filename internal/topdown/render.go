@@ -1,0 +1,89 @@
+package topdown
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"atscale/internal/telemetry"
+)
+
+// Render emits the tree as indented text: one node per line with its
+// value and its share of the nearest same-domain ancestor. A node that
+// opens a new domain is tagged with it ("[walks]") and restarts the
+// share column at 100%. Delta trees render signed values and the share
+// column becomes the relative change against the A side.
+//
+// The output is deterministic: same tree, same bytes.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	t.renderNode(&b, t.Root, 0, "")
+	return b.String()
+}
+
+func (t *Tree) renderNode(b *strings.Builder, n *Node, depth int, parentDomain Domain) {
+	if n == nil {
+		return
+	}
+	label := strings.Repeat("  ", depth) + n.Name
+	if n.Domain != parentDomain && parentDomain != "" {
+		label += " [" + string(n.Domain) + "]"
+	}
+	if t.IsDelta {
+		fmt.Fprintf(b, "%-42s %+14.0f  %+7.1f%%\n", label, n.Value, 100*n.Share)
+	} else {
+		fmt.Fprintf(b, "%-42s %14.0f  %6.1f%%\n", label, n.Value, 100*n.Share)
+	}
+	for _, k := range n.Kids {
+		t.renderNode(b, k, depth+1, n.Domain)
+	}
+}
+
+// RenderJSON emits the tree as deterministic indented JSON.
+func (t *Tree) RenderJSON() []byte {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		// The tree is plain floats and strings; Marshal cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// Delta builds the A/B comparison tree: node-wise Value is b-a and
+// Share is the relative change (b-a)/a, 0 where the A side is zero.
+// Both trees come from the same declared spec, so their shapes match
+// by construction; Delta panics on a shape mismatch (a version skew
+// between serialized trees, never a runtime condition).
+func Delta(a, b *Tree) *Tree {
+	return &Tree{Root: deltaNode(a.Root, b.Root), IsDelta: true}
+}
+
+func deltaNode(a, b *Node) *Node {
+	if a.Path != b.Path || len(a.Kids) != len(b.Kids) {
+		panic(fmt.Sprintf("topdown: delta shape mismatch at %q vs %q", a.Path, b.Path))
+	}
+	n := &Node{Name: a.Name, Path: a.Path, Doc: a.Doc, Domain: a.Domain, Value: b.Value - a.Value}
+	if a.Value != 0 {
+		n.Share = (b.Value - a.Value) / a.Value
+	}
+	for i := range a.Kids {
+		n.Kids = append(n.Kids, deltaNode(a.Kids[i], b.Kids[i]))
+	}
+	return n
+}
+
+// Flatten projects the tree onto telemetry's wire shape: one
+// (path, value, share) triple per node, in pre-order, ready to embed
+// in a streaming unit event. Nodes with zero value and zero share are
+// dropped (native runs would otherwise ship the whole EPT and scheme
+// subtrees as zeros on every event).
+func (t *Tree) Flatten() []telemetry.TreeNode {
+	var out []telemetry.TreeNode
+	t.Walk(func(n *Node) {
+		if n.Value == 0 && n.Path != "cycles" {
+			return
+		}
+		out = append(out, telemetry.TreeNode{Path: n.Path, Value: n.Value, Share: n.Share})
+	})
+	return out
+}

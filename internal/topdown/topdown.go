@@ -1,0 +1,359 @@
+// Package topdown answers the hierarchical question the flat counter
+// listing cannot: where did every simulated cycle go? It declares one
+// attribution tree — root `cycles` splitting into compute vs.
+// translation, translation into the guest/EPT dimensions, the TLB
+// filter, the walk-outcome ladder, the walker's PTE-load levels, and
+// the scheme mechanism probes — as pure data over internal/refute's
+// Expr trees, so every node is an arithmetic expression over the same
+// perf counters the paper's methodology reads.
+//
+// The tree audits itself: Identities() mechanically derives a refute
+// conservation law for every independently-counted parent ("children
+// sum to parent", or "parent bounds its non-residual children" when a
+// residual child closes the partition), so a campaign run with the
+// combined registry (core.CampaignIdentities) checks the tree's
+// arithmetic on every unit. Residual nodes (compute, aborted,
+// wrong_path) are *defined* as parent minus siblings; the generated
+// identities are exactly the statements that those residuals are
+// non-negative, i.e. that the tree's rendering never fabricates cycles.
+//
+// Trees built from the same counters are bit-identical: Build is a pure
+// function of the unit, so serial and parallel campaigns render the
+// same bytes (core's flatgold-style test holds it to that).
+package topdown
+
+import (
+	"fmt"
+
+	"atscale/internal/perf"
+	"atscale/internal/refute"
+)
+
+// Ev references a perf event by its perf-tool spelling. It is the
+// package's only source of counter names, and the atlint eventname
+// analyzer vets every constant string passed to it against the live
+// event table — a typo'd node is a lint error, not a silently-zero
+// subtree.
+func Ev(name string) refute.Expr { return refute.Ev(name) }
+
+// Domain tags what a node's value counts. Conservation laws only relate
+// nodes within one domain: a child in a different domain is a drill-down
+// view (walk counts under translation cycles), not a summand.
+type Domain string
+
+const (
+	// DomainCycles counts simulated core cycles.
+	DomainCycles Domain = "cycles"
+	// DomainWalks counts page-table walks (and the TLB events that
+	// filter them).
+	DomainWalks Domain = "walks"
+	// DomainLoads counts walker PTE loads.
+	DomainLoads Domain = "loads"
+	// DomainProbes counts translation-scheme mechanism probes.
+	DomainProbes Domain = "probes"
+)
+
+// kind discriminates how a node's value is produced.
+type kind uint8
+
+const (
+	// kindExpr evaluates an independent counter expression.
+	kindExpr kind = iota
+	// kindResidual is parent minus the non-residual same-domain
+	// siblings — the "everything else" slice that closes a partition.
+	kindResidual
+	// kindSum is defined as the sum of its children. No conservation
+	// identity is generated for it (the relation would be vacuous).
+	kindSum
+)
+
+// spec is one declared tree node.
+type spec struct {
+	name   string
+	doc    string
+	domain Domain
+	kind   kind
+	expr   refute.Expr
+	kids   []spec
+}
+
+// Spec returns the declared attribution tree. It is rebuilt on each
+// call (Exprs are small plain data); Build and Identities both consume
+// it, so the rendered tree and the audited laws can never drift apart.
+func treeSpec() spec {
+	walkDuration := refute.Sum(Ev("dtlb_load_misses.walk_duration"), Ev("dtlb_store_misses.walk_duration"))
+	walksInitiated := refute.Sum(Ev("dtlb_load_misses.miss_causes_a_walk"), Ev("dtlb_store_misses.miss_causes_a_walk"))
+	walksCompleted := refute.Sum(Ev("dtlb_load_misses.walk_completed"), Ev("dtlb_store_misses.walk_completed"))
+	walksRetired := refute.Sum(Ev("mem_uops_retired.stlb_miss_loads"), Ev("mem_uops_retired.stlb_miss_stores"))
+	stlbHits := refute.Sum(Ev("dtlb_load_misses.stlb_hit"), Ev("dtlb_store_misses.stlb_hit"))
+
+	walkLadder := spec{
+		name: "walks", doc: "initiated page-table walks (Table VI ladder)",
+		domain: DomainWalks, expr: walksInitiated,
+		kids: []spec{
+			{name: "completed", doc: "walks that reached a leaf PTE",
+				domain: DomainWalks, expr: walksCompleted,
+				kids: []spec{
+					{name: "retired", doc: "completed walks whose uop retired",
+						domain: DomainWalks, expr: walksRetired},
+					{name: "wrong_path", doc: "completed walks squashed before retirement (Completed - Retired)",
+						domain: DomainWalks, kind: kindResidual},
+				}},
+			{name: "aborted", doc: "walks squashed before completion (Initiated - Completed)",
+				domain: DomainWalks, kind: kindResidual},
+		},
+	}
+	tlb := spec{
+		name: "tlb_misses", doc: "first-level TLB misses: the STLB filters them, the remainder walks",
+		domain: DomainWalks, kind: kindSum,
+		kids: []spec{
+			{name: "stlb_hit", doc: "L1-TLB misses the second-level TLB caught",
+				domain: DomainWalks, expr: stlbHits},
+			walkLadder,
+		},
+	}
+	loadLevels := func(prefix string) []spec {
+		return []spec{
+			{name: "l1", doc: "PTE loads served by the L1 data cache",
+				domain: DomainLoads, expr: Ev(prefix + "l1")},
+			{name: "l2", doc: "PTE loads served by the L2 cache",
+				domain: DomainLoads, expr: Ev(prefix + "l2")},
+			{name: "l3", doc: "PTE loads served by the L3 cache",
+				domain: DomainLoads, expr: Ev(prefix + "l3")},
+			{name: "memory", doc: "PTE loads that went to DRAM",
+				domain: DomainLoads, expr: Ev(prefix + "memory")},
+		}
+	}
+	loads := spec{
+		name: "walker_loads", doc: "PTE loads issued by the page walker, by serving cache level",
+		domain: DomainLoads, kind: kindSum,
+		kids: []spec{
+			{name: "guest_loads", doc: "guest-dimension PTE loads",
+				domain: DomainLoads, kind: kindSum, kids: loadLevels("page_walker_loads.dtlb_")},
+			{name: "ept_loads", doc: "EPT-dimension PTE loads (nested paging only)",
+				domain: DomainLoads, kind: kindSum, kids: loadLevels("page_walker_loads.ept_dtlb_")},
+		},
+	}
+	schemeProbes := spec{
+		name: "scheme", doc: "translation-scheme mechanism probes (zero for backends not in play)",
+		domain: DomainProbes, kind: kindSum,
+		kids: []spec{
+			{name: "victima_block_hit", doc: "Victima PTE-block directory hits",
+				domain: DomainProbes, expr: Ev("scheme_walk_loads.block_hit")},
+			{name: "victima_block_miss", doc: "Victima PTE-block directory misses",
+				domain: DomainProbes, expr: Ev("scheme_walk_loads.block_miss")},
+			{name: "mitosis_local", doc: "Mitosis walks served from the local replica",
+				domain: DomainProbes, expr: Ev("replica_local_walks")},
+			{name: "mitosis_remote", doc: "Mitosis walks that crossed the interconnect",
+				domain: DomainProbes, expr: Ev("replica_remote_walks")},
+			{name: "dramcache_hit", doc: "die-stacked DRAM cache tag hits on walker loads",
+				domain: DomainProbes, expr: Ev("dramcache_hits")},
+			{name: "dramcache_miss", doc: "die-stacked DRAM cache tag misses",
+				domain: DomainProbes, expr: Ev("dramcache_misses")},
+			{name: "numa_migrations", doc: "deterministic NUMA thread migrations",
+				domain: DomainProbes, expr: Ev("numa.migrations")},
+		},
+	}
+	return spec{
+		name: "cycles", doc: "all simulated core cycles of the measured region",
+		domain: DomainCycles, expr: Ev("cpu_clk_unhalted.thread"),
+		kids: []spec{
+			{name: "translation", doc: "cycles with a page walk in flight (walk_duration, both dimensions)",
+				domain: DomainCycles, expr: walkDuration,
+				kids: []spec{
+					{name: "guest", doc: "guest-dimension walk cycles",
+						domain: DomainCycles,
+						expr: refute.Sum(Ev("dtlb_load_misses.walk_duration_guest"),
+							Ev("dtlb_store_misses.walk_duration_guest"))},
+					{name: "ept", doc: "EPT-dimension walk cycles (zero natively)",
+						domain: DomainCycles, expr: Ev("ept_misses.walk_duration")},
+					tlb,
+					loads,
+					schemeProbes,
+				}},
+			{name: "compute", doc: "cycles with no walk in flight (cycles - translation)",
+				domain: DomainCycles, kind: kindResidual},
+		},
+	}
+}
+
+// Node is one evaluated tree node.
+type Node struct {
+	// Name is the node's path segment; Path joins the segments from the
+	// root ("cycles/translation/guest").
+	Name string `json:"name"`
+	Path string `json:"path"`
+	// Doc says what the node counts.
+	Doc string `json:"doc,omitempty"`
+	// Domain tags the node's unit of account.
+	Domain Domain `json:"domain"`
+	// Value is the node's evaluated counter mass. In a delta tree it is
+	// the signed difference B - A.
+	Value float64 `json:"value"`
+	// Share is Value over the nearest same-domain ancestor's Value
+	// (1 for each domain's root). In a delta tree it is the relative
+	// change against the A side (0 when A was zero).
+	Share float64 `json:"share"`
+	// Kids are the node's children, in declaration order.
+	Kids []*Node `json:"kids,omitempty"`
+}
+
+// Tree is one evaluated attribution tree.
+type Tree struct {
+	Root *Node `json:"root"`
+	// IsDelta marks an A/B comparison tree (see Delta).
+	IsDelta bool `json:"delta,omitempty"`
+}
+
+// Build evaluates the attribution tree against one unit's counters.
+// It is a pure function of the unit: same counters, same tree, bit for
+// bit.
+func Build(u *refute.Unit) *Tree {
+	s := treeSpec()
+	return &Tree{Root: eval(&s, u, "")}
+}
+
+// FromCounters builds the tree over a bare counter set (campaign and
+// per-group aggregates; the tree references no derived metrics or
+// sampler fields, so counters alone determine it).
+func FromCounters(c perf.Counters) *Tree {
+	u := refute.Unit{Counters: c}
+	return Build(&u)
+}
+
+// eval recursively evaluates one spec node. A node's residual children
+// and child shares are filled here, after its counted children resolve.
+func eval(s *spec, u *refute.Unit, parentPath string) *Node {
+	path := s.name
+	if parentPath != "" {
+		path = parentPath + "/" + s.name
+	}
+	n := &Node{Name: s.name, Path: path, Doc: s.doc, Domain: s.domain}
+	switch s.kind {
+	case kindExpr:
+		n.Value = s.expr.Eval(u)
+	case kindResidual:
+		// Filled by the parent after its non-residual kids evaluate.
+	case kindSum:
+		// Filled after the kids evaluate.
+	}
+	var kidSum float64
+	var residuals []*Node
+	for i := range s.kids {
+		k := &s.kids[i]
+		kn := eval(k, u, path)
+		n.Kids = append(n.Kids, kn)
+		if k.domain != s.domain {
+			continue
+		}
+		if k.kind == kindResidual {
+			residuals = append(residuals, kn)
+			continue
+		}
+		kidSum += kn.Value
+	}
+	if s.kind == kindSum {
+		n.Value = kidSum
+	}
+	for _, rn := range residuals {
+		rn.Value = n.Value - kidSum
+	}
+	// Shares are relative to the nearest same-domain ancestor; a
+	// domain break starts a new 100%.
+	for _, kn := range n.Kids {
+		if kn.Domain == s.domain && n.Value != 0 {
+			kn.Share = kn.Value / n.Value
+		} else if kn.Domain != s.domain {
+			kn.Share = 1
+		}
+	}
+	if parentPath == "" {
+		n.Share = 1
+	}
+	return n
+}
+
+// Walk visits every node of the tree in declaration (depth-first,
+// pre-order) order.
+func (t *Tree) Walk(fn func(*Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		fn(n)
+		for _, k := range n.Kids {
+			rec(k)
+		}
+	}
+	if t != nil && t.Root != nil {
+		rec(t.Root)
+	}
+}
+
+// Lookup returns the node at the given path ("cycles/translation"), or
+// nil when the tree has no such node.
+func (t *Tree) Lookup(path string) *Node {
+	var found *Node
+	t.Walk(func(n *Node) {
+		if n.Path == path {
+			found = n
+		}
+	})
+	return found
+}
+
+// Identities mechanically derives the tree's conservation laws as
+// refute identities: for every independently-counted parent whose
+// same-domain children are themselves independently counted, either
+// the children partition the parent exactly (EQ) or — when a residual
+// child closes the partition — the parent bounds the counted children
+// (GE, i.e. the residual is non-negative). Sum-defined nodes generate
+// nothing: their relation to their children holds by construction and
+// a vacuous identity would only inflate the checked count.
+func Identities() []refute.Identity {
+	s := treeSpec()
+	var out []refute.Identity
+	collect(&s, &out)
+	return out
+}
+
+// collect appends the conservation identity of s (if any) and recurses.
+func collect(s *spec, out *[]refute.Identity) {
+	if s.kind == kindExpr && len(s.kids) > 0 {
+		var counted []refute.Expr
+		var residual string
+		for i := range s.kids {
+			k := &s.kids[i]
+			if k.domain != s.domain {
+				continue
+			}
+			switch k.kind {
+			case kindExpr:
+				counted = append(counted, k.expr)
+			case kindResidual:
+				residual = k.name
+			case kindSum:
+				// A same-domain sum child would make the law partially
+				// vacuous; the declared tree has none (validated by the
+				// package tests).
+			}
+		}
+		if len(counted) > 0 {
+			if residual != "" {
+				*out = append(*out, refute.Identity{
+					Name: "topdown_" + s.name + "_conserves",
+					Doc: fmt.Sprintf("topdown: %s bounds its counted children (residual %q stays non-negative)",
+						s.name, residual),
+					L: s.expr, Rel: refute.GE, R: refute.Sum(counted...),
+				})
+			} else {
+				*out = append(*out, refute.Identity{
+					Name: "topdown_" + s.name + "_conserves",
+					Doc:  fmt.Sprintf("topdown: the children of %s partition it exactly", s.name),
+					L:    refute.Sum(counted...), Rel: refute.EQ, R: s.expr,
+				})
+			}
+		}
+	}
+	for i := range s.kids {
+		collect(&s.kids[i], out)
+	}
+}

@@ -1,0 +1,283 @@
+package topdown
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"atscale/internal/perf"
+	"atscale/internal/refute"
+)
+
+// fabricatedCounters builds a counter set that exercises every subtree
+// with hand-checkable arithmetic: 1000 cycles, 200 of them translation
+// (40 guest + 160 EPT), 40 L1-TLB misses (10 STLB hits + 30 walks, of
+// which 26 complete and 22 retire), 28 walker loads across both
+// dimensions, and 2 scheme probes.
+func fabricatedCounters(t *testing.T) perf.Counters {
+	t.Helper()
+	var c perf.Counters
+	set := func(name string, v uint64) {
+		e, err := perf.ByName(name)
+		if err != nil {
+			t.Fatalf("fabricated counter %q: %v", name, err)
+		}
+		c.Add(e, v)
+	}
+	set("cpu_clk_unhalted.thread", 1000)
+	set("dtlb_load_misses.walk_duration", 150)
+	set("dtlb_store_misses.walk_duration", 50)
+	set("dtlb_load_misses.walk_duration_guest", 30)
+	set("dtlb_store_misses.walk_duration_guest", 10)
+	set("ept_misses.walk_duration", 160)
+	set("dtlb_load_misses.stlb_hit", 5)
+	set("dtlb_store_misses.stlb_hit", 5)
+	set("dtlb_load_misses.miss_causes_a_walk", 20)
+	set("dtlb_store_misses.miss_causes_a_walk", 10)
+	set("dtlb_load_misses.walk_completed", 18)
+	set("dtlb_store_misses.walk_completed", 8)
+	set("mem_uops_retired.stlb_miss_loads", 15)
+	set("mem_uops_retired.stlb_miss_stores", 7)
+	set("page_walker_loads.dtlb_l1", 10)
+	set("page_walker_loads.dtlb_l2", 5)
+	set("page_walker_loads.dtlb_l3", 3)
+	set("page_walker_loads.dtlb_memory", 2)
+	set("page_walker_loads.ept_dtlb_l1", 4)
+	set("page_walker_loads.ept_dtlb_l2", 2)
+	set("page_walker_loads.ept_dtlb_l3", 1)
+	set("page_walker_loads.ept_dtlb_memory", 1)
+	set("numa.migrations", 2)
+	return c
+}
+
+// TestSpecShape validates the declared tree's structural contract:
+// unique paths, an expression exactly on kindExpr nodes, residuals as
+// childless leaves, and no same-domain kindSum child under a kindExpr
+// parent (which would make the generated conservation law partially
+// vacuous — Identities' collect relies on this).
+func TestSpecShape(t *testing.T) {
+	root := treeSpec()
+	seen := map[string]bool{}
+	var rec func(s *spec, path string)
+	rec = func(s *spec, path string) {
+		p := s.name
+		if path != "" {
+			p = path + "/" + s.name
+		}
+		if seen[p] {
+			t.Errorf("duplicate node path %q", p)
+		}
+		seen[p] = true
+		switch s.kind {
+		case kindExpr:
+			if reflect.DeepEqual(s.expr, refute.Expr{}) {
+				t.Errorf("%s: kindExpr with an empty expr", p)
+			}
+		case kindResidual:
+			if !reflect.DeepEqual(s.expr, refute.Expr{}) || len(s.kids) > 0 {
+				t.Errorf("%s: residuals must be childless with no expr", p)
+			}
+		case kindSum:
+			if !reflect.DeepEqual(s.expr, refute.Expr{}) {
+				t.Errorf("%s: kindSum with an expr", p)
+			}
+			if len(s.kids) == 0 {
+				t.Errorf("%s: kindSum with no children", p)
+			}
+		}
+		if s.kind == kindExpr {
+			for i := range s.kids {
+				k := &s.kids[i]
+				if k.domain == s.domain && k.kind == kindSum {
+					t.Errorf("%s: same-domain kindSum child %q under a kindExpr parent", p, k.name)
+				}
+			}
+		}
+		for i := range s.kids {
+			rec(&s.kids[i], p)
+		}
+	}
+	rec(&root, "")
+}
+
+// TestBuildArithmetic hand-checks residual and share math on the
+// fabricated counters.
+func TestBuildArithmetic(t *testing.T) {
+	tr := FromCounters(fabricatedCounters(t))
+	checks := []struct {
+		path         string
+		value, share float64
+	}{
+		{"cycles", 1000, 1},
+		{"cycles/translation", 200, 0.2},
+		{"cycles/compute", 800, 0.8},
+		{"cycles/translation/guest", 40, 0.2},
+		{"cycles/translation/ept", 160, 0.8},
+		{"cycles/translation/tlb_misses", 40, 1}, // domain break: new 100%
+		{"cycles/translation/tlb_misses/stlb_hit", 10, 0.25},
+		{"cycles/translation/tlb_misses/walks", 30, 0.75},
+		{"cycles/translation/tlb_misses/walks/completed", 26, 26.0 / 30},
+		{"cycles/translation/tlb_misses/walks/aborted", 4, 4.0 / 30},
+		{"cycles/translation/tlb_misses/walks/completed/retired", 22, 22.0 / 26},
+		{"cycles/translation/tlb_misses/walks/completed/wrong_path", 4, 4.0 / 26},
+		{"cycles/translation/walker_loads", 28, 1},
+		{"cycles/translation/walker_loads/guest_loads", 20, 20.0 / 28},
+		{"cycles/translation/walker_loads/ept_loads", 8, 8.0 / 28},
+		{"cycles/translation/walker_loads/guest_loads/memory", 2, 0.1},
+		{"cycles/translation/scheme", 2, 1},
+		{"cycles/translation/scheme/numa_migrations", 2, 1},
+	}
+	for _, c := range checks {
+		n := tr.Lookup(c.path)
+		if n == nil {
+			t.Errorf("no node at %q", c.path)
+			continue
+		}
+		if n.Value != c.value {
+			t.Errorf("%s: value %v, want %v", c.path, n.Value, c.value)
+		}
+		if math.Abs(n.Share-c.share) > 1e-12 {
+			t.Errorf("%s: share %v, want %v", c.path, n.Share, c.share)
+		}
+	}
+}
+
+// TestIdentitiesGenerated pins the mechanically derived law set: four
+// non-vacuous conservation identities, in declaration order, all
+// holding on the fabricated unit and all violated when the arithmetic
+// is broken.
+func TestIdentitiesGenerated(t *testing.T) {
+	ids := Identities()
+	want := []string{
+		"topdown_cycles_conserves",
+		"topdown_translation_conserves",
+		"topdown_walks_conserves",
+		"topdown_completed_conserves",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("got %d identities, want %d", len(ids), len(want))
+	}
+	for i, id := range ids {
+		if id.Name != want[i] {
+			t.Errorf("identity %d: %s, want %s", i, id.Name, want[i])
+		}
+		if id.Scope != refute.Always {
+			t.Errorf("%s: scope %v, want Always (the tree is defined on every unit)", id.Name, id.Scope)
+		}
+	}
+
+	clean := refute.NewChecker(ids...)
+	out := clean.CheckUnit(refute.Unit{Name: "fab", Counters: fabricatedCounters(t)}, nil)
+	if len(out.Violations) != 0 || out.Checked != len(ids) {
+		t.Fatalf("clean unit: %+v (report:\n%s)", out, clean.Report().Render())
+	}
+
+	// Break conservation: more completed walks than initiated ones.
+	broken := fabricatedCounters(t)
+	e, err := perf.ByName("dtlb_load_misses.walk_completed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Add(e, 1000)
+	dirty := refute.NewChecker(ids...)
+	out = dirty.CheckUnit(refute.Unit{Name: "broken", Counters: broken}, nil)
+	if len(out.Violations) == 0 {
+		t.Error("fabricated over-completion violated nothing")
+	}
+}
+
+// TestDelta checks the signed A/B comparison: values subtract, shares
+// become relative change, zero-A nodes report zero change.
+func TestDelta(t *testing.T) {
+	a := FromCounters(fabricatedCounters(t))
+	cb := fabricatedCounters(t)
+	e, err := perf.ByName("cpu_clk_unhalted.thread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.Add(e, 500) // B spends 1500 cycles
+	b := FromCounters(cb)
+
+	d := Delta(a, b)
+	if !d.IsDelta {
+		t.Error("Delta tree not marked IsDelta")
+	}
+	root := d.Lookup("cycles")
+	if root.Value != 500 || math.Abs(root.Share-0.5) > 1e-12 {
+		t.Errorf("delta root: value %v share %v, want 500 and 0.5", root.Value, root.Share)
+	}
+	// translation is unchanged, so compute absorbs the extra cycles.
+	if n := d.Lookup("cycles/translation"); n.Value != 0 || n.Share != 0 {
+		t.Errorf("delta translation: %+v, want zero change", n)
+	}
+	if n := d.Lookup("cycles/compute"); n.Value != 500 {
+		t.Errorf("delta compute: value %v, want 500", n.Value)
+	}
+	// A zero-on-both-sides leaf reports zero change, not NaN.
+	if n := d.Lookup("cycles/translation/scheme/dramcache_hit"); n.Value != 0 || n.Share != 0 {
+		t.Errorf("zero leaf delta: %+v", n)
+	}
+}
+
+// TestRenderDeterministic: same counters, same bytes — the property the
+// core flatgold-style test holds campaign output to.
+func TestRenderDeterministic(t *testing.T) {
+	c := fabricatedCounters(t)
+	r1, r2 := FromCounters(c).Render(), FromCounters(c).Render()
+	if r1 != r2 {
+		t.Fatal("Render is not deterministic for identical counters")
+	}
+	for _, needle := range []string{"cycles", "translation", "compute", "tlb_misses [walks]", "walker_loads [loads]", "scheme [probes]"} {
+		if !strings.Contains(r1, needle) {
+			t.Errorf("rendered tree lacks %q:\n%s", needle, r1)
+		}
+	}
+	j1, j2 := FromCounters(c).RenderJSON(), FromCounters(c).RenderJSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("RenderJSON is not deterministic")
+	}
+	var round Tree
+	if err := json.Unmarshal(j1, &round); err != nil {
+		t.Fatalf("RenderJSON round-trip: %v", err)
+	}
+	if round.Root.Value != 1000 {
+		t.Errorf("round-tripped root value %v, want 1000", round.Root.Value)
+	}
+}
+
+// TestFlatten: zero-valued nodes are elided (except the root), and
+// paths arrive in pre-order.
+func TestFlatten(t *testing.T) {
+	flat := FromCounters(fabricatedCounters(t)).Flatten()
+	if len(flat) == 0 || flat[0].Path != "cycles" {
+		t.Fatalf("flatten head: %+v", flat)
+	}
+	for _, n := range flat {
+		if n.Value == 0 && n.Path != "cycles" {
+			t.Errorf("zero-valued node %q not elided", n.Path)
+		}
+	}
+	// The zero counter set keeps only the root.
+	if flat := FromCounters(perf.Counters{}).Flatten(); len(flat) != 1 || flat[0].Path != "cycles" {
+		t.Errorf("zero-counter flatten: %+v, want just the root", flat)
+	}
+}
+
+// TestWalkOrder: pre-order, parents before kids.
+func TestWalkOrder(t *testing.T) {
+	seen := map[string]bool{}
+	FromCounters(fabricatedCounters(t)).Walk(func(n *Node) {
+		if i := strings.LastIndexByte(n.Path, '/'); i >= 0 {
+			if !seen[n.Path[:i]] {
+				t.Errorf("node %q visited before its parent", n.Path)
+			}
+		}
+		seen[n.Path] = true
+	})
+	if !seen["cycles/translation/tlb_misses/walks/completed/wrong_path"] {
+		t.Error("walk missed the deepest leaf")
+	}
+}
